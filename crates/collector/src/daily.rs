@@ -1,0 +1,279 @@
+//! The daily crawler: diff + changesets → coarse UpdateList rows.
+
+use crate::{CollectError, CrawlStats};
+use rased_osm_model::{
+    ChangesetId, ChangesetMeta, CountryResolver, Element, RoadTypeTable, UpdateRecord, UpdateType,
+};
+use rased_osm_xml::{ChangesetReader, DiffAction, DiffReader};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// The daily crawler (§V, "Daily Crawler").
+pub struct DailyCrawler<'a> {
+    resolver: &'a dyn CountryResolver,
+    road_table: &'a RoadTypeTable,
+}
+
+impl<'a> DailyCrawler<'a> {
+    /// Create a crawler resolving countries with `resolver` and road types
+    /// against `road_table`.
+    pub fn new(resolver: &'a dyn CountryResolver, road_table: &'a RoadTypeTable) -> DailyCrawler<'a> {
+        DailyCrawler { resolver, road_table }
+    }
+
+    /// Crawl one day: parse the changeset file, then stream the diff and
+    /// join each change against its changeset. Returns the day's records
+    /// (UpdateType ∈ {Create, Delete, Unclassified}) and skip statistics.
+    pub fn crawl(
+        &self,
+        diff: impl BufRead,
+        changesets: impl BufRead,
+    ) -> Result<(Vec<UpdateRecord>, CrawlStats), CollectError> {
+        let mut metas: HashMap<ChangesetId, ChangesetMeta> = HashMap::new();
+        for meta in ChangesetReader::new(changesets) {
+            let meta = meta?;
+            metas.insert(meta.id, meta);
+        }
+
+        let mut records = Vec::new();
+        let mut stats = CrawlStats::default();
+        for change in DiffReader::new(diff) {
+            let (action, element) = change?;
+            match self.one(&action, &element, &metas) {
+                Emit::Record(r) => {
+                    records.push(r);
+                    stats.emitted += 1;
+                }
+                Emit::NotRoad => stats.skipped_not_road += 1,
+                Emit::NoChangeset => stats.skipped_no_changeset += 1,
+                Emit::NoCountry => stats.skipped_no_country += 1,
+            }
+        }
+        Ok((records, stats))
+    }
+
+    fn one(
+        &self,
+        action: &DiffAction,
+        element: &Element,
+        metas: &HashMap<ChangesetId, ChangesetMeta>,
+    ) -> Emit {
+        // Road type from the element's highway tag.
+        let Some(road_type) =
+            element.tags().highway().and_then(|h| self.road_table.by_value(h))
+        else {
+            return Emit::NotRoad;
+        };
+
+        // Location: nodes carry coordinates; ways/relations use the
+        // changeset bbox center (§V).
+        let (lat7, lon7) = match element {
+            Element::Node(n) => (n.lat7, n.lon7),
+            _ => {
+                let Some((lat7, lon7)) = metas
+                    .get(&element.info().changeset)
+                    .and_then(|m| m.center7())
+                else {
+                    return Emit::NoChangeset;
+                };
+                (lat7, lon7)
+            }
+        };
+
+        let Some(country) = self.resolver.locate7(lat7, lon7) else {
+            return Emit::NoCountry;
+        };
+
+        let update_type = match action {
+            DiffAction::Create => UpdateType::Create,
+            DiffAction::Delete => UpdateType::Delete,
+            // The daily crawler cannot split geometry vs. metadata (§V).
+            DiffAction::Modify => UpdateType::Unclassified,
+        };
+
+        Emit::Record(UpdateRecord {
+            element_type: element.element_type(),
+            update_type,
+            country,
+            road_type,
+            date: element.info().date,
+            lat7,
+            lon7,
+            changeset: element.info().changeset,
+        })
+    }
+}
+
+enum Emit {
+    Record(UpdateRecord),
+    NotRoad,
+    NoChangeset,
+    NoCountry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rased_osm_model::{CountryId, ElementId, Node, Tags, UserId, VersionInfo, Way};
+    use rased_osm_xml::{ChangesetWriter, DiffWriter};
+
+    /// Everything north of lat7=0 is country 1, south is country 0;
+    /// lon > 1e9 is nowhere.
+    fn resolver(lat7: i32, lon7: i32) -> Option<CountryId> {
+        if lon7 > 1_000_000_000 {
+            None
+        } else if lat7 >= 0 {
+            Some(CountryId(1))
+        } else {
+            Some(CountryId(0))
+        }
+    }
+
+    fn info(cs: u64) -> VersionInfo {
+        VersionInfo::first("2021-05-05".parse().unwrap(), ChangesetId(cs), UserId(9))
+    }
+
+    fn node(id: i64, cs: u64, lat7: i32, lon7: i32, highway: Option<&str>) -> Element {
+        let tags = match highway {
+            Some(h) => Tags::from_pairs([("highway", h)]),
+            None => Tags::from_pairs([("amenity", "bench")]),
+        };
+        Element::Node(Node { id: ElementId(id), info: info(cs), lat7, lon7, tags })
+    }
+
+    fn way(id: i64, cs: u64, highway: &str) -> Element {
+        Element::Way(Way {
+            id: ElementId(id),
+            info: info(cs),
+            nodes: vec![ElementId(1), ElementId(2)],
+            tags: Tags::from_pairs([("highway", highway)]),
+        })
+    }
+
+    /// `(changeset id, optional bbox in fixed-point lat/lon)`.
+    type CsEntry = (u64, Option<(i32, i32, i32, i32)>);
+
+    fn changeset_bytes(entries: &[CsEntry]) -> Vec<u8> {
+        let mut w = ChangesetWriter::new(Vec::new()).unwrap();
+        for (id, bbox7) in entries {
+            w.write(&ChangesetMeta {
+                id: ChangesetId(*id),
+                user: UserId(9),
+                created: "2021-05-05".parse().unwrap(),
+                closed: "2021-05-05".parse().unwrap(),
+                bbox7: *bbox7,
+                num_changes: 1,
+                comment: String::new(),
+            })
+            .unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn diff_bytes(changes: &[(DiffAction, Element)]) -> Vec<u8> {
+        let mut w = DiffWriter::new(Vec::new()).unwrap();
+        for (a, e) in changes {
+            w.write(*a, e).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn crawl(
+        changes: &[(DiffAction, Element)],
+        metas: &[CsEntry],
+    ) -> (Vec<UpdateRecord>, CrawlStats) {
+        let table = RoadTypeTable::with_cardinality(20);
+        let crawler = DailyCrawler::new(&resolver, &table);
+        crawler
+            .crawl(diff_bytes(changes).as_slice(), changeset_bytes(metas).as_slice())
+            .unwrap()
+    }
+
+    #[test]
+    fn node_records_use_own_coordinates() {
+        let (recs, stats) = crawl(
+            &[(DiffAction::Create, node(1, 10, 500, -300, Some("residential")))],
+            &[(10, Some((0, 0, 1000, 1000)))],
+        );
+        assert_eq!(stats.emitted, 1);
+        let r = &recs[0];
+        assert_eq!((r.lat7, r.lon7), (500, -300));
+        assert_eq!(r.country, CountryId(1));
+        assert_eq!(r.update_type, UpdateType::Create);
+        assert_eq!(r.changeset, ChangesetId(10));
+    }
+
+    #[test]
+    fn way_records_use_changeset_bbox_center() {
+        let (recs, stats) = crawl(
+            &[(DiffAction::Modify, way(5, 11, "primary"))],
+            &[(11, Some((-1000, 0, -500, 200)))],
+        );
+        assert_eq!(stats.emitted, 1);
+        let r = &recs[0];
+        assert_eq!((r.lat7, r.lon7), (-750, 100));
+        assert_eq!(r.country, CountryId(0), "southern hemisphere center");
+        assert_eq!(r.update_type, UpdateType::Unclassified, "modify is coarse");
+    }
+
+    #[test]
+    fn delete_maps_to_delete() {
+        let (recs, _) = crawl(
+            &[(DiffAction::Delete, node(1, 10, 5, 5, Some("service")))],
+            &[(10, None)],
+        );
+        assert_eq!(recs[0].update_type, UpdateType::Delete);
+    }
+
+    #[test]
+    fn non_road_elements_are_skipped() {
+        let (recs, stats) = crawl(
+            &[(DiffAction::Create, node(1, 10, 5, 5, None))],
+            &[(10, Some((0, 0, 10, 10)))],
+        );
+        assert!(recs.is_empty());
+        assert_eq!(stats.skipped_not_road, 1);
+        assert_eq!(stats.inspected(), 1);
+    }
+
+    #[test]
+    fn unknown_road_type_is_skipped() {
+        // Table of 20 types does not include e.g. "corridor" (index 24).
+        let (recs, stats) = crawl(
+            &[(DiffAction::Create, node(1, 10, 5, 5, Some("corridor")))],
+            &[(10, Some((0, 0, 10, 10)))],
+        );
+        assert!(recs.is_empty());
+        assert_eq!(stats.skipped_not_road, 1);
+    }
+
+    #[test]
+    fn way_without_changeset_meta_is_skipped() {
+        let (recs, stats) = crawl(&[(DiffAction::Modify, way(5, 99, "primary"))], &[(11, None)]);
+        assert!(recs.is_empty());
+        assert_eq!(stats.skipped_no_changeset, 1);
+        // Same when the changeset exists but has no bbox.
+        let (recs2, stats2) = crawl(&[(DiffAction::Modify, way(5, 11, "primary"))], &[(11, None)]);
+        assert!(recs2.is_empty());
+        assert_eq!(stats2.skipped_no_changeset, 1);
+    }
+
+    #[test]
+    fn unresolvable_country_is_skipped() {
+        let (recs, stats) = crawl(
+            &[(DiffAction::Create, node(1, 10, 5, 1_500_000_000, Some("track")))],
+            &[(10, None)],
+        );
+        assert!(recs.is_empty());
+        assert_eq!(stats.skipped_no_country, 1);
+    }
+
+    #[test]
+    fn nodes_do_not_need_changeset_metadata() {
+        // A node in a changeset absent from the metadata file still resolves.
+        let (recs, stats) =
+            crawl(&[(DiffAction::Create, node(1, 777, 5, 5, Some("track")))], &[]);
+        assert_eq!(stats.emitted, 1);
+        assert_eq!(recs[0].changeset, ChangesetId(777));
+    }
+}

@@ -1,0 +1,283 @@
+//! The monthly crawler: full history → exact update classification.
+
+use crate::{CollectError, CrawlStats};
+use rased_osm_model::{
+    ChangesetId, ChangesetMeta, CountryResolver, Element, ElementId, ElementType, RoadTypeTable,
+    UpdateRecord, UpdateType,
+};
+use rased_osm_xml::PlanetReader;
+use rased_temporal::{Date, Period};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// The monthly crawler (§V, "Monthly Crawler"): walks a month's full-history
+/// dump, compares every two consecutive versions of each element, and
+/// classifies the update as create / delete / geometry update / metadata
+/// update.
+pub struct MonthlyCrawler<'a> {
+    resolver: &'a dyn CountryResolver,
+    road_table: &'a RoadTypeTable,
+}
+
+impl<'a> MonthlyCrawler<'a> {
+    /// Create a crawler resolving countries with `resolver` and road types
+    /// against `road_table`.
+    pub fn new(resolver: &'a dyn CountryResolver, road_table: &'a RoadTypeTable) -> MonthlyCrawler<'a> {
+        MonthlyCrawler { resolver, road_table }
+    }
+
+    /// Crawl one month.
+    ///
+    /// * `history` — the month's full-history dump: every version (up to the
+    ///   month's end) of every element that changed during the month.
+    /// * `changesets` — metadata for the month's changesets (the daily
+    ///   changeset files re-read), used to locate way/relation updates.
+    /// * `(year, month)` — the month being refined; only versions dated in
+    ///   it produce records.
+    ///
+    /// Returns the refined records grouped by day, plus skip statistics.
+    pub fn crawl(
+        &self,
+        history: impl BufRead,
+        changesets: impl IntoIterator<Item = ChangesetMeta>,
+        year: i32,
+        month: u32,
+    ) -> Result<(HashMap<Date, Vec<UpdateRecord>>, CrawlStats), CollectError> {
+        let metas: HashMap<ChangesetId, ChangesetMeta> =
+            changesets.into_iter().map(|m| (m.id, m)).collect();
+        let period = Period::Month(year, month);
+
+        // Group versions per element. The dump is sorted, but grouping by
+        // key keeps correctness independent of input order.
+        let mut versions: HashMap<(ElementType, ElementId), Vec<Element>> = HashMap::new();
+        for e in PlanetReader::new(history) {
+            let e = e?;
+            versions.entry((e.element_type(), e.id())).or_default().push(e);
+        }
+
+        let mut out: HashMap<Date, Vec<UpdateRecord>> = HashMap::new();
+        let mut stats = CrawlStats::default();
+        for (_, mut vs) in versions {
+            vs.sort_by_key(|e| e.info().version.raw());
+            for i in 0..vs.len() {
+                let cur = &vs[i];
+                if !period.contains(cur.info().date) {
+                    continue; // before-image from an earlier month
+                }
+                let prev = if i > 0 { Some(&vs[i - 1]) } else { None };
+                let update_type = classify(prev, cur);
+                match self.locate(cur, &metas) {
+                    Ok((country, lat7, lon7)) => {
+                        let Some(road_type) =
+                            cur.tags().highway().and_then(|h| self.road_table.by_value(h))
+                        else {
+                            stats.skipped_not_road += 1;
+                            continue;
+                        };
+                        out.entry(cur.info().date).or_default().push(UpdateRecord {
+                            element_type: cur.element_type(),
+                            update_type,
+                            country,
+                            road_type,
+                            date: cur.info().date,
+                            lat7,
+                            lon7,
+                            changeset: cur.info().changeset,
+                        });
+                        stats.emitted += 1;
+                    }
+                    Err(skip) => match skip {
+                        Skip::NoChangeset => stats.skipped_no_changeset += 1,
+                        Skip::NoCountry => stats.skipped_no_country += 1,
+                    },
+                }
+            }
+        }
+        Ok((out, stats))
+    }
+
+    fn locate(
+        &self,
+        e: &Element,
+        metas: &HashMap<ChangesetId, ChangesetMeta>,
+    ) -> Result<(rased_osm_model::CountryId, i32, i32), Skip> {
+        let (lat7, lon7) = match e {
+            Element::Node(n) => (n.lat7, n.lon7),
+            _ => metas
+                .get(&e.info().changeset)
+                .and_then(|m| m.center7())
+                .ok_or(Skip::NoChangeset)?,
+        };
+        let country = self.resolver.locate7(lat7, lon7).ok_or(Skip::NoCountry)?;
+        Ok((country, lat7, lon7))
+    }
+}
+
+enum Skip {
+    NoChangeset,
+    NoCountry,
+}
+
+/// The §V classification rule: "Newly created elements will always be their
+/// first version, while deleted ones are the last version. Geometry updates
+/// occur when there is a change in the latitude/longitude attributes or the
+/// list of members of a way or relation element, while metadata update
+/// occurs by changing the element tags."
+fn classify(prev: Option<&Element>, cur: &Element) -> UpdateType {
+    if cur.info().version.is_first() {
+        return UpdateType::Create;
+    }
+    if !cur.info().visible {
+        return UpdateType::Delete;
+    }
+    match prev {
+        Some(p) if cur.geometry_eq(p) => UpdateType::Metadata,
+        Some(_) => UpdateType::Geometry,
+        // No before-image available (should not happen in a well-formed
+        // dump): fall back to the coarse class rather than guessing.
+        None => UpdateType::Unclassified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rased_osm_model::{CountryId, Node, Tags, UserId, Version, VersionInfo, Way};
+    use rased_osm_xml::PlanetWriter;
+
+    fn resolver(_lat7: i32, _lon7: i32) -> Option<CountryId> {
+        Some(CountryId(2))
+    }
+
+    fn info(v: u32, date: &str, visible: bool) -> VersionInfo {
+        VersionInfo {
+            version: Version(v),
+            date: date.parse().unwrap(),
+            changeset: ChangesetId(50),
+            user: UserId(1),
+            visible,
+        }
+    }
+
+    fn node_v(v: u32, date: &str, lat7: i32, name: Option<&str>, visible: bool) -> Element {
+        let mut tags = Tags::from_pairs([("highway", "residential")]);
+        if let Some(n) = name {
+            tags.set("name", n);
+        }
+        Element::Node(Node { id: ElementId(7), info: info(v, date, visible), lat7, lon7: 0, tags })
+    }
+
+    fn history_bytes(elements: &[Element]) -> Vec<u8> {
+        let mut w = PlanetWriter::new(Vec::new()).unwrap();
+        for e in elements {
+            w.write(e).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn meta(cs: u64, bbox7: Option<(i32, i32, i32, i32)>) -> ChangesetMeta {
+        ChangesetMeta {
+            id: ChangesetId(cs),
+            user: UserId(1),
+            created: "2021-03-01".parse().unwrap(),
+            closed: "2021-03-01".parse().unwrap(),
+            bbox7,
+            num_changes: 1,
+            comment: String::new(),
+        }
+    }
+
+    fn crawl(
+        elements: &[Element],
+        metas: Vec<ChangesetMeta>,
+    ) -> (HashMap<Date, Vec<UpdateRecord>>, CrawlStats) {
+        let table = RoadTypeTable::with_cardinality(20);
+        let crawler = MonthlyCrawler::new(&resolver, &table);
+        crawler.crawl(history_bytes(elements).as_slice(), metas, 2021, 3).unwrap()
+    }
+
+    #[test]
+    fn classifies_create_geometry_metadata_delete() {
+        let elements = vec![
+            node_v(1, "2021-03-01", 100, None, true),          // create
+            node_v(2, "2021-03-02", 200, None, true),          // geometry (moved)
+            node_v(3, "2021-03-03", 200, Some("Elm"), true),   // metadata (tag only)
+            node_v(4, "2021-03-04", 200, Some("Elm"), false),  // delete
+        ];
+        let (by_day, stats) = crawl(&elements, vec![]);
+        assert_eq!(stats.emitted, 4);
+        let get = |d: &str| {
+            by_day.get(&d.parse::<Date>().unwrap()).unwrap()[0].update_type
+        };
+        assert_eq!(get("2021-03-01"), UpdateType::Create);
+        assert_eq!(get("2021-03-02"), UpdateType::Geometry);
+        assert_eq!(get("2021-03-03"), UpdateType::Metadata);
+        assert_eq!(get("2021-03-04"), UpdateType::Delete);
+    }
+
+    #[test]
+    fn before_images_outside_month_produce_no_records() {
+        let elements = vec![
+            node_v(1, "2021-02-20", 100, None, true), // previous month
+            node_v(2, "2021-03-02", 200, None, true), // geometry in March
+        ];
+        let (by_day, stats) = crawl(&elements, vec![]);
+        assert_eq!(stats.emitted, 1);
+        let recs = &by_day[&"2021-03-02".parse::<Date>().unwrap()];
+        assert_eq!(recs[0].update_type, UpdateType::Geometry);
+        assert!(!by_day.contains_key(&"2021-02-20".parse::<Date>().unwrap()));
+    }
+
+    #[test]
+    fn way_geometry_vs_metadata_by_member_list() {
+        let mk = |v: u32, date: &str, nodes: Vec<i64>, name: Option<&str>| {
+            let mut tags = Tags::from_pairs([("highway", "primary")]);
+            if let Some(n) = name {
+                tags.set("name", n);
+            }
+            Element::Way(Way {
+                id: ElementId(3),
+                info: info(v, date, true),
+                nodes: nodes.into_iter().map(ElementId).collect(),
+                tags,
+            })
+        };
+        let elements = vec![
+            mk(1, "2021-03-01", vec![1, 2], None),
+            mk(2, "2021-03-02", vec![1, 2, 3], None),        // node list changed → geometry
+            mk(3, "2021-03-03", vec![1, 2, 3], Some("Elm")), // tags changed → metadata
+        ];
+        let (by_day, _) = crawl(&elements, vec![meta(50, Some((0, 0, 100, 100)))]);
+        let get = |d: &str| by_day[&d.parse::<Date>().unwrap()][0].update_type;
+        assert_eq!(get("2021-03-01"), UpdateType::Create);
+        assert_eq!(get("2021-03-02"), UpdateType::Geometry);
+        assert_eq!(get("2021-03-03"), UpdateType::Metadata);
+        // Ways take the changeset bbox center.
+        let r = &by_day[&"2021-03-02".parse::<Date>().unwrap()][0];
+        assert_eq!((r.lat7, r.lon7), (50, 50));
+    }
+
+    #[test]
+    fn way_without_changeset_meta_is_skipped() {
+        let w = Element::Way(Way {
+            id: ElementId(3),
+            info: info(1, "2021-03-01", true),
+            nodes: vec![ElementId(1)],
+            tags: Tags::from_pairs([("highway", "primary")]),
+        });
+        let (by_day, stats) = crawl(&[w], vec![]);
+        assert!(by_day.is_empty());
+        assert_eq!(stats.skipped_no_changeset, 1);
+    }
+
+    #[test]
+    fn missing_before_image_falls_back_to_unclassified() {
+        // v3 present without v2: a malformed dump.
+        let elements = vec![node_v(3, "2021-03-05", 100, None, true)];
+        let (by_day, _) = crawl(&elements, vec![]);
+        assert_eq!(
+            by_day[&"2021-03-05".parse::<Date>().unwrap()][0].update_type,
+            UpdateType::Unclassified
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! [`Rased`] and its configuration.
+
+use rased_cube::CubeSchema;
+use rased_geo::BBox;
+use rased_index::{CacheConfig, IndexError, PlannerKind, TemporalIndex};
+use rased_osm_model::{ChangesetId, CountryTable, RoadTypeTable, UpdateRecord, ZoneMap};
+use rased_query::{AnalysisQuery, NetworkSizes, QueryEngine, QueryError, QueryResult};
+use rased_storage::IoCostModel;
+use rased_warehouse::{Warehouse, WarehouseError};
+use std::fmt;
+use std::path::PathBuf;
+
+/// System-level error.
+#[derive(Debug)]
+pub enum RasedError {
+    Index(IndexError),
+    Warehouse(WarehouseError),
+    Query(QueryError),
+    Collect(rased_collector::CollectError),
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RasedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasedError::Index(e) => write!(f, "index: {e}"),
+            RasedError::Warehouse(e) => write!(f, "warehouse: {e}"),
+            RasedError::Query(e) => write!(f, "query: {e}"),
+            RasedError::Collect(e) => write!(f, "collector: {e}"),
+            RasedError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RasedError {}
+
+impl From<IndexError> for RasedError {
+    fn from(e: IndexError) -> Self {
+        RasedError::Index(e)
+    }
+}
+
+impl From<WarehouseError> for RasedError {
+    fn from(e: WarehouseError) -> Self {
+        RasedError::Warehouse(e)
+    }
+}
+
+impl From<QueryError> for RasedError {
+    fn from(e: QueryError) -> Self {
+        RasedError::Query(e)
+    }
+}
+
+impl From<rased_collector::CollectError> for RasedError {
+    fn from(e: rased_collector::CollectError) -> Self {
+        RasedError::Collect(e)
+    }
+}
+
+impl From<std::io::Error> for RasedError {
+    fn from(e: std::io::Error) -> Self {
+        RasedError::Io(e)
+    }
+}
+
+/// System configuration.
+#[derive(Debug, Clone)]
+pub struct RasedConfig {
+    /// Directory holding the cube index and the warehouse heap.
+    pub dir: PathBuf,
+    /// Cube dimension cardinalities. Must cover the ingested taxonomies.
+    pub schema: CubeSchema,
+    /// Index levels, 1 (flat daily) ..= 4 (daily/weekly/monthly/yearly).
+    pub levels: u8,
+    /// Cube-cache sizing and strategy (§VII-A).
+    pub cache: CacheConfig,
+    /// Level-planner algorithm (§VII-B).
+    pub planner: PlannerKind,
+    /// I/O cost model applied to all physical page I/O.
+    pub io_model: IoCostModel,
+    /// Warehouse buffer-pool size in 8 KB pages.
+    pub warehouse_pool_pages: usize,
+    /// Taxonomy cardinalities for name resolution.
+    pub n_countries: usize,
+    pub n_road_types: usize,
+    /// Zone attribution (§VI-A): updates additionally credited to the zones
+    /// containing their country. Default: no zones. The schema's country
+    /// dimension must cover the zone ids.
+    pub zones: ZoneMap,
+}
+
+impl RasedConfig {
+    /// Sensible defaults over `dir`: a small schema (60 countries × 40 road
+    /// types), 4 levels, paper cache strategy with 64 slots, HDD cost model.
+    pub fn new(dir: impl Into<PathBuf>) -> RasedConfig {
+        RasedConfig {
+            dir: dir.into(),
+            schema: CubeSchema::new(60, 40),
+            levels: 4,
+            cache: CacheConfig { slots: 64, ..CacheConfig::paper_default() },
+            planner: PlannerKind::ExactDp,
+            io_model: IoCostModel::hdd(),
+            warehouse_pool_pages: 4096,
+            n_countries: 60,
+            n_road_types: 40,
+            zones: ZoneMap::none(),
+        }
+    }
+
+    /// Enable continent-zone attribution over the full country table: the
+    /// schema grows to cover every country *and* zone id.
+    pub fn with_continent_zones(self) -> Self {
+        let table = CountryTable::full();
+        let zones = ZoneMap::continents(&table);
+        let n_road_types = self.n_road_types;
+        let mut cfg = self.with_schema(CubeSchema::new(table.len(), n_road_types));
+        cfg.zones = zones;
+        cfg
+    }
+
+    /// Override the schema (and taxonomy sizes to match).
+    pub fn with_schema(mut self, schema: CubeSchema) -> Self {
+        self.n_countries = schema.n_countries();
+        self.n_road_types = schema.n_road_types();
+        self.schema = schema;
+        self
+    }
+
+    /// Persist the structural parameters (schema, levels) under `dir` so a
+    /// later process can [`RasedConfig::load`] them without knowing how the
+    /// system was built. Tuning knobs (cache, planner, I/O model) are *not*
+    /// persisted — they are per-process choices.
+    pub fn save(&self) -> std::io::Result<()> {
+        let body = format!(
+            "n_countries={}\nn_road_types={}\nlevels={}\nzones={}\n",
+            self.schema.n_countries(),
+            self.schema.n_road_types(),
+            self.levels,
+            if self.zones.is_empty() { "none" } else { "continents" },
+        );
+        std::fs::write(self.dir.join("rased.manifest"), body)
+    }
+
+    /// Load the structural parameters persisted by [`RasedConfig::save`],
+    /// with defaults for everything else.
+    pub fn load(dir: impl Into<PathBuf>) -> std::io::Result<RasedConfig> {
+        let dir = dir.into();
+        let body = std::fs::read_to_string(dir.join("rased.manifest"))?;
+        let mut n_countries = 60usize;
+        let mut n_road_types = 40usize;
+        let mut levels = 4u8;
+        let mut zones_kind = "none";
+        for line in body.lines() {
+            if let Some((k, v)) = line.split_once('=') {
+                match k {
+                    "n_countries" => n_countries = v.parse().map_err(bad_manifest)?,
+                    "n_road_types" => n_road_types = v.parse().map_err(bad_manifest)?,
+                    "levels" => levels = v.parse().map_err(bad_manifest)?,
+                    "zones" if v == "continents" => zones_kind = "continents",
+                    _ => {}
+                }
+            }
+        }
+        let mut config = RasedConfig::new(dir).with_schema(CubeSchema::new(n_countries, n_road_types));
+        config.levels = levels;
+        if zones_kind == "continents" {
+            config.zones = ZoneMap::continents(&CountryTable::with_cardinality(n_countries));
+        }
+        Ok(config)
+    }
+}
+
+fn bad_manifest<E: std::fmt::Display>(e: E) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad manifest value: {e}"))
+}
+
+/// The assembled RASED backend.
+pub struct Rased {
+    pub(crate) config: RasedConfig,
+    pub(crate) index: TemporalIndex,
+    pub(crate) warehouse: Warehouse,
+    pub(crate) country_table: CountryTable,
+    pub(crate) road_table: RoadTypeTable,
+    pub(crate) network_sizes: NetworkSizes,
+    /// Running per-country live-element counts feeding `network_sizes`.
+    pub(crate) live_counts: Vec<i64>,
+}
+
+impl fmt::Debug for Rased {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rased")
+            .field("cubes", &self.index.cube_count())
+            .field("rows", &self.warehouse.row_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Rased {
+    /// Create a fresh system under `config.dir`.
+    pub fn create(config: RasedConfig) -> Result<Rased, RasedError> {
+        std::fs::create_dir_all(&config.dir)?;
+        config.save()?;
+        let index = TemporalIndex::create(
+            &config.dir.join("index"),
+            config.schema,
+            config.levels,
+            config.cache,
+            config.io_model,
+        )?;
+        let warehouse = Warehouse::create(
+            &config.dir.join("warehouse.pg"),
+            config.io_model,
+            config.warehouse_pool_pages,
+        )?;
+        Ok(Self::assemble(config, index, warehouse))
+    }
+
+    /// Reopen an existing system.
+    pub fn open(config: RasedConfig) -> Result<Rased, RasedError> {
+        let index = TemporalIndex::open(
+            &config.dir.join("index"),
+            config.schema,
+            config.levels,
+            config.cache,
+            config.io_model,
+        )?;
+        let warehouse = Warehouse::open(
+            &config.dir.join("warehouse.pg"),
+            config.io_model,
+            config.warehouse_pool_pages,
+        )?;
+        let mut system = Self::assemble(config, index, warehouse);
+        system.recount_network_sizes()?;
+        system.index.warm_cache()?;
+        Ok(system)
+    }
+
+    fn assemble(config: RasedConfig, index: TemporalIndex, warehouse: Warehouse) -> Rased {
+        Rased {
+            country_table: CountryTable::with_cardinality(config.n_countries),
+            road_table: RoadTypeTable::with_cardinality(config.n_road_types),
+            network_sizes: NetworkSizes::default(),
+            live_counts: vec![0; config.n_countries],
+            config,
+            index,
+            warehouse,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RasedConfig {
+        &self.config
+    }
+
+    /// The cube index.
+    pub fn index(&self) -> &TemporalIndex {
+        &self.index
+    }
+
+    /// The sample warehouse.
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.warehouse
+    }
+
+    /// Country id ↔ name table.
+    pub fn countries(&self) -> &CountryTable {
+        &self.country_table
+    }
+
+    /// Road-type id ↔ `highway=*` value table.
+    pub fn roads(&self) -> &RoadTypeTable {
+        &self.road_table
+    }
+
+    /// Per-country network sizes (percentage denominators).
+    pub fn network_sizes(&self) -> &NetworkSizes {
+        &self.network_sizes
+    }
+
+    /// A query engine bound to this system.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::new(&self.index)
+            .with_planner(self.config.planner)
+            .with_network_sizes(&self.network_sizes)
+    }
+
+    /// Execute an analysis query (§IV-A).
+    pub fn query(&self, q: &AnalysisQuery) -> Result<QueryResult, RasedError> {
+        Ok(self.engine().execute(q)?)
+    }
+
+    /// Sample up to `limit` updates in a region (§IV-B; default N = 100).
+    pub fn sample_region(&self, bbox: &BBox, limit: usize) -> Result<Vec<UpdateRecord>, RasedError> {
+        Ok(self.warehouse.sample_region(bbox, limit)?)
+    }
+
+    /// All updates of a changeset (§IV-B's drill-down).
+    pub fn by_changeset(&self, id: ChangesetId) -> Result<Vec<UpdateRecord>, RasedError> {
+        Ok(self.warehouse.by_changeset(id)?)
+    }
+
+    /// Sample up to `limit` updates *representing an analysis query*
+    /// (§IV-B: "a sample of N (default = 100) such updates on the map"):
+    /// spatially scoped to `bbox`, filtered by the query's window and
+    /// dimension filters.
+    pub fn sample_for_query(
+        &self,
+        q: &AnalysisQuery,
+        bbox: &BBox,
+        limit: usize,
+    ) -> Result<Vec<UpdateRecord>, RasedError> {
+        let matches = |r: &UpdateRecord| {
+            q.range.contains(r.date)
+                && q.element_types.as_ref().is_none_or(|f| f.contains(&r.element_type))
+                && q.countries.as_ref().is_none_or(|f| f.contains(&r.country))
+                && q.road_types.as_ref().is_none_or(|f| f.contains(&r.road_type))
+                && q.update_types.as_ref().is_none_or(|f| f.contains(&r.update_type))
+        };
+        Ok(self.warehouse.sample_region_filtered(bbox, limit, matches)?)
+    }
+
+    /// Track live-element deltas for the percentage denominators.
+    pub(crate) fn track_network(&mut self, records: &[UpdateRecord]) {
+        use rased_osm_model::UpdateType;
+        for r in records {
+            let Some(slot) = self.live_counts.get_mut(r.country.index()) else { continue };
+            match r.update_type {
+                UpdateType::Create => *slot += 1,
+                UpdateType::Delete => *slot -= 1,
+                _ => {}
+            }
+        }
+        self.network_sizes =
+            NetworkSizes::new(self.live_counts.iter().map(|&c| c.max(0) as u64).collect());
+    }
+
+    /// Recompute network sizes from the warehouse (used on reopen).
+    fn recount_network_sizes(&mut self) -> Result<(), RasedError> {
+        use rased_osm_model::UpdateType;
+        let mut counts = vec![0i64; self.config.n_countries];
+        self.warehouse
+            .heap()
+            .scan(|_, r| {
+                if let Some(slot) = counts.get_mut(r.country.index()) {
+                    match r.update_type {
+                        UpdateType::Create => *slot += 1,
+                        UpdateType::Delete => *slot -= 1,
+                        _ => {}
+                    }
+                }
+            })
+            .map_err(WarehouseError::from)?;
+        self.live_counts = counts;
+        self.network_sizes =
+            NetworkSizes::new(self.live_counts.iter().map(|&c| c.max(0) as u64).collect());
+        Ok(())
+    }
+
+    /// Persist everything (index catalog + warehouse tail).
+    pub fn sync(&mut self) -> Result<(), RasedError> {
+        self.index.sync()?;
+        self.warehouse.flush()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,355 @@
+//! [`DataCube`]: the dense count array plus build, merge, and serialization.
+
+use crate::schema::CubeSchema;
+use crate::selection::DimSelection;
+use rased_osm_model::UpdateRecord;
+use std::fmt;
+
+/// Serialized cube header: magic (8) + n_countries (4) + n_road_types (4).
+pub const CUBE_HEADER_BYTES: usize = 16;
+const MAGIC: &[u8; 8] = b"RSCUBE1\0";
+
+/// Cube-level error.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CubeError {
+    /// A record whose country/road id exceeds the schema.
+    CoordOutOfRange { dim: &'static str, index: usize, cardinality: usize },
+    /// Two cubes with different schemas in one operation.
+    SchemaMismatch,
+    /// Deserialization failure.
+    Corrupt(String),
+}
+
+impl fmt::Display for CubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CubeError::CoordOutOfRange { dim, index, cardinality } => {
+                write!(f, "{dim} index {index} out of range (cardinality {cardinality})")
+            }
+            CubeError::SchemaMismatch => write!(f, "cube schemas differ"),
+            CubeError::Corrupt(m) => write!(f, "corrupt cube: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CubeError {}
+
+/// A dense 4-D count cube (see crate docs for the dimension semantics).
+#[derive(Clone, PartialEq, Eq)]
+pub struct DataCube {
+    schema: CubeSchema,
+    cells: Vec<u64>,
+}
+
+impl fmt::Debug for DataCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataCube")
+            .field("schema", &self.schema)
+            .field("total", &self.total())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DataCube {
+    /// An all-zero cube.
+    pub fn zeroed(schema: CubeSchema) -> DataCube {
+        DataCube { schema, cells: vec![0; schema.cell_count()] }
+    }
+
+    /// Build a cube by counting records. Fails on the first record whose
+    /// coordinates exceed the schema.
+    pub fn from_records<'a, I>(schema: CubeSchema, records: I) -> Result<DataCube, CubeError>
+    where
+        I: IntoIterator<Item = &'a UpdateRecord>,
+    {
+        let mut cube = DataCube::zeroed(schema);
+        for r in records {
+            cube.add_record(r)?;
+        }
+        Ok(cube)
+    }
+
+    /// The cube's schema.
+    #[inline]
+    pub fn schema(&self) -> CubeSchema {
+        self.schema
+    }
+
+    /// Raw cell slice (cells are `u64` counts, layout per
+    /// [`CubeSchema::cell_index`]).
+    #[inline]
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// Count one update record.
+    pub fn add_record(&mut self, r: &UpdateRecord) -> Result<(), CubeError> {
+        let c = r.country.index();
+        if c >= self.schema.n_countries() {
+            return Err(CubeError::CoordOutOfRange {
+                dim: "country",
+                index: c,
+                cardinality: self.schema.n_countries(),
+            });
+        }
+        let rt = r.road_type.index();
+        if rt >= self.schema.n_road_types() {
+            return Err(CubeError::CoordOutOfRange {
+                dim: "road type",
+                index: rt,
+                cardinality: self.schema.n_road_types(),
+            });
+        }
+        let i = self.schema.cell_index(r.element_type.index(), c, rt, r.update_type.index());
+        self.cells[i] += 1;
+        Ok(())
+    }
+
+    /// Read one cell.
+    #[inline]
+    pub fn get(&self, et: usize, country: usize, road: usize, update: usize) -> u64 {
+        self.cells[self.schema.cell_index(et, country, road, update)]
+    }
+
+    /// Overwrite one cell.
+    #[inline]
+    pub fn set(&mut self, et: usize, country: usize, road: usize, update: usize, v: u64) {
+        let i = self.schema.cell_index(et, country, road, update);
+        self.cells[i] = v;
+    }
+
+    /// Sum of all cells — the total number of updates in the time window.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Element-wise add `other` into `self` — the roll-up operation that
+    /// builds weekly/monthly/yearly cubes from their children (§VI-A:
+    /// "reading the six previous cubes and summing up their corresponding
+    /// values").
+    pub fn merge_from(&mut self, other: &DataCube) -> Result<(), CubeError> {
+        if self.schema != other.schema {
+            return Err(CubeError::SchemaMismatch);
+        }
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Sum the cells selected by `sel` (the in-memory second phase of query
+    /// execution, §VII: "aggregate values within the cube").
+    pub fn sum_selected(&self, sel: &DimSelection) -> u64 {
+        let mut acc = 0u64;
+        self.for_each_selected(sel, |_, _, _, _, v| acc += v);
+        acc
+    }
+
+    /// Visit every selected, *non-zero* cell as
+    /// `(element, country, road, update, count)`.
+    pub fn for_each_selected<F>(&self, sel: &DimSelection, mut visit: F)
+    where
+        F: FnMut(usize, usize, usize, usize, u64),
+    {
+        let s = &self.schema;
+        debug_assert_eq!(sel.schema(), self.schema, "selection resolved against another schema");
+        // Iterate the selection in layout order for cache-friendly access.
+        for &et in sel.element_types() {
+            for &c in sel.countries() {
+                for &r in sel.road_types() {
+                    let base = s.cell_index(et, c, r, 0);
+                    for &u in sel.update_types() {
+                        let v = self.cells[base + u];
+                        if v != 0 {
+                            visit(et, c, r, u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero every cell with UpdateType = `Unclassified` — used by the
+    /// monthly rebuild after re-classifying updates into geometry/metadata.
+    pub fn clear_update_type(&mut self, update: usize) {
+        let s = self.schema;
+        for et in 0..s.n_element_types() {
+            for c in 0..s.n_countries() {
+                for r in 0..s.n_road_types() {
+                    let i = s.cell_index(et, c, r, update);
+                    self.cells[i] = 0;
+                }
+            }
+        }
+    }
+
+    /// Serialize into exactly [`CubeSchema::cube_bytes`] bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.schema.cube_bytes());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.schema.n_countries() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.schema.n_road_types() as u32).to_le_bytes());
+        for c in &self.cells {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize; `expected` guards against reading a cube written under
+    /// a different schema. Trailing page padding beyond the cube is ignored.
+    pub fn from_bytes(expected: CubeSchema, bytes: &[u8]) -> Result<DataCube, CubeError> {
+        if bytes.len() < CUBE_HEADER_BYTES {
+            return Err(CubeError::Corrupt("short header".into()));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(CubeError::Corrupt("bad magic".into()));
+        }
+        let nc = u32::from_le_bytes(bytes[8..12].try_into().expect("len")) as usize;
+        let nr = u32::from_le_bytes(bytes[12..16].try_into().expect("len")) as usize;
+        if nc != expected.n_countries() || nr != expected.n_road_types() {
+            return Err(CubeError::SchemaMismatch);
+        }
+        let need = expected.cell_count() * 8;
+        let body = bytes
+            .get(CUBE_HEADER_BYTES..CUBE_HEADER_BYTES + need)
+            .ok_or_else(|| CubeError::Corrupt("truncated cell data".into()))?;
+        let cells = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk len")))
+            .collect();
+        Ok(DataCube { schema: expected, cells })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rased_osm_model::{ChangesetId, CountryId, ElementType, RoadTypeId, UpdateType};
+
+    fn rec(et: ElementType, c: u16, r: u16, u: UpdateType) -> UpdateRecord {
+        UpdateRecord {
+            element_type: et,
+            update_type: u,
+            country: CountryId(c),
+            road_type: RoadTypeId(r),
+            date: "2021-01-01".parse().unwrap(),
+            lat7: 0,
+            lon7: 0,
+            changeset: ChangesetId(1),
+        }
+    }
+
+    #[test]
+    fn build_from_records_counts_cells() {
+        let s = CubeSchema::tiny();
+        let records = vec![
+            rec(ElementType::Way, 0, 1, UpdateType::Create),
+            rec(ElementType::Way, 0, 1, UpdateType::Create),
+            rec(ElementType::Node, 3, 2, UpdateType::Delete),
+        ];
+        let cube = DataCube::from_records(s, &records).unwrap();
+        assert_eq!(cube.get(1, 0, 1, 0), 2);
+        assert_eq!(cube.get(0, 3, 2, 1), 1);
+        assert_eq!(cube.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_record_rejected() {
+        let s = CubeSchema::tiny(); // 4 countries, 3 road types
+        let mut cube = DataCube::zeroed(s);
+        let bad_country = rec(ElementType::Node, 4, 0, UpdateType::Create);
+        assert!(matches!(
+            cube.add_record(&bad_country),
+            Err(CubeError::CoordOutOfRange { dim: "country", .. })
+        ));
+        let bad_road = rec(ElementType::Node, 0, 3, UpdateType::Create);
+        assert!(matches!(
+            cube.add_record(&bad_road),
+            Err(CubeError::CoordOutOfRange { dim: "road type", .. })
+        ));
+    }
+
+    #[test]
+    fn merge_is_elementwise_add() {
+        let s = CubeSchema::tiny();
+        let a = DataCube::from_records(s, &[rec(ElementType::Way, 1, 1, UpdateType::Create)]).unwrap();
+        let b = DataCube::from_records(
+            s,
+            &[rec(ElementType::Way, 1, 1, UpdateType::Create), rec(ElementType::Node, 0, 0, UpdateType::Metadata)],
+        )
+        .unwrap();
+        let mut m = DataCube::zeroed(s);
+        m.merge_from(&a).unwrap();
+        m.merge_from(&b).unwrap();
+        assert_eq!(m.get(1, 1, 1, 0), 2);
+        assert_eq!(m.get(0, 0, 0, 3), 1);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn merge_rejects_schema_mismatch() {
+        let mut a = DataCube::zeroed(CubeSchema::tiny());
+        let b = DataCube::zeroed(CubeSchema::new(10, 10));
+        assert_eq!(a.merge_from(&b), Err(CubeError::SchemaMismatch));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let s = CubeSchema::tiny();
+        let cube = DataCube::from_records(
+            s,
+            &[
+                rec(ElementType::Way, 1, 2, UpdateType::Geometry),
+                rec(ElementType::Relation, 3, 0, UpdateType::Unclassified),
+            ],
+        )
+        .unwrap();
+        let bytes = cube.to_bytes();
+        assert_eq!(bytes.len(), s.cube_bytes());
+        let back = DataCube::from_bytes(s, &bytes).unwrap();
+        assert_eq!(back, cube);
+
+        // Page padding beyond the cube is tolerated.
+        let mut padded = bytes.clone();
+        padded.resize(padded.len() + 100, 0xAA);
+        assert_eq!(DataCube::from_bytes(s, &padded).unwrap(), cube);
+    }
+
+    #[test]
+    fn deserialization_rejects_corruption() {
+        let s = CubeSchema::tiny();
+        let bytes = DataCube::zeroed(s).to_bytes();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(DataCube::from_bytes(s, &bad), Err(CubeError::Corrupt(_))));
+        // Truncated.
+        assert!(matches!(
+            DataCube::from_bytes(s, &bytes[..bytes.len() - 9]),
+            Err(CubeError::Corrupt(_))
+        ));
+        assert!(matches!(DataCube::from_bytes(s, &bytes[..4]), Err(CubeError::Corrupt(_))));
+        // Schema mismatch.
+        assert_eq!(
+            DataCube::from_bytes(CubeSchema::new(9, 9), &bytes).unwrap_err(),
+            CubeError::SchemaMismatch
+        );
+    }
+
+    #[test]
+    fn clear_update_type_zeroes_one_slice() {
+        let s = CubeSchema::tiny();
+        let mut cube = DataCube::from_records(
+            s,
+            &[
+                rec(ElementType::Way, 0, 0, UpdateType::Unclassified),
+                rec(ElementType::Way, 0, 0, UpdateType::Create),
+            ],
+        )
+        .unwrap();
+        cube.clear_update_type(UpdateType::Unclassified.index());
+        assert_eq!(cube.get(1, 0, 0, UpdateType::Unclassified.index()), 0);
+        assert_eq!(cube.get(1, 0, 0, UpdateType::Create.index()), 1);
+        assert_eq!(cube.total(), 1);
+    }
+}

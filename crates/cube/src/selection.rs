@@ -1,0 +1,146 @@
+//! [`DimSelection`]: which cells of a cube a query touches.
+//!
+//! A RASED analysis query filters each non-temporal dimension with an `IN`
+//! list (or no constraint). A `DimSelection` is that filter resolved against
+//! a concrete [`CubeSchema`]: four sorted index lists, one per dimension.
+
+use crate::schema::CubeSchema;
+use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
+
+/// A resolved per-dimension index selection over one cube schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimSelection {
+    schema: CubeSchema,
+    element_types: Vec<usize>,
+    countries: Vec<usize>,
+    road_types: Vec<usize>,
+    update_types: Vec<usize>,
+}
+
+fn normalize(mut v: Vec<usize>, cardinality: usize) -> Vec<usize> {
+    v.retain(|&i| i < cardinality);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+impl DimSelection {
+    /// Select everything.
+    pub fn all(schema: CubeSchema) -> DimSelection {
+        DimSelection {
+            schema,
+            element_types: (0..schema.n_element_types()).collect(),
+            countries: (0..schema.n_countries()).collect(),
+            road_types: (0..schema.n_road_types()).collect(),
+            update_types: (0..schema.n_update_types()).collect(),
+        }
+    }
+
+    /// Restrict the element-type dimension.
+    pub fn with_element_types(mut self, types: &[ElementType]) -> DimSelection {
+        self.element_types =
+            normalize(types.iter().map(|t| t.index()).collect(), self.schema.n_element_types());
+        self
+    }
+
+    /// Restrict the country dimension. Ids beyond the schema are dropped.
+    pub fn with_countries(mut self, countries: &[CountryId]) -> DimSelection {
+        self.countries =
+            normalize(countries.iter().map(|c| c.index()).collect(), self.schema.n_countries());
+        self
+    }
+
+    /// Restrict the road-type dimension. Ids beyond the schema are dropped.
+    pub fn with_road_types(mut self, roads: &[RoadTypeId]) -> DimSelection {
+        self.road_types =
+            normalize(roads.iter().map(|r| r.index()).collect(), self.schema.n_road_types());
+        self
+    }
+
+    /// Restrict the update-type dimension.
+    pub fn with_update_types(mut self, updates: &[UpdateType]) -> DimSelection {
+        self.update_types =
+            normalize(updates.iter().map(|u| u.index()).collect(), self.schema.n_update_types());
+        self
+    }
+
+    /// The schema this selection was resolved against.
+    pub fn schema(&self) -> CubeSchema {
+        self.schema
+    }
+
+    /// Selected element-type indexes (sorted).
+    pub fn element_types(&self) -> &[usize] {
+        &self.element_types
+    }
+
+    /// Selected country indexes (sorted).
+    pub fn countries(&self) -> &[usize] {
+        &self.countries
+    }
+
+    /// Selected road-type indexes (sorted).
+    pub fn road_types(&self) -> &[usize] {
+        &self.road_types
+    }
+
+    /// Selected update-type indexes (sorted).
+    pub fn update_types(&self) -> &[usize] {
+        &self.update_types
+    }
+
+    /// True when any dimension selects nothing (the query matches no cell).
+    pub fn is_empty(&self) -> bool {
+        self.element_types.is_empty()
+            || self.countries.is_empty()
+            || self.road_types.is_empty()
+            || self.update_types.is_empty()
+    }
+
+    /// Number of selected cells.
+    pub fn cell_count(&self) -> usize {
+        self.element_types.len() * self.countries.len() * self.road_types.len() * self.update_types.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_every_cell() {
+        let s = CubeSchema::tiny();
+        let sel = DimSelection::all(s);
+        assert_eq!(sel.cell_count(), s.cell_count());
+        assert!(!sel.is_empty());
+    }
+
+    #[test]
+    fn restrictions_compose() {
+        let s = CubeSchema::tiny();
+        let sel = DimSelection::all(s)
+            .with_element_types(&[ElementType::Way, ElementType::Node])
+            .with_countries(&[CountryId(1), CountryId(3), CountryId(1)])
+            .with_update_types(&[UpdateType::Create]);
+        assert_eq!(sel.element_types(), &[0, 1]);
+        assert_eq!(sel.countries(), &[1, 3]); // deduped + sorted
+        assert_eq!(sel.road_types().len(), 3); // untouched
+        assert_eq!(sel.update_types(), &[0]);
+        assert_eq!(sel.cell_count(), (2 * 2 * 3));
+    }
+
+    #[test]
+    fn out_of_schema_ids_are_dropped() {
+        let s = CubeSchema::tiny(); // 4 countries
+        let sel = DimSelection::all(s).with_countries(&[CountryId(2), CountryId(99)]);
+        assert_eq!(sel.countries(), &[2]);
+    }
+
+    #[test]
+    fn empty_selection_detected() {
+        let s = CubeSchema::tiny();
+        let sel = DimSelection::all(s).with_countries(&[CountryId(99)]);
+        assert!(sel.is_empty());
+        assert_eq!(sel.cell_count(), 0);
+    }
+}

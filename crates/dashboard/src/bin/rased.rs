@@ -1,0 +1,193 @@
+//! The `rased` CLI: generate a synthetic dataset, ingest it, query it, and
+//! serve the dashboard.
+//!
+//! ```text
+//! rased generate --out DIR [--seed N] [--countries N] [--start YYYY-MM-DD] [--end YYYY-MM-DD] [--edits N]
+//! rased ingest   --data DIR --system DIR
+//! rased query    --system DIR --start YYYY-MM-DD --end YYYY-MM-DD [--group country,element,...]
+//!                [--countries US,DE] [--updates create,update] [--value percentage] [--chart bar|table|series]
+//! rased serve    --system DIR [--addr 127.0.0.1:7878]
+//! rased demo     --dir DIR  (generate + ingest + serve in one step)
+//! ```
+
+use rased_core::{CubeSchema, Rased, RasedConfig};
+use rased_dashboard::{charts, parse_analysis_query, DashboardServer};
+use rased_osm_gen::{Dataset, DatasetConfig};
+use rased_temporal::{Date, DateRange};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), AnyError> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "generate" => generate(&flags),
+        "ingest" => ingest(&flags),
+        "query" => query(&flags),
+        "serve" => serve(&flags),
+        "demo" => demo(&flags),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `rased help`)").into()),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "rased — scalable monitoring of OSM road-network updates (ICDE 2022 reproduction)\n\n\
+         commands:\n\
+         \x20 generate --out DIR [--seed N] [--countries N] [--start D] [--end D] [--edits N]\n\
+         \x20 ingest   --data DIR --system DIR\n\
+         \x20 query    --system DIR --start D --end D [--group country,element,road,update,day,week,month,year]\n\
+         \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv]\n\
+         \x20 serve    --system DIR [--addr HOST:PORT]\n\
+         \x20 demo     --dir DIR [--seed N]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, AnyError> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, AnyError> {
+    flags.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}").into())
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), AnyError> {
+    let out = get(flags, "out")?;
+    let mut config = DatasetConfig::small(
+        flags.get("seed").map(|s| s.parse()).transpose()?.unwrap_or(7),
+    );
+    if let Some(n) = flags.get("countries") {
+        config.world.n_countries = n.parse()?;
+    }
+    if let Some(n) = flags.get("edits") {
+        config.sim.daily_edits_mean = n.parse()?;
+    }
+    let start: Date = flags.get("start").map(|s| s.parse()).transpose()?.unwrap_or(config.range.start());
+    let end: Date = flags.get("end").map(|s| s.parse()).transpose()?.unwrap_or(config.range.end());
+    config.range = DateRange::new(start, end);
+
+    println!(
+        "generating {} days over {} countries into {out} ...",
+        config.range.len_days(),
+        config.world.n_countries
+    );
+    let dataset = Dataset::generate(std::path::Path::new(out), config)?;
+    println!("done: {} ground-truth updates", dataset.truth.len());
+    Ok(())
+}
+
+fn open_or_create_system(dir: &str, dataset: Option<&Dataset>) -> Result<Rased, AnyError> {
+    let path = std::path::Path::new(dir);
+    if path.join("rased.manifest").exists() {
+        Ok(Rased::open(RasedConfig::load(path)?)?)
+    } else {
+        let mut config = RasedConfig::new(path);
+        if let Some(ds) = dataset {
+            config = config.with_schema(CubeSchema::new(
+                ds.config.world.n_countries,
+                ds.config.sim.n_road_types,
+            ));
+        }
+        Ok(Rased::create(config)?)
+    }
+}
+
+fn ingest(flags: &HashMap<String, String>) -> Result<(), AnyError> {
+    let data = get(flags, "data")?;
+    let system_dir = get(flags, "system")?;
+    let dataset = Dataset::load_manifest(std::path::Path::new(data))?;
+    let mut system = open_or_create_system(system_dir, Some(&dataset))?;
+    println!("ingesting {} ...", data);
+    let report = system.ingest_dataset(&dataset)?;
+    println!(
+        "ingested {} days, refined {} months: {} daily records ({} skipped), {} monthly records; {} cube maintenance ops",
+        report.days,
+        report.months,
+        report.daily.emitted,
+        report.daily.inspected() - report.daily.emitted,
+        report.monthly.emitted,
+        report.maintenance_ops,
+    );
+    Ok(())
+}
+
+fn query(flags: &HashMap<String, String>) -> Result<(), AnyError> {
+    let system = open_or_create_system(get(flags, "system")?, None)?;
+    // Reuse the HTTP API's parameter vocabulary.
+    let params: Vec<(String, String)> =
+        flags.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let q = parse_analysis_query(&system, &params)?;
+    let result = system.query(&q)?;
+
+    match flags.get("chart").map(|s| s.as_str()).unwrap_or("table") {
+        "bar" => print!("{}", charts::bar_chart(&system, &result, 20, 40)),
+        "series" => print!("{}", charts::time_series(&system, &result, 60)),
+        "choropleth" => {
+            print!("{}", charts::choropleth(&system, &result, system.countries().len()))
+        }
+        "csv" => print!("{}", charts::csv(&system, &result)),
+        _ => print!("{}", charts::table(&system, &result, 30)),
+    }
+    let s = &result.stats;
+    println!(
+        "\n{} rows · cubes: {} cached + {} disk (+{} empty days) · wall {:?} · modeled I/O {:?}",
+        result.rows.len(),
+        s.cubes_from_cache,
+        s.cubes_from_disk,
+        s.empty_days,
+        s.wall,
+        s.io.modeled,
+    );
+    Ok(())
+}
+
+fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
+    let system = open_or_create_system(get(flags, "system")?, None)?;
+    let addr = flags.get("addr").map(|s| s.as_str()).unwrap_or("127.0.0.1:7878");
+    let server = DashboardServer::bind(Arc::new(system), addr)?;
+    println!("RASED dashboard listening on http://{}", server.addr()?);
+    server.serve()?;
+    Ok(())
+}
+
+fn demo(flags: &HashMap<String, String>) -> Result<(), AnyError> {
+    let dir = get(flags, "dir")?.to_string();
+    let mut all = flags.clone();
+    all.insert("out".into(), format!("{dir}/osm"));
+    generate(&all)?;
+    all.insert("data".into(), format!("{dir}/osm"));
+    all.insert("system".into(), format!("{dir}/system"));
+    ingest(&all)?;
+    serve(&all)
+}

@@ -1,0 +1,209 @@
+//! A minimal JSON writer.
+//!
+//! The dashboard API only ever *produces* JSON (requests arrive as query
+//! strings), so a writer is all we need — no serde dependency.
+
+use std::fmt::Write;
+
+/// Incremental JSON builder producing a compact document.
+///
+/// The builder tracks separators automatically:
+///
+/// ```
+/// use rased_dashboard::json::Json;
+/// let mut j = Json::new();
+/// j.begin_object();
+/// j.key("name").string("RASED");
+/// j.key("cubes").number(42.0);
+/// j.key("tags").begin_array();
+/// j.string("osm").string("roads");
+/// j.end_array();
+/// j.end_object();
+/// assert_eq!(j.finish(), r#"{"name":"RASED","cubes":42,"tags":["osm","roads"]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Json {
+    out: String,
+    /// Whether a separator is needed before the next value at each nesting
+    /// level.
+    need_comma: Vec<bool>,
+}
+
+impl Json {
+    /// Start an empty document.
+    pub fn new() -> Json {
+        Json::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(top) = self.need_comma.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) -> &mut Json {
+        self.before_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) -> &mut Json {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) -> &mut Json {
+        self.before_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) -> &mut Json {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emit an object key (must be inside an object).
+    pub fn key(&mut self, k: &str) -> &mut Json {
+        self.before_value();
+        // The key's own comma handling is done; the value must not add one.
+        if let Some(top) = self.need_comma.last_mut() {
+            *top = false;
+        }
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        if let Some(top) = self.need_comma.last_mut() {
+            *top = true;
+        }
+        // Suppress the comma for the immediately following value.
+        self.suppress_next_comma();
+        self
+    }
+
+    fn suppress_next_comma(&mut self) {
+        if let Some(top) = self.need_comma.last_mut() {
+            *top = false;
+        }
+    }
+
+    /// Emit a string value.
+    pub fn string(&mut self, s: &str) -> &mut Json {
+        self.before_value();
+        write_escaped(&mut self.out, s);
+        self
+    }
+
+    /// Emit a number. Integral values print without a decimal point.
+    pub fn number(&mut self, v: f64) -> &mut Json {
+        self.before_value();
+        if v.fract() == 0.0 && v.abs() < 9e15 {
+            write!(self.out, "{}", v as i64).expect("write to string");
+        } else {
+            write!(self.out, "{v}").expect("write to string");
+        }
+        self
+    }
+
+    /// Emit an unsigned integer exactly.
+    pub fn uint(&mut self, v: u64) -> &mut Json {
+        self.before_value();
+        write!(self.out, "{v}").expect("write to string");
+        self
+    }
+
+    /// Emit a boolean.
+    pub fn boolean(&mut self, v: bool) -> &mut Json {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emit `null`.
+    pub fn null(&mut self) -> &mut Json {
+        self.before_value();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Take the document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.need_comma.is_empty(), "unbalanced JSON nesting");
+        self.out
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to string");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures() {
+        let mut j = Json::new();
+        j.begin_object();
+        j.key("a").begin_array();
+        j.uint(1).uint(2);
+        j.begin_object();
+        j.key("b").boolean(true);
+        j.key("c").null();
+        j.end_object();
+        j.end_array();
+        j.key("d").number(1.5);
+        j.end_object();
+        assert_eq!(j.finish(), r#"{"a":[1,2,{"b":true,"c":null}],"d":1.5}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut j = Json::new();
+        j.string("quote \" backslash \\ newline \n control \u{1}");
+        assert_eq!(j.finish(), "\"quote \\\" backslash \\\\ newline \\n control \\u0001\"");
+    }
+
+    #[test]
+    fn integral_numbers_have_no_point() {
+        let mut j = Json::new();
+        j.begin_array();
+        j.number(3.0).number(3.25).uint(u64::MAX);
+        j.end_array();
+        assert_eq!(j.finish(), format!("[3,3.25,{}]", u64::MAX));
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut j = Json::new();
+        j.begin_object();
+        j.key("xs").begin_array();
+        j.end_array();
+        j.end_object();
+        assert_eq!(j.finish(), r#"{"xs":[]}"#);
+    }
+}

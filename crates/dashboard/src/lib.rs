@@ -1,0 +1,22 @@
+//! The RASED dashboard: the User Interface module of §III.
+//!
+//! The demo paper's public deployment is a web dashboard over the query
+//! backend. This crate provides that thin client three ways:
+//!
+//! * [`charts`] — terminal renderers (tables, bar charts, time series) used
+//!   by the examples to reproduce the visualizations of Figures 2–5;
+//! * [`json`] — a minimal JSON writer (output only; the API never parses
+//!   JSON) backing the HTTP API;
+//! * [`server`] — an HTTP/1.1 server on `std::net` exposing
+//!   `GET /api/analysis`, `GET /api/sample`, `GET /api/meta`, and an
+//!   embedded single-page dashboard at `/`;
+//! * the `rased` CLI binary — generate / ingest / query / serve.
+
+pub mod charts;
+pub mod json;
+pub mod server;
+
+mod api;
+
+pub use api::{parse_analysis_query, result_to_json, ApiError};
+pub use server::DashboardServer;

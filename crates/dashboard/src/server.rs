@@ -1,0 +1,288 @@
+//! A small HTTP/1.1 server exposing the dashboard and its JSON API.
+//!
+//! Endpoints:
+//! * `GET /` — the embedded single-page dashboard;
+//! * `GET /api/meta` — dataset coverage, taxonomy sizes, cube statistics;
+//! * `GET /api/analysis?...` — run an analysis query (see
+//!   [`crate::parse_analysis_query`] for parameters);
+//! * `GET /api/sample?min_lat=&min_lon=&max_lat=&max_lon=&limit=` — sample
+//!   updates in a region (§IV-B); add `start`/`end` and any analysis
+//!   filters to scope the sample to a query.
+//!
+//! One thread per connection, `Connection: close` — the dashboard is a demo
+//! UI, not a production web server; the interesting latency lives in the
+//! query backend it fronts.
+
+use crate::api::{parse_analysis_query, parse_query_string, result_to_json};
+use crate::json::Json;
+use rased_core::Rased;
+use rased_geo::BBox;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The dashboard HTTP server.
+pub struct DashboardServer {
+    system: Arc<Rased>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl DashboardServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port).
+    pub fn bind(system: Arc<Rased>, addr: &str) -> std::io::Result<DashboardServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(DashboardServer { system, listener, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`DashboardServer::serve`] return after the next
+    /// connection.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accept connections until the stop flag is set. Each connection is
+    /// handled on its own thread.
+    pub fn serve(&self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let system = Arc::clone(&self.system);
+            std::thread::spawn(move || {
+                let _ = handle(system, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Handle exactly one connection (useful for tests).
+    pub fn serve_one(&self) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        handle(Arc::clone(&self.system), stream)
+    }
+}
+
+fn handle(system: Arc<Rased>, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (we need none of them).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return respond(stream, 405, "text/plain", "method not allowed");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = parse_query_string(query);
+
+    match path {
+        "/" | "/index.html" => respond(stream, 200, "text/html; charset=utf-8", DASHBOARD_HTML),
+        "/api/meta" => respond(stream, 200, "application/json", &meta_json(&system)),
+        "/api/analysis" => match parse_analysis_query(&system, &params) {
+            Ok(q) => match system.query(&q) {
+                Ok(result) => {
+                    let format = params
+                        .iter()
+                        .find(|(k, _)| k == "format")
+                        .map(|(_, v)| v.as_str())
+                        .unwrap_or("json");
+                    match format {
+                        "csv" => respond(
+                            stream,
+                            200,
+                            "text/csv",
+                            &crate::charts::csv(&system, &result),
+                        ),
+                        _ => respond(
+                            stream,
+                            200,
+                            "application/json",
+                            &result_to_json(&system, &result),
+                        ),
+                    }
+                }
+                Err(e) => respond(stream, 500, "text/plain", &e.to_string()),
+            },
+            Err(e) => respond(stream, 400, "text/plain", &e.to_string()),
+        },
+        "/api/sample" => match sample_json(&system, &params) {
+            Ok(body) => respond(stream, 200, "application/json", &body),
+            Err(e) => respond(stream, 400, "text/plain", &e.0),
+        },
+        _ => respond(stream, 404, "text/plain", "not found"),
+    }
+}
+
+fn respond(mut stream: TcpStream, status: u16, content_type: &str, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn meta_json(system: &Rased) -> String {
+    let mut j = Json::new();
+    j.begin_object();
+    j.key("system").string("RASED");
+    match system.index().coverage() {
+        Some((lo, hi)) => {
+            j.key("coverage_start").string(&lo.to_string());
+            j.key("coverage_end").string(&hi.to_string());
+        }
+        None => {
+            j.key("coverage_start").null();
+            j.key("coverage_end").null();
+        }
+    }
+    j.key("cubes").uint(system.index().cube_count() as u64);
+    j.key("rows").uint(system.warehouse().row_count());
+    j.key("countries").uint(system.countries().len() as u64);
+    j.key("road_types").uint(system.roads().len() as u64);
+    j.key("index_levels").uint(system.index().levels() as u64);
+    j.key("cache_slots").uint(system.index().cache().slots() as u64);
+    j.end_object();
+    j.finish()
+}
+
+fn sample_json(system: &Rased, params: &[(String, String)]) -> Result<String, crate::ApiError> {
+    let get = |k: &str| params.iter().find(|(pk, _)| pk == k).map(|(_, v)| v.as_str());
+    let coord = |k: &str| -> Result<f64, crate::ApiError> {
+        get(k)
+            .ok_or_else(|| crate::ApiError(format!("missing `{k}`")))?
+            .parse()
+            .map_err(|_| crate::ApiError(format!("bad `{k}`")))
+    };
+    let bbox = BBox::from_deg(coord("min_lat")?, coord("min_lon")?, coord("max_lat")?, coord("max_lon")?);
+    let limit: usize = match get("limit") {
+        Some(l) => l.parse().map_err(|_| crate::ApiError("bad `limit`".into()))?,
+        None => 100, // the paper's default N
+    };
+    // With a time window present, scope the sample to the full analysis
+    // query (filters included) — §IV-B's "sample representing a query".
+    let has_window = get("start").is_some() && get("end").is_some();
+    let records = if has_window {
+        let q = parse_analysis_query(system, params)?;
+        system.sample_for_query(&q, &bbox, limit).map_err(|e| crate::ApiError(e.to_string()))?
+    } else {
+        system.sample_region(&bbox, limit).map_err(|e| crate::ApiError(e.to_string()))?
+    };
+    let mut j = Json::new();
+    j.begin_object();
+    j.key("samples").begin_array();
+    for r in &records {
+        j.begin_object();
+        j.key("element").string(r.element_type.xml_name());
+        j.key("update").string(r.update_type.label());
+        j.key("date").string(&r.date.to_string());
+        j.key("lat").number(r.lat());
+        j.key("lon").number(r.lon());
+        j.key("country").string(system.countries().name(r.country).unwrap_or("?"));
+        j.key("road").string(system.roads().value(r.road_type).unwrap_or("?"));
+        j.key("changeset").uint(r.changeset.raw());
+        j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    Ok(j.finish())
+}
+
+/// The embedded single-page dashboard. Plain HTML + fetch; renders the
+/// analysis API as a sortable table and CSS bar chart.
+const DASHBOARD_HTML: &str = r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>RASED — OSM Road Network Updates</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 1000px; }
+  h1 { font-size: 1.4rem; } .muted { color: #666; }
+  input, select, button { margin: 0.2rem; padding: 0.3rem; }
+  table { border-collapse: collapse; margin-top: 1rem; width: 100%; }
+  th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: left; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  .bar { background: #4a90d9; height: 0.8rem; display: inline-block; }
+  #stats { margin-top: 0.6rem; font-size: 0.85rem; color: #444; }
+</style>
+</head>
+<body>
+<h1>RASED <span class="muted">— monitoring road network updates in OSM</span></h1>
+<div>
+  <label>start <input id="start" value="2021-01-01"></label>
+  <label>end <input id="end" value="2021-03-31"></label>
+  <label>group <select id="group" multiple size="3">
+    <option value="country" selected>country</option>
+    <option value="element">element</option>
+    <option value="road">road</option>
+    <option value="update">update</option>
+    <option value="month">month</option>
+  </select></label>
+  <label>countries <input id="countries" placeholder="US,DE (blank = all)"></label>
+  <label>updates <input id="updates" placeholder="create,update"></label>
+  <button onclick="run()">Run query</button>
+</div>
+<div id="stats"></div>
+<table id="out"><thead></thead><tbody></tbody></table>
+<script>
+async function run() {
+  const g = Array.from(document.getElementById('group').selectedOptions).map(o => o.value).join(',');
+  const p = new URLSearchParams({
+    start: document.getElementById('start').value,
+    end: document.getElementById('end').value,
+  });
+  if (g) p.set('group', g);
+  const cs = document.getElementById('countries').value.trim();
+  if (cs) p.set('countries', cs);
+  const us = document.getElementById('updates').value.trim();
+  if (us) p.set('updates', us);
+  const res = await fetch('/api/analysis?' + p.toString());
+  if (!res.ok) { document.getElementById('stats').textContent = await res.text(); return; }
+  const data = await res.json();
+  const rows = data.rows.sort((a, b) => b.value - a.value);
+  const cols = ['date','country','element','road','update'].filter(c => rows.some(r => c in r));
+  const thead = document.querySelector('#out thead');
+  thead.innerHTML = '<tr>' + cols.map(c => `<th>${c}</th>`).join('') + '<th>count</th><th></th></tr>';
+  const max = rows.length ? rows[0].value : 1;
+  document.querySelector('#out tbody').innerHTML = rows.slice(0, 200).map(r =>
+    '<tr>' + cols.map(c => `<td>${r[c] ?? ''}</td>`).join('') +
+    `<td class="num">${r.count.toLocaleString()}</td>` +
+    `<td><span class="bar" style="width:${(r.value / max) * 200}px"></span></td></tr>`
+  ).join('');
+  const s = data.stats;
+  document.getElementById('stats').textContent =
+    `${rows.length} groups · ${s.cubes_from_cache} cubes from cache, ${s.cubes_from_disk} from disk, ` +
+    `${s.empty_days} empty days · wall ${s.wall_micros} µs · modeled I/O ${s.modeled_io_micros} µs`;
+}
+run();
+</script>
+</body>
+</html>
+"#;

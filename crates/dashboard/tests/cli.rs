@@ -1,0 +1,104 @@
+//! End-to-end CLI test: drive the `rased` binary through
+//! generate → ingest → query, checking outputs and exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rased() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rased"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("rased-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn generate_ingest_query_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let data = dir.join("osm");
+    let system = dir.join("system");
+
+    // generate
+    let out = rased()
+        .args(["generate", "--out"])
+        .arg(&data)
+        .args(["--seed", "99", "--start", "2021-01-01", "--end", "2021-02-28", "--edits", "25"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.join("dataset.manifest").exists());
+    assert!(data.join("diffs").join("2021-01-15.osc").exists());
+
+    // ingest
+    let out = rased()
+        .args(["ingest", "--data"])
+        .arg(&data)
+        .arg("--system")
+        .arg(&system)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ingested 59 days"), "{stdout}");
+    assert!(stdout.contains("refined 2 months"), "{stdout}");
+
+    // query — table of countries
+    let out = rased()
+        .args(["query", "--system"])
+        .arg(&system)
+        .args(["--start", "2021-01-01", "--end", "2021-02-28", "--group", "country"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("United States"), "{stdout}");
+    assert!(stdout.contains("rows"), "{stdout}");
+
+    // query — CSV output
+    let out = rased()
+        .args(["query", "--system"])
+        .arg(&system)
+        .args(["--start", "2021-01-01", "--end", "2021-02-28", "--group", "update", "--chart", "csv"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("date,country,element,road,update,count,value"), "{stdout}");
+    assert!(stdout.contains("create,"), "{stdout}");
+    // After monthly refinement the coarse class is gone (the header's
+    // `update` column name still appears, so match a data row).
+    assert!(
+        !stdout.lines().any(|l| l.starts_with(",,,,update,")),
+        "unclassified rows should be refined away: {stdout}"
+    );
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    // Unknown command.
+    let out = rased().arg("explode").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = rased().args(["ingest", "--data", "/nonexistent"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--system"));
+
+    // Nonexistent dataset.
+    let dir = tmpdir("errs");
+    let out = rased()
+        .args(["ingest", "--data", "/nonexistent", "--system"])
+        .arg(dir.join("sys"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Help prints usage and succeeds.
+    let out = rased().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
+}

@@ -1,0 +1,233 @@
+//! A uniform grid index over points.
+//!
+//! This is the warehouse's spatial index (§VI-B): sample-update queries ask
+//! for *N updates inside a rectangle*, which a uniform grid answers with a
+//! handful of cell scans. Points cluster by country but queries are
+//! region-scoped too, so a grid's worst case (all points in one cell) only
+//! occurs for queries that would scan those points anyway.
+
+use crate::bbox::{BBox, Point};
+
+/// A uniform grid over a fixed world extent, mapping points to payloads.
+pub struct GridIndex<T> {
+    extent: BBox,
+    cols: u32,
+    rows: u32,
+    cell_h: i64,
+    cell_w: i64,
+    cells: Vec<Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T: Copy> GridIndex<T> {
+    /// Create a grid of `rows × cols` cells covering `extent`.
+    ///
+    /// # Panics
+    /// Panics when `rows` or `cols` is zero.
+    pub fn new(extent: BBox, rows: u32, cols: u32) -> GridIndex<T> {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        let h = (extent.max_lat7 as i64 - extent.min_lat7 as i64).max(1);
+        let w = (extent.max_lon7 as i64 - extent.min_lon7 as i64).max(1);
+        GridIndex {
+            extent,
+            cols,
+            rows,
+            // div_ceil is unstable for signed ints; h and w are positive.
+            cell_h: (h + rows as i64 - 1) / rows as i64,
+            cell_w: (w + cols as i64 - 1) / cols as i64,
+            cells: (0..rows as usize * cols as usize).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// A 256×256 grid over the whole globe — the warehouse default.
+    pub fn world_default() -> GridIndex<T> {
+        GridIndex::new(BBox::world(), 256, 256)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: Point) -> Option<usize> {
+        if !self.extent.contains(p) {
+            return None;
+        }
+        let r = ((p.lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
+            .min(self.rows as i64 - 1) as usize;
+        let c = ((p.lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
+            .min(self.cols as i64 - 1) as usize;
+        Some(r * self.cols as usize + c)
+    }
+
+    /// Insert a point. Points outside the extent are rejected with `false`.
+    pub fn insert(&mut self, p: Point, payload: T) -> bool {
+        match self.cell_of(p) {
+            Some(i) => {
+                self.cells[i].push((p, payload));
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Visit every `(point, payload)` inside `q`.
+    pub fn query(&self, q: &BBox, visit: &mut impl FnMut(Point, &T)) {
+        let Some(q) = clip(q, &self.extent) else { return };
+        let r0 = ((q.min_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        let r1 = ((q.max_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        let c0 = ((q.min_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        let c1 = ((q.max_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for (p, t) in &self.cells[r * self.cols as usize + c] {
+                    if q.contains(*p) {
+                        visit(*p, t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect up to `limit` payloads inside `q`, in insertion order per cell.
+    pub fn sample(&self, q: &BBox, limit: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        // A visitor cannot early-exit, so scan cells manually.
+        let Some(qc) = clip(q, &self.extent) else { return out };
+        let r0 = ((qc.min_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        let r1 = ((qc.max_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        let c0 = ((qc.min_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        let c1 = ((qc.max_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for (p, t) in &self.cells[r * self.cols as usize + c] {
+                    if qc.contains(*p) {
+                        out.push(*t);
+                        if out.len() == limit {
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clip(q: &BBox, extent: &BBox) -> Option<BBox> {
+    if !q.intersects(extent) {
+        return None;
+    }
+    Some(BBox::new(
+        q.min_lat7.max(extent.min_lat7),
+        q.min_lon7.max(extent.min_lon7),
+        q.max_lat7.min(extent.max_lat7),
+        q.max_lon7.min(extent.max_lon7),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridIndex<usize> {
+        GridIndex::new(BBox::new(0, 0, 1000, 1000), 10, 10)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut g = grid();
+        assert!(g.insert(Point::new(50, 50), 1));
+        assert!(g.insert(Point::new(550, 550), 2));
+        assert!(g.insert(Point::new(999, 999), 3));
+        assert_eq!(g.len(), 3);
+
+        let mut hits = Vec::new();
+        g.query(&BBox::new(0, 0, 600, 600), &mut |_, &i| hits.push(i));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_out_of_extent() {
+        let mut g = grid();
+        assert!(!g.insert(Point::new(-1, 50), 1));
+        assert!(!g.insert(Point::new(50, 1001), 2));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn boundary_points_land_in_last_cell() {
+        let mut g = grid();
+        assert!(g.insert(Point::new(1000, 1000), 9));
+        let mut hits = Vec::new();
+        g.query(&BBox::new(900, 900, 1000, 1000), &mut |_, &i| hits.push(i));
+        assert_eq!(hits, vec![9]);
+    }
+
+    #[test]
+    fn sample_respects_limit() {
+        let mut g = grid();
+        for i in 0..20 {
+            g.insert(Point::new(10 + i, 10), i as usize);
+        }
+        let s = g.sample(&BBox::new(0, 0, 1000, 1000), 5);
+        assert_eq!(s.len(), 5);
+        let all = g.sample(&BBox::new(0, 0, 1000, 1000), 100);
+        assert_eq!(all.len(), 20);
+        assert!(g.sample(&BBox::new(0, 0, 1000, 1000), 0).is_empty());
+    }
+
+    #[test]
+    fn query_outside_extent_is_empty() {
+        let mut g = grid();
+        g.insert(Point::new(500, 500), 1);
+        let mut hits = Vec::new();
+        g.query(&BBox::new(2000, 2000, 3000, 3000), &mut |_, &i| hits.push(i));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn matches_naive_on_scattered_points() {
+        let mut g = GridIndex::world_default();
+        let mut pts = Vec::new();
+        let mut state = 12345u64;
+        for i in 0..2000usize {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lat = ((state >> 33) as i64 % 1_700_000_000 - 850_000_000) as i32;
+            let lon = ((state >> 3) as i64 % 3_500_000_000 - 1_750_000_000) as i32;
+            let p = Point::new(lat, lon);
+            pts.push((p, i));
+            assert!(g.insert(p, i), "{p}");
+        }
+        let q = BBox::from_deg(-20.0, -90.0, 45.0, 60.0);
+        let naive: Vec<usize> = {
+            let mut v: Vec<usize> =
+                pts.iter().filter(|(p, _)| q.contains(*p)).map(|(_, i)| *i).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut got = Vec::new();
+        g.query(&q, &mut |_, &i| got.push(i));
+        got.sort_unstable();
+        assert_eq!(got, naive);
+    }
+}

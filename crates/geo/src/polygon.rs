@@ -1,0 +1,222 @@
+//! Simple polygons and the region-location index.
+
+use crate::bbox::{BBox, Point};
+use crate::rtree::RTree;
+
+/// A simple (non-self-intersecting) polygon given as a ring of vertices.
+/// The closing edge from the last vertex back to the first is implicit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+    bbox: BBox,
+}
+
+impl Polygon {
+    /// Build from at least three vertices.
+    ///
+    /// # Panics
+    /// Panics when fewer than three vertices are supplied.
+    pub fn new(vertices: Vec<Point>) -> Polygon {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        let mut bbox = BBox::of_point(vertices[0]);
+        for &v in &vertices[1..] {
+            bbox.expand_to(v);
+        }
+        Polygon { vertices, bbox }
+    }
+
+    /// An axis-aligned rectangle as a polygon.
+    pub fn rect(b: BBox) -> Polygon {
+        Polygon::new(vec![
+            Point::new(b.min_lat7, b.min_lon7),
+            Point::new(b.min_lat7, b.max_lon7),
+            Point::new(b.max_lat7, b.max_lon7),
+            Point::new(b.max_lat7, b.min_lon7),
+        ])
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Precomputed bounding box.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Ray-cast point-in-polygon test, border-inclusive.
+    ///
+    /// Uses the even-odd rule with the ray going in +lon direction. All
+    /// arithmetic is in i64/i128 over the fixed-point coordinates, so the
+    /// predicate is exact — no epsilon tuning.
+    pub fn contains(&self, p: Point) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let n = self.vertices.len();
+        let mut inside = false;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if on_segment(a, b, p) {
+                return true; // border counts as inside
+            }
+            // Does edge (a,b) cross the horizontal ray from p toward +lon?
+            let (alat, blat) = (a.lat7 as i64, b.lat7 as i64);
+            let plat = p.lat7 as i64;
+            if (alat > plat) != (blat > plat) {
+                // lon of intersection: a.lon + (p.lat - a.lat) * (b.lon - a.lon) / (b.lat - a.lat)
+                // Compare p.lon < x without division: sign-aware cross product.
+                let dlat = blat - alat;
+                let lhs = (p.lon7 as i64 - a.lon7 as i64) as i128 * dlat as i128;
+                let rhs = (plat - alat) as i128 * (b.lon7 as i64 - a.lon7 as i64) as i128;
+                let crosses = if dlat > 0 { lhs < rhs } else { lhs > rhs };
+                if crosses {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+}
+
+/// True when `p` lies on the closed segment `a..b` (exact integer test).
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    let cross = (b.lat7 as i64 - a.lat7 as i64) as i128 * (p.lon7 as i64 - a.lon7 as i64) as i128
+        - (b.lon7 as i64 - a.lon7 as i64) as i128 * (p.lat7 as i64 - a.lat7 as i64) as i128;
+    if cross != 0 {
+        return false;
+    }
+    p.lat7 >= a.lat7.min(b.lat7)
+        && p.lat7 <= a.lat7.max(b.lat7)
+        && p.lon7 >= a.lon7.min(b.lon7)
+        && p.lon7 <= a.lon7.max(b.lon7)
+}
+
+/// Maps points to the region containing them: an R-tree over polygon
+/// bounding boxes narrows candidates, then exact point-in-polygon decides.
+///
+/// Regions are checked in insertion order among candidates, so when regions
+/// overlap (e.g. a US state inside the US), insert the more specific region
+/// first or query with [`PolygonIndex::locate_all`].
+pub struct PolygonIndex<T> {
+    regions: Vec<(Polygon, T)>,
+    tree: RTree<usize>,
+}
+
+impl<T: Copy> PolygonIndex<T> {
+    /// Bulk-build from `(polygon, payload)` pairs.
+    pub fn build(regions: Vec<(Polygon, T)>) -> PolygonIndex<T> {
+        let entries: Vec<(BBox, usize)> =
+            regions.iter().enumerate().map(|(i, (p, _))| (p.bbox(), i)).collect();
+        let tree = RTree::bulk_load(entries);
+        PolygonIndex { regions, tree }
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the index holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The first region (in insertion order) containing `p`.
+    pub fn locate(&self, p: Point) -> Option<T> {
+        let mut hits: Vec<usize> = Vec::new();
+        self.tree.query_point(p, &mut |&i| hits.push(i));
+        hits.sort_unstable();
+        hits.into_iter()
+            .find(|&i| self.regions[i].0.contains(p))
+            .map(|i| self.regions[i].1)
+    }
+
+    /// Every region containing `p`, in insertion order.
+    pub fn locate_all(&self, p: Point) -> Vec<T> {
+        let mut hits: Vec<usize> = Vec::new();
+        self.tree.query_point(p, &mut |&i| hits.push(i));
+        hits.sort_unstable();
+        hits.into_iter()
+            .filter(|&i| self.regions[i].0.contains(p))
+            .map(|i| self.regions[i].1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::rect(BBox::new(0, 0, 100, 100))
+    }
+
+    #[test]
+    fn rect_contains() {
+        let p = square();
+        assert!(p.contains(Point::new(50, 50)));
+        assert!(p.contains(Point::new(0, 0)), "corner is inside");
+        assert!(p.contains(Point::new(100, 50)), "edge is inside");
+        assert!(!p.contains(Point::new(101, 50)));
+        assert!(!p.contains(Point::new(-1, 50)));
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // An L-shape: big square minus its top-right quadrant.
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 100),
+            Point::new(50, 100),
+            Point::new(50, 50),
+            Point::new(100, 50),
+            Point::new(100, 0),
+        ]);
+        assert!(l.contains(Point::new(25, 75)), "bottom-right arm");
+        assert!(l.contains(Point::new(75, 25)), "top-left arm");
+        assert!(!l.contains(Point::new(75, 75)), "cut-out quadrant");
+        assert!(l.contains(Point::new(50, 50)), "inner corner on border");
+    }
+
+    #[test]
+    fn triangle_edges_exact() {
+        let t = Polygon::new(vec![Point::new(0, 0), Point::new(100, 0), Point::new(0, 100)]);
+        assert!(t.contains(Point::new(10, 10)));
+        assert!(t.contains(Point::new(50, 50)), "hypotenuse point");
+        assert!(!t.contains(Point::new(51, 50)));
+        assert!(!t.contains(Point::new(60, 60)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn degenerate_polygon_rejected() {
+        let _ = Polygon::new(vec![Point::new(0, 0), Point::new(1, 1)]);
+    }
+
+    #[test]
+    fn polygon_index_locates_first_match() {
+        // Three countries side by side, plus a "zone" overlapping the first.
+        let idx = PolygonIndex::build(vec![
+            (Polygon::rect(BBox::new(0, 0, 10, 10)), 1u32),
+            (Polygon::rect(BBox::new(0, 10, 10, 20)), 2),
+            (Polygon::rect(BBox::new(0, 20, 10, 30)), 3),
+            (Polygon::rect(BBox::new(0, 0, 10, 30)), 99), // covering zone
+        ]);
+        assert_eq!(idx.locate(Point::new(5, 5)), Some(1));
+        assert_eq!(idx.locate(Point::new(5, 15)), Some(2));
+        assert_eq!(idx.locate(Point::new(5, 25)), Some(3));
+        assert_eq!(idx.locate(Point::new(20, 5)), None);
+        assert_eq!(idx.locate_all(Point::new(5, 15)), vec![2, 99]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: PolygonIndex<u32> = PolygonIndex::build(vec![]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.locate(Point::new(0, 0)), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! An R-tree over rectangles, bulk-loaded with Sort-Tile-Recursive (STR).
+//!
+//! The tree is immutable after bulk load — RASED's polygon atlas and the
+//! warehouse snapshot both build once and query many times, so STR packing
+//! (optimal fill, no overlap-minimizing insert heuristics needed) is the
+//! right trade-off.
+
+use crate::bbox::{BBox, Point};
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug)]
+enum Node<T> {
+    Leaf { entries: Vec<(BBox, T)> },
+    Inner { children: Vec<(BBox, Node<T>)> },
+}
+
+/// An immutable R-tree mapping rectangles to payloads.
+#[derive(Debug)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    len: usize,
+}
+
+impl<T> RTree<T> {
+    /// Build from `(bbox, payload)` pairs using STR packing.
+    pub fn bulk_load(mut entries: Vec<(BBox, T)>) -> RTree<T> {
+        let len = entries.len();
+        if entries.is_empty() {
+            return RTree { root: None, len: 0 };
+        }
+        // STR: sort by center-lon, slice into vertical strips, sort each
+        // strip by center-lat, pack runs of NODE_CAPACITY into leaves.
+        entries.sort_by_key(|(b, _)| b.center().lon7);
+        let leaf_count = len.div_ceil(NODE_CAPACITY);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = len.div_ceil(strip_count);
+
+        let mut leaves: Vec<(BBox, Node<T>)> = Vec::with_capacity(leaf_count);
+        let mut rest = entries;
+        while !rest.is_empty() {
+            let take = per_strip.min(rest.len());
+            let mut strip: Vec<(BBox, T)> = rest.drain(..take).collect();
+            strip.sort_by_key(|(b, _)| b.center().lat7);
+            while !strip.is_empty() {
+                let take = NODE_CAPACITY.min(strip.len());
+                let chunk: Vec<(BBox, T)> = strip.drain(..take).collect();
+                let bbox = cover(chunk.iter().map(|(b, _)| *b));
+                leaves.push((bbox, Node::Leaf { entries: chunk }));
+            }
+        }
+
+        // Pack upward until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let chunk: Vec<(BBox, Node<T>)> = iter.by_ref().take(NODE_CAPACITY).collect();
+                let bbox = cover(chunk.iter().map(|(b, _)| *b));
+                next.push((bbox, Node::Inner { children: chunk }));
+            }
+            level = next;
+        }
+        let root = level.pop().map(|(_, n)| n);
+        RTree { root, len }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Visit the payload of every entry whose rectangle contains `p`.
+    pub fn query_point(&self, p: Point, visit: &mut impl FnMut(&T)) {
+        self.query_bbox(&BBox::of_point(p), visit);
+    }
+
+    /// Visit the payload of every entry whose rectangle intersects `q`.
+    pub fn query_bbox(&self, q: &BBox, visit: &mut impl FnMut(&T)) {
+        if let Some(root) = &self.root {
+            Self::walk(root, q, visit);
+        }
+    }
+
+    fn walk(node: &Node<T>, q: &BBox, visit: &mut impl FnMut(&T)) {
+        match node {
+            Node::Leaf { entries } => {
+                for (b, t) in entries {
+                    if b.intersects(q) {
+                        visit(t);
+                    }
+                }
+            }
+            Node::Inner { children } => {
+                for (b, child) in children {
+                    if b.intersects(q) {
+                        Self::walk(child, q, visit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn cover<I: Iterator<Item = BBox>>(mut boxes: I) -> BBox {
+    let first = boxes.next().expect("cover of non-empty set");
+    boxes.fold(first, |acc, b| acc.union(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic scatter of small boxes for comparison against naive scan.
+    fn scatter(n: usize) -> Vec<(BBox, usize)> {
+        let mut out = Vec::with_capacity(n);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lat = (state >> 33) as i32 % 1_000_000;
+            let lon = (state >> 13) as i32 % 1_000_000;
+            out.push((BBox::new(lat, lon, lat + 500, lon + 500), i));
+        }
+        out
+    }
+
+    fn collect_bbox(tree: &RTree<usize>, q: &BBox) -> Vec<usize> {
+        let mut v = Vec::new();
+        tree.query_bbox(q, &mut |&i| v.push(i));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<usize> = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(collect_bbox(&t, &BBox::world()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = RTree::bulk_load(vec![(BBox::new(0, 0, 10, 10), 7usize)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(collect_bbox(&t, &BBox::new(5, 5, 6, 6)), vec![7]);
+        assert_eq!(collect_bbox(&t, &BBox::new(20, 20, 30, 30)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn matches_naive_scan_on_many_queries() {
+        let entries = scatter(500);
+        let tree = RTree::bulk_load(entries.clone());
+        assert_eq!(tree.len(), 500);
+        let queries = [
+            BBox::new(0, 0, 100_000, 100_000),
+            BBox::new(500_000, 500_000, 600_000, 600_000),
+            BBox::new(-1_000_000, -1_000_000, -1, -1),
+            BBox::world(),
+            BBox::of_point(Point::new(250_000, 250_000)),
+        ];
+        for q in queries {
+            let naive: Vec<usize> = {
+                let mut v: Vec<usize> = entries
+                    .iter()
+                    .filter(|(b, _)| b.intersects(&q))
+                    .map(|(_, i)| *i)
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(collect_bbox(&tree, &q), naive, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn point_query_hits_containing_boxes_only() {
+        let t = RTree::bulk_load(vec![
+            (BBox::new(0, 0, 10, 10), 1usize),
+            (BBox::new(5, 5, 15, 15), 2),
+            (BBox::new(20, 20, 30, 30), 3),
+        ]);
+        let mut hits = Vec::new();
+        t.query_point(Point::new(7, 7), &mut |&i| hits.push(i));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn deep_tree_builds_correctly() {
+        // Enough entries to force at least three levels (16^2 = 256 < 5000).
+        let entries = scatter(5000);
+        let tree = RTree::bulk_load(entries.clone());
+        let q = BBox::new(100_000, 100_000, 400_000, 400_000);
+        let expected = entries.iter().filter(|(b, _)| b.intersects(&q)).count();
+        let mut got = 0usize;
+        tree.query_bbox(&q, &mut |_| got += 1);
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,351 @@
+//! The cube cache (§VII-A).
+//!
+//! RASED preloads "some of the very recent data cubes" so queries over
+//! recent windows hit memory. Given `N` slots and per-level ratios
+//! (α, β, γ, θ) summing to 1, the warm set is the most recent ⌊αN⌋ daily,
+//! ⌊βN⌋ weekly, ⌊γN⌋ monthly and ⌊θN⌋ yearly cubes. The ratios trade
+//! aggregation granularity against covered time span.
+
+use parking_lot::Mutex;
+use rased_cube::DataCube;
+use rased_temporal::{Granularity, Period};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the cache decides what to keep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheStrategy {
+    /// The paper's policy: static per-level recency preload. Reads do not
+    /// admit; the warm set changes only on [`CubeCache::warm`].
+    Recency { alpha: f64, beta: f64, gamma: f64, theta: f64 },
+    /// Ablation: one global LRU over all levels; reads admit, coldest
+    /// entry evicted.
+    Lru,
+}
+
+impl CacheStrategy {
+    /// The paper's deployed ratios: (0.40, 0.35, 0.20, 0.05).
+    pub fn paper_default() -> CacheStrategy {
+        CacheStrategy::Recency { alpha: 0.40, beta: 0.35, gamma: 0.20, theta: 0.05 }
+    }
+
+    fn ratios(&self) -> [f64; 4] {
+        match *self {
+            CacheStrategy::Recency { alpha, beta, gamma, theta } => [alpha, beta, gamma, theta],
+            CacheStrategy::Lru => [0.0; 4],
+        }
+    }
+}
+
+/// Cache sizing + strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Capacity in slots; one slot holds one cube (the paper's 2 GB default
+    /// is ≈ 500 paper-scale cubes).
+    pub slots: usize,
+    pub strategy: CacheStrategy,
+}
+
+impl CacheConfig {
+    /// The paper's deployment: 2 GB ≈ 500 slots, recency ratios above.
+    pub fn paper_default() -> CacheConfig {
+        CacheConfig { slots: 500, strategy: CacheStrategy::paper_default() }
+    }
+
+    /// A disabled cache (the "no caching" experimental variants).
+    pub fn disabled() -> CacheConfig {
+        CacheConfig { slots: 0, strategy: CacheStrategy::paper_default() }
+    }
+}
+
+/// In-memory cube cache with hit/miss accounting.
+pub struct CubeCache {
+    config: CacheConfig,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct Inner {
+    map: HashMap<Period, (Arc<DataCube>, u64)>,
+    tick: u64,
+}
+
+impl CubeCache {
+    /// Create an empty cache.
+    pub fn new(config: CacheConfig) -> CubeCache {
+        CubeCache {
+            config,
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity in slots.
+    pub fn slots(&self) -> usize {
+        self.config.slots
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> CacheStrategy {
+        self.config.strategy
+    }
+
+    /// How many slots the recency policy grants each granularity.
+    ///
+    /// Floors can leave unused slots; they are handed to the finest level
+    /// (daily), which the paper's ratios favor anyway.
+    pub fn level_quota(&self) -> [usize; 4] {
+        let ratios = self.config.strategy.ratios();
+        let n = self.config.slots;
+        let mut q = [
+            (ratios[0] * n as f64).floor() as usize,
+            (ratios[1] * n as f64).floor() as usize,
+            (ratios[2] * n as f64).floor() as usize,
+            (ratios[3] * n as f64).floor() as usize,
+        ];
+        let used: usize = q.iter().sum();
+        q[0] += n.saturating_sub(used);
+        q
+    }
+
+    /// Replace the warm set per the recency policy: for each level, the
+    /// most recent `quota` periods from `available` (all catalogued periods
+    /// of that level, any order).
+    ///
+    /// `load` fetches a cube from disk; it is only called for periods not
+    /// already cached. Under [`CacheStrategy::Lru`] warming is a no-op.
+    pub fn warm<E>(
+        &self,
+        available: &[Period],
+        mut load: impl FnMut(Period) -> Result<Arc<DataCube>, E>,
+    ) -> Result<(), E> {
+        if matches!(self.config.strategy, CacheStrategy::Lru) {
+            return Ok(());
+        }
+        let quota = self.level_quota();
+        let mut want: Vec<Period> = Vec::new();
+        for (level, &q) in Granularity::ALL.iter().zip(quota.iter()) {
+            if q == 0 {
+                continue;
+            }
+            let mut of_level: Vec<Period> =
+                available.iter().copied().filter(|p| p.granularity() == *level).collect();
+            of_level.sort_unstable_by_key(|p| std::cmp::Reverse(p.start()));
+            want.extend(of_level.into_iter().take(q));
+        }
+        // Load missing cubes before swapping in the new warm set, so a load
+        // error leaves the old set intact.
+        let mut fresh: Vec<(Period, Arc<DataCube>)> = Vec::with_capacity(want.len());
+        for p in &want {
+            let cached = { self.inner.lock().map.get(p).map(|(c, _)| Arc::clone(c)) };
+            let cube = match cached {
+                Some(c) => c,
+                None => load(*p)?,
+            };
+            fresh.push((*p, cube));
+        }
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.tick += 1;
+        let tick = inner.tick;
+        for (p, c) in fresh {
+            inner.map.insert(p, (c, tick));
+        }
+        Ok(())
+    }
+
+    /// Look up a cube, updating hit/miss counters. Under LRU the entry is
+    /// touched.
+    pub fn get(&self, period: Period) -> Option<Arc<DataCube>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&period) {
+            Some((cube, last)) => {
+                if matches!(self.config.strategy, CacheStrategy::Lru) {
+                    *last = tick;
+                }
+                let cube = Arc::clone(cube);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cube)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// True when the period is cached (no counter update) — the level
+    /// optimizer probes with this.
+    pub fn contains(&self, period: Period) -> bool {
+        self.inner.lock().map.contains_key(&period)
+    }
+
+    /// Offer a cube read from disk. Admits only under LRU (the recency
+    /// policy's warm set is fixed between `warm` calls).
+    pub fn admit(&self, period: Period, cube: &Arc<DataCube>) {
+        if self.config.slots == 0 || !matches!(self.config.strategy, CacheStrategy::Lru) {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(period, (Arc::clone(cube), tick));
+        while inner.map.len() > self.config.slots {
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, last))| *last) {
+                inner.map.remove(&victim);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Invalidate one period (after a monthly rebuild overwrites its cube).
+    pub fn invalidate(&self, period: Period) {
+        self.inner.lock().map.remove(&period);
+    }
+
+    /// Number of cubes currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rased_cube::CubeSchema;
+    use rased_temporal::Date;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn cube() -> Arc<DataCube> {
+        Arc::new(DataCube::zeroed(CubeSchema::tiny()))
+    }
+
+    fn days(n: i64) -> Vec<Period> {
+        (0..n).map(|i| Period::Day(d("2021-01-01").add_days(i as i32))).collect()
+    }
+
+    #[test]
+    fn quota_split_matches_ratios_and_fills_remainder() {
+        let c = CubeCache::new(CacheConfig { slots: 100, strategy: CacheStrategy::paper_default() });
+        assert_eq!(c.level_quota(), [40, 35, 20, 5]);
+        // 10 slots: floors are [4,3,2,0], remainder 1 goes to daily.
+        let c = CubeCache::new(CacheConfig { slots: 10, strategy: CacheStrategy::paper_default() });
+        assert_eq!(c.level_quota(), [5, 3, 2, 0]);
+    }
+
+    #[test]
+    fn warm_takes_most_recent_per_level() {
+        let c = CubeCache::new(CacheConfig {
+            slots: 4,
+            strategy: CacheStrategy::Recency { alpha: 0.5, beta: 0.5, gamma: 0.0, theta: 0.0 },
+        });
+        let mut avail = days(10);
+        avail.push(Period::Week(d("2021-01-03")));
+        avail.push(Period::Week(d("2021-01-10")));
+        avail.push(Period::Week(d("2021-01-17")));
+        let mut loads = 0;
+        c.warm(&avail, |_| -> Result<_, ()> {
+            loads += 1;
+            Ok(cube())
+        })
+        .unwrap();
+        assert_eq!(loads, 4);
+        // Two most recent days, two most recent weeks.
+        assert!(c.contains(Period::Day(d("2021-01-10"))));
+        assert!(c.contains(Period::Day(d("2021-01-09"))));
+        assert!(!c.contains(Period::Day(d("2021-01-08"))));
+        assert!(c.contains(Period::Week(d("2021-01-17"))));
+        assert!(c.contains(Period::Week(d("2021-01-10"))));
+        assert!(!c.contains(Period::Week(d("2021-01-03"))));
+    }
+
+    #[test]
+    fn recency_reads_do_not_admit() {
+        let c = CubeCache::new(CacheConfig { slots: 4, strategy: CacheStrategy::paper_default() });
+        assert!(c.get(Period::Day(d("2021-06-01"))).is_none());
+        c.admit(Period::Day(d("2021-06-01")), &cube());
+        assert!(c.is_empty(), "recency cache must not admit on read");
+        assert_eq!(c.counters(), (0, 1));
+    }
+
+    #[test]
+    fn lru_admits_and_evicts() {
+        let c = CubeCache::new(CacheConfig { slots: 2, strategy: CacheStrategy::Lru });
+        let p1 = Period::Day(d("2021-01-01"));
+        let p2 = Period::Day(d("2021-01-02"));
+        let p3 = Period::Day(d("2021-01-03"));
+        c.admit(p1, &cube());
+        c.admit(p2, &cube());
+        assert!(c.get(p1).is_some()); // touch p1
+        c.admit(p3, &cube()); // evicts p2
+        assert!(c.contains(p1));
+        assert!(!c.contains(p2));
+        assert!(c.contains(p3));
+    }
+
+    #[test]
+    fn zero_slot_cache_stays_empty() {
+        let c = CubeCache::new(CacheConfig { slots: 0, strategy: CacheStrategy::Lru });
+        c.admit(Period::Day(d("2021-01-01")), &cube());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let c = CubeCache::new(CacheConfig { slots: 4, strategy: CacheStrategy::Lru });
+        let p = Period::Month(2021, 3);
+        c.admit(p, &cube());
+        assert!(c.contains(p));
+        c.invalidate(p);
+        assert!(!c.contains(p));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let c = CubeCache::new(CacheConfig { slots: 2, strategy: CacheStrategy::Lru });
+        let p = Period::Day(d("2021-01-01"));
+        assert!(c.get(p).is_none());
+        c.admit(p, &cube());
+        assert!(c.get(p).is_some());
+        assert!(c.get(Period::Day(d("2021-01-02"))).is_none());
+        assert_eq!(c.counters(), (1, 2));
+        // `contains` must not perturb the counters.
+        let _ = c.contains(p);
+        assert_eq!(c.counters(), (1, 2));
+    }
+
+    #[test]
+    fn warm_error_leaves_cache_unchanged() {
+        let c = CubeCache::new(CacheConfig { slots: 2, strategy: CacheStrategy::paper_default() });
+        c.warm(&days(2), |_| -> Result<_, ()> { Ok(cube()) }).unwrap();
+        assert_eq!(c.len(), 2);
+        let r = c.warm(&days(4), |p| {
+            if p == Period::Day(d("2021-01-04")) {
+                Err("boom")
+            } else {
+                Ok(cube())
+            }
+        });
+        assert!(r.is_err());
+        assert_eq!(c.len(), 2, "failed warm must not clobber the warm set");
+    }
+}

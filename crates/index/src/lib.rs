@@ -1,0 +1,25 @@
+//! The hierarchical temporal index of RASED (§VI-A, §VII).
+//!
+//! The index does not store OSM updates — it stores *pre-computed data
+//! cubes* at four temporal granularities (daily, weekly, monthly, yearly)
+//! under a dummy root. Three pieces cooperate to answer a query window with
+//! as few disk reads as possible:
+//!
+//! * [`TemporalIndex`] — the cube store: one disk page per cube, a period →
+//!   page catalog, and the maintenance procedures (daily roll-up at period
+//!   boundaries; monthly rebuild when refined update types arrive).
+//! * [`LevelPlanner`] — the level optimizer (§VII-B): an exact dynamic
+//!   program that partitions the query window into cubes minimizing
+//!   (disk fetches, then total cubes), given what is cached. A greedy
+//!   coarsest-first planner is included for ablation.
+//! * [`CubeCache`] — the caching strategy (§VII-A): N memory slots split
+//!   across levels by the (α, β, γ, θ) ratios, preloaded with each level's
+//!   most recent cubes. A plain global-LRU mode exists for ablation.
+
+mod cache;
+mod planner;
+mod store;
+
+pub use cache::{CacheConfig, CacheStrategy, CubeCache};
+pub use planner::{CubeSource, LevelPlanner, PlannedCube, PlannerKind, QueryPlan};
+pub use store::{with_planner, FetchOutcome, IndexError, MaintenanceReport, TemporalIndex};

@@ -1,0 +1,792 @@
+//! Streaming readers/writers for the OSM document families (§II-B):
+//! planet / full-history files, `osmChange` diffs, and changeset files.
+
+use crate::coords::{format_fixed7, parse_fixed7};
+use crate::xml::{Event, XmlError, XmlReader, XmlWriter};
+use rased_osm_model::{
+    ChangesetId, ChangesetMeta, Element, ElementId, ElementType, MemberRef, Node, Relation, Tags,
+    UserId, Version, VersionInfo, Way,
+};
+use rased_temporal::Date;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error reading an OSM document: XML-level or semantic.
+#[derive(Debug)]
+pub enum OsmDocError {
+    Xml(XmlError),
+    Io(io::Error),
+    /// Structurally valid XML that is not a valid OSM document.
+    Semantic(String),
+}
+
+impl fmt::Display for OsmDocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsmDocError::Xml(e) => write!(f, "{e}"),
+            OsmDocError::Io(e) => write!(f, "I/O error: {e}"),
+            OsmDocError::Semantic(m) => write!(f, "invalid OSM document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OsmDocError {}
+
+impl From<XmlError> for OsmDocError {
+    fn from(e: XmlError) -> Self {
+        OsmDocError::Xml(e)
+    }
+}
+
+impl From<io::Error> for OsmDocError {
+    fn from(e: io::Error) -> Self {
+        OsmDocError::Io(e)
+    }
+}
+
+fn semantic(m: impl Into<String>) -> OsmDocError {
+    OsmDocError::Semantic(m.into())
+}
+
+fn find_attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn require_attr<'a>(attrs: &'a [(String, String)], key: &str, ctx: &str) -> Result<&'a str, OsmDocError> {
+    find_attr(attrs, key).ok_or_else(|| semantic(format!("missing `{key}` on <{ctx}>")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, OsmDocError> {
+    s.parse().map_err(|_| semantic(format!("bad {what}: `{s}`")))
+}
+
+/// Parse the `YYYY-MM-DD` prefix of an ISO-8601 timestamp.
+fn parse_timestamp(s: &str) -> Result<Date, OsmDocError> {
+    let prefix = s.get(..10).ok_or_else(|| semantic(format!("bad timestamp `{s}`")))?;
+    prefix.parse().map_err(|_| semantic(format!("bad timestamp `{s}`")))
+}
+
+fn format_timestamp(d: Date) -> String {
+    format!("{d}T00:00:00Z")
+}
+
+// ---------------------------------------------------------------------------
+// Element-level read/write (shared by planet, history, and diff documents)
+// ---------------------------------------------------------------------------
+
+fn parse_version_info(attrs: &[(String, String)], ctx: &str) -> Result<VersionInfo, OsmDocError> {
+    Ok(VersionInfo {
+        version: Version(parse_num(require_attr(attrs, "version", ctx)?, "version")?),
+        date: parse_timestamp(require_attr(attrs, "timestamp", ctx)?)?,
+        changeset: ChangesetId(parse_num(require_attr(attrs, "changeset", ctx)?, "changeset id")?),
+        user: UserId(parse_num(find_attr(attrs, "uid").unwrap_or("0"), "uid")?),
+        visible: match find_attr(attrs, "visible") {
+            None => true,
+            Some("true") => true,
+            Some("false") => false,
+            Some(other) => return Err(semantic(format!("bad visible flag `{other}`"))),
+        },
+    })
+}
+
+/// Read one element's children (tags / nds / members) until its end tag.
+/// `start` must be the element's start event.
+fn read_element<R: BufRead>(
+    reader: &mut XmlReader<R>,
+    name: &str,
+    attrs: &[(String, String)],
+    self_closing: bool,
+) -> Result<Element, OsmDocError> {
+    let etype = ElementType::from_xml_name(name)
+        .ok_or_else(|| semantic(format!("unknown element <{name}>")))?;
+    let id = ElementId(parse_num(require_attr(attrs, "id", name)?, "element id")?);
+    let info = parse_version_info(attrs, name)?;
+
+    let mut tags = Tags::new();
+    let mut nds: Vec<ElementId> = Vec::new();
+    let mut members: Vec<MemberRef> = Vec::new();
+
+    if !self_closing {
+        loop {
+            match reader.next_event()? {
+                Event::Start { name: child, attrs: cattrs, self_closing: cself } => {
+                    match child.as_str() {
+                        "tag" => {
+                            let k = require_attr(&cattrs, "k", "tag")?.to_string();
+                            let v = require_attr(&cattrs, "v", "tag")?.to_string();
+                            tags.set(k, v);
+                        }
+                        "nd" => {
+                            nds.push(ElementId(parse_num(require_attr(&cattrs, "ref", "nd")?, "nd ref")?));
+                        }
+                        "member" => {
+                            let mtype = ElementType::from_xml_name(require_attr(&cattrs, "type", "member")?)
+                                .ok_or_else(|| semantic("bad member type"))?;
+                            members.push(MemberRef {
+                                element_type: mtype,
+                                id: ElementId(parse_num(require_attr(&cattrs, "ref", "member")?, "member ref")?),
+                                role: find_attr(&cattrs, "role").unwrap_or("").to_string(),
+                            });
+                        }
+                        other => return Err(semantic(format!("unexpected <{other}> inside <{name}>"))),
+                    }
+                    if !cself {
+                        // Children are always empty elements in OSM; consume
+                        // the matching end tag if it was written long-form.
+                        match reader.next_event()? {
+                            Event::End { name: en } if en == child => {}
+                            other => return Err(semantic(format!("expected </{child}>, got {other:?}"))),
+                        }
+                    }
+                }
+                Event::End { name: en } if en == name => break,
+                Event::Text(_) => {} // tolerate stray whitespace-ish text
+                other => return Err(semantic(format!("unexpected {other:?} inside <{name}>"))),
+            }
+        }
+    }
+
+    match etype {
+        ElementType::Node => {
+            let lat7 = parse_fixed7(require_attr(attrs, "lat", "node")?)
+                .ok_or_else(|| semantic("bad lat"))?;
+            let lon7 = parse_fixed7(require_attr(attrs, "lon", "node")?)
+                .ok_or_else(|| semantic("bad lon"))?;
+            Ok(Element::Node(Node { id, info, lat7, lon7, tags }))
+        }
+        ElementType::Way => Ok(Element::Way(Way { id, info, nodes: nds, tags })),
+        ElementType::Relation => Ok(Element::Relation(Relation { id, info, members, tags })),
+    }
+}
+
+fn write_element<W: Write>(w: &mut XmlWriter<W>, e: &Element) -> io::Result<()> {
+    let info = e.info();
+    w.start(e.element_type().xml_name())?;
+    w.attr("id", &e.id().raw().to_string())?;
+    w.attr("version", &info.version.raw().to_string())?;
+    w.attr("timestamp", &format_timestamp(info.date))?;
+    w.attr("changeset", &info.changeset.raw().to_string())?;
+    w.attr("uid", &info.user.raw().to_string())?;
+    if !info.visible {
+        w.attr("visible", "false")?;
+    }
+    if let Element::Node(n) = e {
+        w.attr("lat", &format_fixed7(n.lat7))?;
+        w.attr("lon", &format_fixed7(n.lon7))?;
+    }
+    match e {
+        Element::Way(way) => {
+            for nd in &way.nodes {
+                w.start("nd")?;
+                w.attr("ref", &nd.raw().to_string())?;
+                w.end()?;
+            }
+        }
+        Element::Relation(rel) => {
+            for m in &rel.members {
+                w.start("member")?;
+                w.attr("type", m.element_type.xml_name())?;
+                w.attr("ref", &m.id.raw().to_string())?;
+                w.attr("role", &m.role)?;
+                w.end()?;
+            }
+        }
+        Element::Node(_) => {}
+    }
+    for (k, v) in e.tags().iter() {
+        w.start("tag")?;
+        w.attr("k", k)?;
+        w.attr("v", v)?;
+        w.end()?;
+    }
+    w.end()
+}
+
+// ---------------------------------------------------------------------------
+// Planet / full-history documents: <osm> element* </osm>
+// ---------------------------------------------------------------------------
+
+/// Streaming reader for planet and full-history files. Yields every element
+/// in document order; full-history files simply contain multiple versions
+/// of the same element back to back.
+pub struct PlanetReader<R: BufRead> {
+    reader: XmlReader<R>,
+    started: bool,
+    finished: bool,
+}
+
+impl<R: BufRead> PlanetReader<R> {
+    /// Wrap a buffered reader positioned at the start of the document.
+    pub fn new(input: R) -> PlanetReader<R> {
+        PlanetReader { reader: XmlReader::new(input), started: false, finished: false }
+    }
+
+    /// Pull the next element, or `None` at end of document.
+    ///
+    /// Errors are fatal: after an `Err`, subsequent calls return `Ok(None)`
+    /// (a streaming parse cannot resynchronize).
+    pub fn next_element(&mut self) -> Result<Option<Element>, OsmDocError> {
+        let r = self.next_inner();
+        if r.is_err() {
+            self.finished = true;
+        }
+        r
+    }
+
+    fn next_inner(&mut self) -> Result<Option<Element>, OsmDocError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if !self.started {
+            match self.reader.next_event()? {
+                Event::Start { name, self_closing, .. } if name == "osm" => {
+                    self.started = true;
+                    if self_closing {
+                        self.finished = true;
+                        return Ok(None);
+                    }
+                }
+                other => return Err(semantic(format!("expected <osm>, got {other:?}"))),
+            }
+        }
+        loop {
+            match self.reader.next_event()? {
+                Event::Start { name, attrs, self_closing } => {
+                    return Ok(Some(read_element(&mut self.reader, &name, &attrs, self_closing)?));
+                }
+                Event::End { name } if name == "osm" => {
+                    self.finished = true;
+                    return Ok(None);
+                }
+                Event::Text(_) => {}
+                Event::Eof => return Err(semantic("document ended before </osm>")),
+                other => return Err(semantic(format!("unexpected {other:?} in <osm>"))),
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for PlanetReader<R> {
+    type Item = Result<Element, OsmDocError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_element().transpose()
+    }
+}
+
+/// Streaming writer for planet / full-history files.
+pub struct PlanetWriter<W: Write> {
+    writer: XmlWriter<W>,
+}
+
+impl<W: Write> PlanetWriter<W> {
+    /// Start a document.
+    pub fn new(out: W) -> io::Result<PlanetWriter<W>> {
+        let mut writer = XmlWriter::new(out, true)?;
+        writer.start("osm")?;
+        writer.attr("version", "0.6")?;
+        writer.attr("generator", "rased")?;
+        Ok(PlanetWriter { writer })
+    }
+
+    /// Append one element (one version).
+    pub fn write(&mut self, e: &Element) -> io::Result<()> {
+        write_element(&mut self.writer, e)
+    }
+
+    /// Close the document.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.writer.end()?;
+        self.writer.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// osmChange diffs: <osmChange> (<create>|<modify>|<delete>)* </osmChange>
+// ---------------------------------------------------------------------------
+
+/// The action blocks of an `osmChange` document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiffAction {
+    Create,
+    Modify,
+    Delete,
+}
+
+impl DiffAction {
+    fn xml_name(self) -> &'static str {
+        match self {
+            DiffAction::Create => "create",
+            DiffAction::Modify => "modify",
+            DiffAction::Delete => "delete",
+        }
+    }
+
+    fn from_xml_name(s: &str) -> Option<DiffAction> {
+        match s {
+            "create" => Some(DiffAction::Create),
+            "modify" => Some(DiffAction::Modify),
+            "delete" => Some(DiffAction::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Streaming reader for `osmChange` diffs; yields `(action, element)` pairs.
+/// Elements carry after-images only, exactly as OSM publishes them.
+pub struct DiffReader<R: BufRead> {
+    reader: XmlReader<R>,
+    started: bool,
+    finished: bool,
+    current: Option<DiffAction>,
+}
+
+impl<R: BufRead> DiffReader<R> {
+    /// Wrap a buffered reader positioned at the start of the document.
+    pub fn new(input: R) -> DiffReader<R> {
+        DiffReader { reader: XmlReader::new(input), started: false, finished: false, current: None }
+    }
+
+    /// Pull the next change, or `None` at end of document.
+    ///
+    /// Errors are fatal: after an `Err`, subsequent calls return `Ok(None)`.
+    pub fn next_change(&mut self) -> Result<Option<(DiffAction, Element)>, OsmDocError> {
+        let r = self.next_inner();
+        if r.is_err() {
+            self.finished = true;
+        }
+        r
+    }
+
+    fn next_inner(&mut self) -> Result<Option<(DiffAction, Element)>, OsmDocError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if !self.started {
+            match self.reader.next_event()? {
+                Event::Start { name, self_closing, .. } if name == "osmChange" => {
+                    self.started = true;
+                    if self_closing {
+                        self.finished = true;
+                        return Ok(None);
+                    }
+                }
+                other => return Err(semantic(format!("expected <osmChange>, got {other:?}"))),
+            }
+        }
+        loop {
+            match self.reader.next_event()? {
+                Event::Start { name, attrs, self_closing } => {
+                    if let Some(action) = DiffAction::from_xml_name(&name) {
+                        if self.current.is_some() {
+                            return Err(semantic("nested action block"));
+                        }
+                        if !self_closing {
+                            self.current = Some(action);
+                        }
+                        continue;
+                    }
+                    let action = self
+                        .current
+                        .ok_or_else(|| semantic(format!("<{name}> outside an action block")))?;
+                    let e = read_element(&mut self.reader, &name, &attrs, self_closing)?;
+                    return Ok(Some((action, e)));
+                }
+                Event::End { name } => match name.as_str() {
+                    "create" | "modify" | "delete" => self.current = None,
+                    "osmChange" => {
+                        self.finished = true;
+                        return Ok(None);
+                    }
+                    other => return Err(semantic(format!("unexpected </{other}>"))),
+                },
+                Event::Text(_) => {}
+                Event::Eof => return Err(semantic("document ended before </osmChange>")),
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for DiffReader<R> {
+    type Item = Result<(DiffAction, Element), OsmDocError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_change().transpose()
+    }
+}
+
+/// Streaming writer for `osmChange` diffs. Consecutive writes with the same
+/// action share one block, as in OSM's published diffs.
+pub struct DiffWriter<W: Write> {
+    writer: XmlWriter<W>,
+    current: Option<DiffAction>,
+}
+
+impl<W: Write> DiffWriter<W> {
+    /// Start a document.
+    pub fn new(out: W) -> io::Result<DiffWriter<W>> {
+        let mut writer = XmlWriter::new(out, true)?;
+        writer.start("osmChange")?;
+        writer.attr("version", "0.6")?;
+        writer.attr("generator", "rased")?;
+        Ok(DiffWriter { writer, current: None })
+    }
+
+    /// Append one change.
+    pub fn write(&mut self, action: DiffAction, e: &Element) -> io::Result<()> {
+        if self.current != Some(action) {
+            if self.current.is_some() {
+                self.writer.end()?;
+            }
+            self.writer.start(action.xml_name())?;
+            self.current = Some(action);
+        }
+        write_element(&mut self.writer, e)
+    }
+
+    /// Close the document.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.current.is_some() {
+            self.writer.end()?;
+        }
+        self.writer.end()?;
+        self.writer.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Changeset files: <osm> <changeset .../>* </osm>
+// ---------------------------------------------------------------------------
+
+/// Streaming reader for changeset metadata files.
+pub struct ChangesetReader<R: BufRead> {
+    reader: XmlReader<R>,
+    started: bool,
+    finished: bool,
+}
+
+impl<R: BufRead> ChangesetReader<R> {
+    /// Wrap a buffered reader positioned at the start of the document.
+    pub fn new(input: R) -> ChangesetReader<R> {
+        ChangesetReader { reader: XmlReader::new(input), started: false, finished: false }
+    }
+
+    /// Pull the next changeset, or `None` at end of document.
+    ///
+    /// Errors are fatal: after an `Err`, subsequent calls return `Ok(None)`.
+    pub fn next_changeset(&mut self) -> Result<Option<ChangesetMeta>, OsmDocError> {
+        let r = self.next_inner();
+        if r.is_err() {
+            self.finished = true;
+        }
+        r
+    }
+
+    fn next_inner(&mut self) -> Result<Option<ChangesetMeta>, OsmDocError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if !self.started {
+            match self.reader.next_event()? {
+                Event::Start { name, self_closing, .. } if name == "osm" => {
+                    self.started = true;
+                    if self_closing {
+                        self.finished = true;
+                        return Ok(None);
+                    }
+                }
+                other => return Err(semantic(format!("expected <osm>, got {other:?}"))),
+            }
+        }
+        loop {
+            match self.reader.next_event()? {
+                Event::Start { name, attrs, self_closing } if name == "changeset" => {
+                    let id = ChangesetId(parse_num(require_attr(&attrs, "id", "changeset")?, "changeset id")?);
+                    let user = UserId(parse_num(find_attr(&attrs, "uid").unwrap_or("0"), "uid")?);
+                    let created = parse_timestamp(require_attr(&attrs, "created_at", "changeset")?)?;
+                    let closed = match find_attr(&attrs, "closed_at") {
+                        Some(s) => parse_timestamp(s)?,
+                        None => created,
+                    };
+                    let num_changes = parse_num(find_attr(&attrs, "num_changes").unwrap_or("0"), "num_changes")?;
+                    let bbox7 = match (
+                        find_attr(&attrs, "min_lat"),
+                        find_attr(&attrs, "min_lon"),
+                        find_attr(&attrs, "max_lat"),
+                        find_attr(&attrs, "max_lon"),
+                    ) {
+                        (Some(a), Some(b), Some(c), Some(d)) => Some((
+                            parse_fixed7(a).ok_or_else(|| semantic("bad min_lat"))?,
+                            parse_fixed7(b).ok_or_else(|| semantic("bad min_lon"))?,
+                            parse_fixed7(c).ok_or_else(|| semantic("bad max_lat"))?,
+                            parse_fixed7(d).ok_or_else(|| semantic("bad max_lon"))?,
+                        )),
+                        _ => None,
+                    };
+                    // Children: <tag k v/> — only `comment` is kept.
+                    let mut comment = String::new();
+                    if !self_closing {
+                        loop {
+                            match self.reader.next_event()? {
+                                Event::Start { name: cn, attrs: ca, self_closing: cs } if cn == "tag" => {
+                                    if find_attr(&ca, "k") == Some("comment") {
+                                        comment = find_attr(&ca, "v").unwrap_or("").to_string();
+                                    }
+                                    if !cs {
+                                        match self.reader.next_event()? {
+                                            Event::End { name: en } if en == "tag" => {}
+                                            other => return Err(semantic(format!("expected </tag>, got {other:?}"))),
+                                        }
+                                    }
+                                }
+                                Event::End { name: en } if en == "changeset" => break,
+                                Event::Text(_) => {}
+                                other => return Err(semantic(format!("unexpected {other:?} in <changeset>"))),
+                            }
+                        }
+                    }
+                    return Ok(Some(ChangesetMeta { id, user, created, closed, bbox7, num_changes, comment }));
+                }
+                Event::End { name } if name == "osm" => {
+                    self.finished = true;
+                    return Ok(None);
+                }
+                Event::Text(_) => {}
+                Event::Eof => return Err(semantic("document ended before </osm>")),
+                other => return Err(semantic(format!("unexpected {other:?} in changeset file"))),
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for ChangesetReader<R> {
+    type Item = Result<ChangesetMeta, OsmDocError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_changeset().transpose()
+    }
+}
+
+/// Streaming writer for changeset metadata files.
+pub struct ChangesetWriter<W: Write> {
+    writer: XmlWriter<W>,
+}
+
+impl<W: Write> ChangesetWriter<W> {
+    /// Start a document.
+    pub fn new(out: W) -> io::Result<ChangesetWriter<W>> {
+        let mut writer = XmlWriter::new(out, true)?;
+        writer.start("osm")?;
+        writer.attr("version", "0.6")?;
+        writer.attr("generator", "rased")?;
+        Ok(ChangesetWriter { writer })
+    }
+
+    /// Append one changeset.
+    pub fn write(&mut self, c: &ChangesetMeta) -> io::Result<()> {
+        let w = &mut self.writer;
+        w.start("changeset")?;
+        w.attr("id", &c.id.raw().to_string())?;
+        w.attr("uid", &c.user.raw().to_string())?;
+        w.attr("created_at", &format_timestamp(c.created))?;
+        w.attr("closed_at", &format_timestamp(c.closed))?;
+        w.attr("num_changes", &c.num_changes.to_string())?;
+        if let Some((min_lat, min_lon, max_lat, max_lon)) = c.bbox7 {
+            w.attr("min_lat", &format_fixed7(min_lat))?;
+            w.attr("min_lon", &format_fixed7(min_lon))?;
+            w.attr("max_lat", &format_fixed7(max_lat))?;
+            w.attr("max_lon", &format_fixed7(max_lon))?;
+        }
+        if !c.comment.is_empty() {
+            w.start("tag")?;
+            w.attr("k", "comment")?;
+            w.attr("v", &c.comment)?;
+            w.end()?;
+        }
+        w.end()
+    }
+
+    /// Close the document.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.writer.end()?;
+        self.writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(v: u32, visible: bool) -> VersionInfo {
+        VersionInfo {
+            version: Version(v),
+            date: "2021-04-05".parse().unwrap(),
+            changeset: ChangesetId(500),
+            user: UserId(77),
+            visible,
+        }
+    }
+
+    fn sample_elements() -> Vec<Element> {
+        vec![
+            Element::Node(Node {
+                id: ElementId(1),
+                info: info(1, true),
+                lat7: 449_700_000,
+                lon7: -932_600_000,
+                tags: Tags::from_pairs([("highway", "crossing")]),
+            }),
+            Element::Way(Way {
+                id: ElementId(10),
+                info: info(3, true),
+                nodes: vec![ElementId(1), ElementId(2), ElementId(3)],
+                tags: Tags::from_pairs([("highway", "residential"), ("name", "Elm & \"Main\" <St>")]),
+            }),
+            Element::Relation(Relation {
+                id: ElementId(20),
+                info: info(2, false),
+                members: vec![
+                    MemberRef { element_type: ElementType::Way, id: ElementId(10), role: "outer".into() },
+                    MemberRef { element_type: ElementType::Node, id: ElementId(1), role: String::new() },
+                ],
+                tags: Tags::from_pairs([("type", "route")]),
+            }),
+        ]
+    }
+
+    #[test]
+    fn planet_roundtrip() {
+        let elements = sample_elements();
+        let mut w = PlanetWriter::new(Vec::new()).unwrap();
+        for e in &elements {
+            w.write(e).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+
+        let got: Vec<Element> =
+            PlanetReader::new(bytes.as_slice()).map(|r| r.unwrap()).collect();
+        assert_eq!(got, elements);
+    }
+
+    #[test]
+    fn diff_roundtrip_with_action_blocks() {
+        let elements = sample_elements();
+        let changes = vec![
+            (DiffAction::Create, elements[0].clone()),
+            (DiffAction::Create, elements[1].clone()),
+            (DiffAction::Modify, elements[1].clone()),
+            (DiffAction::Delete, elements[2].clone()),
+        ];
+        let mut w = DiffWriter::new(Vec::new()).unwrap();
+        for (a, e) in &changes {
+            w.write(*a, e).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        // Consecutive creates share a block.
+        assert_eq!(text.matches("<create>").count(), 1);
+
+        let got: Vec<(DiffAction, Element)> =
+            DiffReader::new(bytes.as_slice()).map(|r| r.unwrap()).collect();
+        assert_eq!(got, changes);
+    }
+
+    #[test]
+    fn changeset_roundtrip() {
+        let metas = vec![
+            ChangesetMeta {
+                id: ChangesetId(1000),
+                user: UserId(5),
+                created: "2020-01-01".parse().unwrap(),
+                closed: "2020-01-02".parse().unwrap(),
+                bbox7: Some((10, -20, 30, 40)),
+                num_changes: 42,
+                comment: "fix <roads> & stuff".into(),
+            },
+            ChangesetMeta {
+                id: ChangesetId(1001),
+                user: UserId(6),
+                created: "2020-02-02".parse().unwrap(),
+                closed: "2020-02-02".parse().unwrap(),
+                bbox7: None,
+                num_changes: 0,
+                comment: String::new(),
+            },
+        ];
+        let mut w = ChangesetWriter::new(Vec::new()).unwrap();
+        for m in &metas {
+            w.write(m).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let got: Vec<ChangesetMeta> =
+            ChangesetReader::new(bytes.as_slice()).map(|r| r.unwrap()).collect();
+        assert_eq!(got, metas);
+    }
+
+    #[test]
+    fn empty_documents() {
+        let bytes = PlanetWriter::new(Vec::new()).unwrap().finish().unwrap();
+        assert_eq!(PlanetReader::new(bytes.as_slice()).count(), 0);
+        let bytes = DiffWriter::new(Vec::new()).unwrap().finish().unwrap();
+        assert_eq!(DiffReader::new(bytes.as_slice()).count(), 0);
+        let bytes = ChangesetWriter::new(Vec::new()).unwrap().finish().unwrap();
+        assert_eq!(ChangesetReader::new(bytes.as_slice()).count(), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let doc = r#"<?xml version="1.0"?><wrong></wrong>"#;
+        assert!(PlanetReader::new(doc.as_bytes()).next_element().is_err());
+        assert!(DiffReader::new(doc.as_bytes()).next_change().is_err());
+        assert!(ChangesetReader::new(doc.as_bytes()).next_changeset().is_err());
+    }
+
+    #[test]
+    fn rejects_missing_required_attrs() {
+        let doc = r#"<osm><node lat="1.0" lon="2.0" version="1" timestamp="2020-01-01T00:00:00Z" changeset="1"/></osm>"#;
+        // Missing id.
+        let err = PlanetReader::new(doc.as_bytes()).next_element().unwrap_err();
+        assert!(err.to_string().contains("id"), "{err}");
+
+        let doc2 = r#"<osm><node id="1" version="1" timestamp="2020-01-01T00:00:00Z" changeset="1"/></osm>"#;
+        // Missing lat/lon.
+        assert!(PlanetReader::new(doc2.as_bytes()).next_element().is_err());
+    }
+
+    #[test]
+    fn rejects_element_outside_action_block() {
+        let doc = r#"<osmChange><node id="1" lat="0.0" lon="0.0" version="1" timestamp="2020-01-01T00:00:00Z" changeset="1"/></osmChange>"#;
+        assert!(DiffReader::new(doc.as_bytes()).next_change().is_err());
+    }
+
+    #[test]
+    fn truncated_planet_errors_not_hangs() {
+        let full = {
+            let mut w = PlanetWriter::new(Vec::new()).unwrap();
+            for e in sample_elements() {
+                w.write(&e).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        let cut = &full[..full.len() / 2];
+        let mut r = PlanetReader::new(cut);
+        let mut saw_err = false;
+        for item in &mut r {
+            if item.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "truncated document must surface an error");
+    }
+
+    #[test]
+    fn visible_flag_roundtrip() {
+        let e = &sample_elements()[2]; // the invisible relation
+        let mut w = PlanetWriter::new(Vec::new()).unwrap();
+        w.write(e).unwrap();
+        let bytes = w.finish().unwrap();
+        let got = PlanetReader::new(bytes.as_slice()).next().unwrap().unwrap();
+        assert!(!got.info().visible);
+    }
+}

@@ -1,0 +1,433 @@
+//! [`QueryEngine`]: cube-based execution with level optimization + caching.
+
+use crate::model::{
+    AnalysisQuery, GroupDim, GroupKey, NetworkSizes, QueryResult, QueryStats, ResultRow, ValueMode,
+};
+use rased_cube::DimSelection;
+use rased_index::{CubeSource, FetchOutcome, IndexError, LevelPlanner, PlannerKind, QueryPlan, TemporalIndex};
+use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
+use rased_temporal::{DateRange, Period};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Query execution error.
+#[derive(Debug)]
+pub enum QueryError {
+    Index(IndexError),
+    /// The plan referenced a cube that vanished between planning and fetch.
+    PlanRace(Period),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Index(e) => write!(f, "{e}"),
+            QueryError::PlanRace(p) => write!(f, "cube {p} disappeared during execution"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<IndexError> for QueryError {
+    fn from(e: IndexError) -> Self {
+        QueryError::Index(e)
+    }
+}
+
+/// The cube-based query engine.
+pub struct QueryEngine<'a> {
+    index: &'a TemporalIndex,
+    planner: PlannerKind,
+    sizes: Option<&'a NetworkSizes>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine over `index` using the exact DP planner.
+    pub fn new(index: &'a TemporalIndex) -> QueryEngine<'a> {
+        QueryEngine { index, planner: PlannerKind::ExactDp, sizes: None }
+    }
+
+    /// Switch planning algorithm (the greedy variant exists for ablation).
+    pub fn with_planner(mut self, kind: PlannerKind) -> Self {
+        self.planner = kind;
+        self
+    }
+
+    /// Provide per-country network sizes for percentage queries.
+    pub fn with_network_sizes(mut self, sizes: &'a NetworkSizes) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+
+    /// Execute an analysis query.
+    pub fn execute(&self, q: &AnalysisQuery) -> Result<QueryResult, QueryError> {
+        let start = Instant::now();
+        let io_before = self.index.file().stats().snapshot();
+
+        let selection = self.selection(q);
+        let mut stats = QueryStats::default();
+        let mut groups: HashMap<GroupKey, u64> = HashMap::new();
+
+        // A filter that selects no cell (e.g. only out-of-schema ids) can
+        // never match; skip planning and cube fetches entirely.
+        if selection.is_empty() {
+            stats.wall = start.elapsed();
+            return Ok(QueryResult { rows: Vec::new(), stats });
+        }
+
+        match q.date_granularity() {
+            None => {
+                let plan = self.plan(q.range);
+                self.aggregate_plan(&plan, &selection, q, None, &mut groups, &mut stats)?;
+            }
+            Some(g) => {
+                // Date grouping: evaluate each period of granularity `g`
+                // that intersects the range on its clipped sub-range, so
+                // partial periods at the edges only count in-range days.
+                let mut p = Period::containing(g, q.range.start());
+                while p.start() <= q.range.end() {
+                    let sub = p.range().intersect(q.range).expect("overlapping period");
+                    let plan = self.plan(sub);
+                    self.aggregate_plan(&plan, &selection, q, Some(p), &mut groups, &mut stats)?;
+                    p = p.succ();
+                }
+            }
+        }
+
+        let grand_total: u64 = groups.values().sum();
+        let mut rows: Vec<ResultRow> = groups
+            .into_iter()
+            .map(|(key, count)| ResultRow {
+                key,
+                count,
+                value: match q.value {
+                    ValueMode::Count => count as f64,
+                    ValueMode::Percentage => percentage_value(count, &key, self.sizes, grand_total),
+                },
+            })
+            .collect();
+        rows.sort_by_key(|r| r.key);
+
+        stats.io = self.index.file().stats().snapshot().since(&io_before);
+        stats.wall = start.elapsed();
+        Ok(QueryResult { rows, stats })
+    }
+
+    fn plan(&self, range: DateRange) -> QueryPlan {
+        let exists = |p: Period| self.index.has(p);
+        let cached = |p: Period| self.index.cache().contains(p);
+        let planner = LevelPlanner::new(self.index.levels(), &exists, &cached);
+        planner.plan(range, self.planner)
+    }
+
+    fn selection(&self, q: &AnalysisQuery) -> DimSelection {
+        let mut sel = DimSelection::all(self.index.schema());
+        if let Some(f) = &q.element_types {
+            sel = sel.with_element_types(f);
+        }
+        if let Some(f) = &q.countries {
+            sel = sel.with_countries(f);
+        }
+        if let Some(f) = &q.road_types {
+            sel = sel.with_road_types(f);
+        }
+        if let Some(f) = &q.update_types {
+            sel = sel.with_update_types(f);
+        }
+        sel
+    }
+
+    fn aggregate_plan(
+        &self,
+        plan: &QueryPlan,
+        selection: &DimSelection,
+        q: &AnalysisQuery,
+        date_key: Option<Period>,
+        groups: &mut HashMap<GroupKey, u64>,
+        stats: &mut QueryStats,
+    ) -> Result<(), QueryError> {
+        for planned in &plan.cubes {
+            if planned.source == CubeSource::Empty {
+                stats.empty_days += 1;
+                continue;
+            }
+            let (cube, outcome) = self
+                .index
+                .fetch(planned.period)?
+                .ok_or(QueryError::PlanRace(planned.period))?;
+            match outcome {
+                FetchOutcome::Cache => stats.cubes_from_cache += 1,
+                FetchOutcome::Disk => stats.cubes_from_disk += 1,
+            }
+            // Phase 2: in-memory aggregation within the cube.
+            cube.for_each_selected(selection, |et, c, r, u, v| {
+                let mut key = GroupKey { date: date_key, ..GroupKey::default() };
+                if date_key.is_none() {
+                    key.date = None;
+                }
+                for dim in &q.group_by {
+                    match dim {
+                        GroupDim::ElementType => {
+                            key.element_type = ElementType::from_index(et);
+                        }
+                        GroupDim::Country => key.country = Some(CountryId(c as u16)),
+                        GroupDim::RoadType => key.road_type = Some(RoadTypeId(r as u16)),
+                        GroupDim::UpdateType => {
+                            key.update_type = UpdateType::from_index(u);
+                        }
+                        GroupDim::Date(_) => {} // already in date_key
+                    }
+                }
+                *groups.entry(key).or_insert(0) += v;
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Percentage semantics shared by engine and oracle: per-country network
+/// size when the row has a country and sizes are known; otherwise percent
+/// of the query's grand total.
+pub(crate) fn percentage_value(
+    count: u64,
+    key: &GroupKey,
+    sizes: Option<&NetworkSizes>,
+    grand_total: u64,
+) -> f64 {
+    let denom = match (key.country, sizes) {
+        (Some(c), Some(s)) => {
+            let n = s.get(c);
+            if n > 0 {
+                n
+            } else {
+                grand_total
+            }
+        }
+        _ => grand_total,
+    };
+    if denom == 0 {
+        0.0
+    } else {
+        count as f64 * 100.0 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_execute;
+    use rased_cube::{CubeSchema, DataCube};
+    use rased_index::CacheConfig;
+    use rased_osm_model::{ChangesetId, UpdateRecord};
+    use rased_storage::IoCostModel;
+    use rased_temporal::Granularity;
+    use rased_temporal::Date;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "rased-query-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    /// Deterministic pseudo-random records over 90 days.
+    fn dataset() -> Vec<UpdateRecord> {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut out = Vec::new();
+        for day in 0..90 {
+            let date = d("2021-01-01").add_days(day);
+            for _ in 0..(5 + (next() % 20)) {
+                out.push(UpdateRecord {
+                    element_type: ElementType::ALL[(next() % 3) as usize],
+                    update_type: UpdateType::ALL[(next() % 5) as usize],
+                    country: CountryId((next() % 4) as u16),
+                    road_type: RoadTypeId((next() % 3) as u16),
+                    date,
+                    lat7: 0,
+                    lon7: 0,
+                    changeset: ChangesetId(next()),
+                });
+            }
+        }
+        out
+    }
+
+    /// Ingest `records` into a fresh index, one daily cube per day.
+    fn build_index(tag: &str, records: &[UpdateRecord]) -> TemporalIndex {
+        let schema = CubeSchema::tiny();
+        let idx = TemporalIndex::create(
+            &tmpdir(tag),
+            schema,
+            4,
+            CacheConfig::disabled(),
+            IoCostModel::free(),
+        )
+        .unwrap();
+        let mut by_day: HashMap<Date, Vec<&UpdateRecord>> = HashMap::new();
+        for r in records {
+            by_day.entry(r.date).or_default().push(r);
+        }
+        let mut days: Vec<_> = by_day.keys().copied().collect();
+        days.sort();
+        for day in days {
+            let cube = DataCube::from_records(schema, by_day[&day].iter().copied()).unwrap();
+            idx.ingest_day(day, &cube).unwrap();
+        }
+        idx
+    }
+
+    fn assert_matches_naive(tag: &str, q: AnalysisQuery) {
+        let records = dataset();
+        let idx = build_index(tag, &records);
+        let engine = QueryEngine::new(&idx);
+        let got = engine.execute(&q).unwrap();
+        let want = naive_execute(&records, &q, None);
+        assert_eq!(got.rows, want.rows, "query {q:?}");
+    }
+
+    #[test]
+    fn ungrouped_count_matches_naive() {
+        assert_matches_naive("e1", AnalysisQuery::over(DateRange::new(d("2021-01-05"), d("2021-02-20"))));
+    }
+
+    #[test]
+    fn filters_match_naive() {
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .elements(vec![ElementType::Way, ElementType::Relation])
+            .countries(vec![CountryId(0), CountryId(2)])
+            .roads(vec![RoadTypeId(1)])
+            .updates(UpdateType::NEW_OR_UPDATE.to_vec());
+        assert_matches_naive("e2", q);
+    }
+
+    #[test]
+    fn group_by_country_and_element_matches_naive() {
+        // The paper's Example 1 shape.
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .updates(UpdateType::NEW_OR_UPDATE.to_vec())
+            .group(GroupDim::Country)
+            .group(GroupDim::ElementType);
+        assert_matches_naive("e3", q);
+    }
+
+    #[test]
+    fn group_by_date_daily_matches_naive() {
+        // The paper's Example 3 shape (time series).
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-15"), d("2021-02-15")))
+            .countries(vec![CountryId(1), CountryId(3)])
+            .group(GroupDim::Country)
+            .group(GroupDim::Date(Granularity::Day));
+        assert_matches_naive("e4", q);
+    }
+
+    #[test]
+    fn group_by_week_with_partial_edges_matches_naive() {
+        // Range deliberately cuts weeks on both ends.
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-06"), d("2021-02-17")))
+            .group(GroupDim::Date(Granularity::Week));
+        assert_matches_naive("e5", q);
+    }
+
+    #[test]
+    fn group_by_month_matches_naive() {
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .group(GroupDim::Date(Granularity::Month))
+            .group(GroupDim::UpdateType);
+        assert_matches_naive("e6", q);
+    }
+
+    #[test]
+    fn all_dims_grouped_matches_naive() {
+        let q = AnalysisQuery::over(DateRange::new(d("2021-02-01"), d("2021-02-28")))
+            .group(GroupDim::Country)
+            .group(GroupDim::ElementType)
+            .group(GroupDim::RoadType)
+            .group(GroupDim::UpdateType)
+            .group(GroupDim::Date(Granularity::Day));
+        assert_matches_naive("e7", q);
+    }
+
+    #[test]
+    fn percentage_with_sizes_matches_naive() {
+        let records = dataset();
+        let idx = build_index("e8", &records);
+        let sizes = NetworkSizes::new(vec![1000, 2000, 4000, 8000]);
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .group(GroupDim::Country)
+            .percentage();
+        let engine = QueryEngine::new(&idx).with_network_sizes(&sizes);
+        let got = engine.execute(&q).unwrap();
+        let want = naive_execute(&records, &q, Some(&sizes));
+        assert_eq!(got.rows, want.rows);
+        // Spot check one percentage.
+        let row = got.rows.iter().find(|r| r.key.country == Some(CountryId(1))).unwrap();
+        assert!((row.value - row.count as f64 * 100.0 / 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_range_before_data_returns_no_rows() {
+        let records = dataset();
+        let idx = build_index("e9", &records);
+        let q = AnalysisQuery::over(DateRange::new(d("2019-01-01"), d("2019-12-31")));
+        let got = QueryEngine::new(&idx).execute(&q).unwrap();
+        assert!(got.rows.is_empty());
+        assert_eq!(got.stats.cubes_from_disk, 0);
+        assert_eq!(got.stats.empty_days, 365);
+    }
+
+    #[test]
+    fn stats_count_disk_cubes() {
+        let records = dataset();
+        let idx = build_index("e10", &records);
+        // Full 90-day window with a 4-level index rolled up: far fewer than
+        // 90 cubes should be touched.
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")));
+        let got = QueryEngine::new(&idx).execute(&q).unwrap();
+        let touched = got.stats.cubes_from_disk + got.stats.cubes_from_cache;
+        assert!(touched < 90, "level optimizer should use coarse cubes, touched {touched}");
+        assert!(got.stats.io.reads as usize >= got.stats.cubes_from_disk);
+    }
+
+    #[test]
+    fn empty_selection_short_circuits() {
+        let records = dataset();
+        let idx = build_index("e12", &records);
+        // Country 99 is outside the tiny schema: nothing can match.
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .countries(vec![CountryId(99)]);
+        let got = QueryEngine::new(&idx).execute(&q).unwrap();
+        assert!(got.rows.is_empty());
+        assert_eq!(got.stats.cubes_from_disk, 0, "no cube may be fetched");
+        assert_eq!(got.stats.cubes_from_cache, 0);
+        assert_eq!(got.stats.io.reads, 0);
+        // Same answer as the oracle.
+        assert_eq!(naive_execute(&records, &q, None).rows, got.rows);
+    }
+
+    #[test]
+    fn greedy_planner_gives_same_answers() {
+        let records = dataset();
+        let idx = build_index("e11", &records);
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-03"), d("2021-03-20")))
+            .group(GroupDim::Country);
+        let dp = QueryEngine::new(&idx).execute(&q).unwrap();
+        let greedy = QueryEngine::new(&idx).with_planner(PlannerKind::Greedy).execute(&q).unwrap();
+        assert_eq!(dp.rows, greedy.rows, "planners must agree on answers");
+    }
+}

@@ -1,0 +1,101 @@
+//! Record-at-a-time aggregation: the semantics oracle and the streaming
+//! aggregator reused by the row-scan DBMS baseline.
+
+use crate::engine::percentage_value;
+use crate::model::{
+    AnalysisQuery, GroupDim, GroupKey, NetworkSizes, QueryResult, QueryStats, ResultRow, ValueMode,
+};
+use rased_osm_model::UpdateRecord;
+use rased_temporal::Period;
+use std::collections::HashMap;
+
+/// A streaming aggregator implementing the exact query semantics on raw
+/// `UpdateList` rows. Feed it records in any order, then [`RecordAggregator::finish`].
+///
+/// This is both the test oracle ([`naive_execute`]) and the execution core
+/// of the row-scan DBMS baseline (Fig. 10): a full-table scan pushes every
+/// row through here.
+pub struct RecordAggregator<'a> {
+    q: &'a AnalysisQuery,
+    sizes: Option<&'a NetworkSizes>,
+    groups: HashMap<GroupKey, u64>,
+}
+
+impl<'a> RecordAggregator<'a> {
+    /// Start an aggregation for `q`.
+    pub fn new(q: &'a AnalysisQuery, sizes: Option<&'a NetworkSizes>) -> RecordAggregator<'a> {
+        RecordAggregator { q, sizes, groups: HashMap::new() }
+    }
+
+    /// Offer one record; filtered and grouped per the query.
+    pub fn push(&mut self, r: &UpdateRecord) {
+        let q = self.q;
+        if !q.range.contains(r.date) {
+            return;
+        }
+        if let Some(f) = &q.element_types {
+            if !f.contains(&r.element_type) {
+                return;
+            }
+        }
+        if let Some(f) = &q.countries {
+            if !f.contains(&r.country) {
+                return;
+            }
+        }
+        if let Some(f) = &q.road_types {
+            if !f.contains(&r.road_type) {
+                return;
+            }
+        }
+        if let Some(f) = &q.update_types {
+            if !f.contains(&r.update_type) {
+                return;
+            }
+        }
+        let mut key = GroupKey::default();
+        for dim in &q.group_by {
+            match dim {
+                GroupDim::ElementType => key.element_type = Some(r.element_type),
+                GroupDim::Country => key.country = Some(r.country),
+                GroupDim::RoadType => key.road_type = Some(r.road_type),
+                GroupDim::UpdateType => key.update_type = Some(r.update_type),
+                GroupDim::Date(g) => key.date = Some(Period::containing(*g, r.date)),
+            }
+        }
+        *self.groups.entry(key).or_insert(0) += 1;
+    }
+
+    /// Produce the final rows (sorted by key; stats left default for the
+    /// caller to fill).
+    pub fn finish(self) -> QueryResult {
+        let grand_total: u64 = self.groups.values().sum();
+        let mut rows: Vec<ResultRow> = self
+            .groups
+            .into_iter()
+            .map(|(key, count)| ResultRow {
+                key,
+                count,
+                value: match self.q.value {
+                    ValueMode::Count => count as f64,
+                    ValueMode::Percentage => percentage_value(count, &key, self.sizes, grand_total),
+                },
+            })
+            .collect();
+        rows.sort_by_key(|r| r.key);
+        QueryResult { rows, stats: QueryStats::default() }
+    }
+}
+
+/// Evaluate `q` over `records` by direct scan.
+pub fn naive_execute(
+    records: &[UpdateRecord],
+    q: &AnalysisQuery,
+    sizes: Option<&NetworkSizes>,
+) -> QueryResult {
+    let mut agg = RecordAggregator::new(q, sizes);
+    for r in records {
+        agg.push(r);
+    }
+    agg.finish()
+}

@@ -1,0 +1,248 @@
+//! [`BufferPool`]: an LRU page cache over a [`PageFile`].
+
+use crate::pagefile::{PageFile, PageId, StorageError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hit/miss counters for a buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// A fixed-capacity LRU cache of pages, write-through.
+///
+/// Pages are shared as `Arc<Vec<u8>>`, so a reader keeps its page alive even
+/// if the pool evicts it concurrently. Write-through keeps the pool trivially
+/// crash-consistent (the paper's cubes are written once per maintenance run,
+/// so delayed write-back would buy nothing).
+pub struct BufferPool {
+    file: Arc<PageFile>,
+    capacity: usize,
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Lru {
+    /// page -> (data, last-use tick)
+    map: HashMap<u64, (Arc<Vec<u8>>, u64)>,
+    tick: u64,
+}
+
+impl BufferPool {
+    /// Create a pool over `file` holding at most `capacity` pages.
+    /// Capacity zero is legal: every access is a miss (useful as the
+    /// "no caching" experimental configuration).
+    pub fn new(file: Arc<PageFile>, capacity: usize) -> BufferPool {
+        BufferPool {
+            file,
+            capacity,
+            inner: Mutex::new(Lru { map: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying page file.
+    pub fn file(&self) -> &Arc<PageFile> {
+        &self.file
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Read a page through the cache.
+    pub fn read(&self, page: PageId) -> Result<Arc<Vec<u8>>, StorageError> {
+        {
+            let mut lru = self.inner.lock();
+            lru.tick += 1;
+            let tick = lru.tick;
+            if let Some((data, last)) = lru.map.get_mut(&page.0) {
+                *last = tick;
+                let data = Arc::clone(data);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(data);
+            }
+        }
+        // Miss: fetch outside the lock so concurrent hits are not blocked
+        // behind disk latency.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(self.file.read_page_vec(page)?);
+        self.admit(page, Arc::clone(&data));
+        Ok(data)
+    }
+
+    /// Write a page through the cache (updates the cached copy and the file).
+    pub fn write(&self, page: PageId, data: Vec<u8>) -> Result<(), StorageError> {
+        self.file.write_page(page, &data)?;
+        self.admit(page, Arc::new(data));
+        Ok(())
+    }
+
+    /// Pre-load a page into the cache without counting a hit or miss — the
+    /// cache *warming* step of the paper's caching strategy (§VII-A).
+    pub fn prefetch(&self, page: PageId) -> Result<(), StorageError> {
+        let already = { self.inner.lock().map.contains_key(&page.0) };
+        if !already {
+            let data = Arc::new(self.file.read_page_vec(page)?);
+            self.admit(page, data);
+        }
+        Ok(())
+    }
+
+    /// True when the page is currently cached (no LRU update).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.inner.lock().map.contains_key(&page.0)
+    }
+
+    /// Drop every cached page.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn admit(&self, page: PageId, data: Arc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut lru = self.inner.lock();
+        lru.tick += 1;
+        let tick = lru.tick;
+        lru.map.insert(page.0, (data, tick));
+        while lru.map.len() > self.capacity {
+            // Evict the least-recently-used entry. Linear scan is fine: the
+            // pool holds at most a few thousand multi-megabyte pages, so the
+            // scan is noise next to one page transfer.
+            if let Some((&victim, _)) = lru.map.iter().min_by_key(|(_, (_, last))| *last) {
+                lru.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IoCostModel;
+
+    fn pool(capacity: usize) -> (BufferPool, Arc<PageFile>) {
+        let dir = std::env::temp_dir().join(format!(
+            "rased-buffer-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.pg");
+        let pf = Arc::new(PageFile::create(&path, 8, IoCostModel::free()).unwrap());
+        for i in 0..10u8 {
+            pf.append_page(&[i; 8]).unwrap();
+        }
+        (BufferPool::new(Arc::clone(&pf), capacity), pf)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (pool, pf) = pool(4);
+        let before = pf.stats().snapshot();
+        let a = pool.read(PageId(3)).unwrap();
+        assert_eq!(**a, vec![3u8; 8]);
+        let b = pool.read(PageId(3)).unwrap();
+        assert_eq!(a, b);
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Only one physical read happened.
+        assert_eq!(pf.stats().snapshot().since(&before).reads, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let (pool, _pf) = pool(3);
+        for p in [0u64, 1, 2] {
+            pool.read(PageId(p)).unwrap();
+        }
+        pool.read(PageId(0)).unwrap(); // refresh page 0
+        pool.read(PageId(3)).unwrap(); // evicts page 1 (coldest)
+        assert!(pool.contains(PageId(0)));
+        assert!(!pool.contains(PageId(1)));
+        assert!(pool.contains(PageId(2)));
+        assert!(pool.contains(PageId(3)));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let (pool, _pf) = pool(0);
+        pool.read(PageId(1)).unwrap();
+        pool.read(PageId(1)).unwrap();
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_disk() {
+        let (pool, pf) = pool(4);
+        pool.write(PageId(2), vec![9u8; 8]).unwrap();
+        // Cached copy present: no physical read needed.
+        let before = pf.stats().snapshot();
+        assert_eq!(**pool.read(PageId(2)).unwrap(), vec![9u8; 8]);
+        assert_eq!(pf.stats().snapshot().since(&before).reads, 0);
+        // And the file sees it too.
+        assert_eq!(pf.read_page_vec(PageId(2)).unwrap(), vec![9u8; 8]);
+    }
+
+    #[test]
+    fn prefetch_counts_neither_hit_nor_miss() {
+        let (pool, _pf) = pool(4);
+        pool.prefetch(PageId(5)).unwrap();
+        assert!(pool.contains(PageId(5)));
+        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 0, evictions: 0 });
+        pool.read(PageId(5)).unwrap();
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let (pool, _pf) = pool(4);
+        pool.read(PageId(0)).unwrap();
+        assert_eq!(pool.len(), 1);
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn bad_page_propagates_error() {
+        let (pool, _pf) = pool(4);
+        assert!(pool.read(PageId(999)).is_err());
+    }
+}

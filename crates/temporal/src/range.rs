@@ -1,0 +1,264 @@
+//! Inclusive date ranges and period enumeration.
+
+use crate::date::Date;
+use crate::period::{Granularity, Period};
+use std::fmt;
+
+/// An inclusive range of days, `start ..= end`, mirroring SQL `BETWEEN`.
+///
+/// Construction normalizes a reversed pair, so a `DateRange` is never empty:
+/// the smallest range is a single day.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DateRange {
+    start: Date,
+    end: Date,
+}
+
+impl DateRange {
+    /// Build a range; swaps the endpoints if given in reverse order.
+    pub fn new(a: Date, b: Date) -> DateRange {
+        if a <= b {
+            DateRange { start: a, end: b }
+        } else {
+            DateRange { start: b, end: a }
+        }
+    }
+
+    /// A range covering a single day.
+    #[inline]
+    pub fn single(d: Date) -> DateRange {
+        DateRange { start: d, end: d }
+    }
+
+    /// Parse `"YYYY-MM-DD..YYYY-MM-DD"` or a single `"YYYY-MM-DD"`.
+    pub fn parse(s: &str) -> Result<DateRange, crate::DateError> {
+        match s.split_once("..") {
+            Some((a, b)) => Ok(DateRange::new(a.parse()?, b.parse()?)),
+            None => Ok(DateRange::single(s.parse()?)),
+        }
+    }
+
+    /// First day.
+    #[inline]
+    pub fn start(self) -> Date {
+        self.start
+    }
+
+    /// Last day (inclusive).
+    #[inline]
+    pub fn end(self) -> Date {
+        self.end
+    }
+
+    /// Number of days covered (≥ 1).
+    #[inline]
+    pub fn len_days(self) -> u32 {
+        (self.end.days_since(self.start) + 1) as u32
+    }
+
+    /// True when `d` is inside the range.
+    #[inline]
+    pub fn contains(self, d: Date) -> bool {
+        self.start <= d && d <= self.end
+    }
+
+    /// Intersection with another range, if non-empty.
+    pub fn intersect(self, other: DateRange) -> Option<DateRange> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        if s <= e {
+            Some(DateRange { start: s, end: e })
+        } else {
+            None
+        }
+    }
+
+    /// True when the two ranges share at least one day.
+    #[inline]
+    pub fn overlaps(self, other: DateRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Iterate every day in the range.
+    #[inline]
+    pub fn days(self) -> DayIter {
+        DayIter { next: Some(self.start), end: self.end }
+    }
+
+    /// Iterate every period of granularity `g` **fully contained** in the
+    /// range, in chronological order. For `Day` this is every day; for
+    /// coarser granularities only aligned, complete periods qualify — the
+    /// enumeration the level optimizer draws candidate cubes from.
+    pub fn periods_within(self, g: Granularity) -> PeriodIter {
+        // First candidate: period containing `start`, advanced once if it
+        // sticks out on the left.
+        let mut p = Period::containing(g, self.start);
+        if p.start() < self.start {
+            p = p.succ();
+        }
+        PeriodIter { next: p, range: self }
+    }
+}
+
+impl fmt::Display for DateRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl fmt::Debug for DateRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Iterator over the days of a [`DateRange`].
+pub struct DayIter {
+    next: Option<Date>,
+    end: Date,
+}
+
+impl Iterator for DayIter {
+    type Item = Date;
+
+    fn next(&mut self) -> Option<Date> {
+        let d = self.next?;
+        self.next = if d < self.end { Some(d.succ()) } else { None };
+        Some(d)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self.next {
+            Some(d) => (self.end.days_since(d) + 1) as usize,
+            None => 0,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DayIter {}
+
+/// Iterator over fully-contained periods of one granularity (see
+/// [`DateRange::periods_within`]).
+pub struct PeriodIter {
+    next: Period,
+    range: DateRange,
+}
+
+impl Iterator for PeriodIter {
+    type Item = Period;
+
+    fn next(&mut self) -> Option<Period> {
+        let p = self.next;
+        if p.within(self.range) {
+            self.next = p.succ();
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn r(a: &str, b: &str) -> DateRange {
+        DateRange::new(d(a), d(b))
+    }
+
+    #[test]
+    fn reversed_endpoints_normalize() {
+        let x = DateRange::new(d("2021-05-02"), d("2021-05-01"));
+        assert_eq!(x.start(), d("2021-05-01"));
+        assert_eq!(x.len_days(), 2);
+    }
+
+    #[test]
+    fn day_iteration_is_exact() {
+        let range = r("2021-12-30", "2022-01-02");
+        let days: Vec<String> = range.days().map(|x| x.to_string()).collect();
+        assert_eq!(days, ["2021-12-30", "2021-12-31", "2022-01-01", "2022-01-02"]);
+        assert_eq!(range.days().len(), 4);
+    }
+
+    #[test]
+    fn intersect_and_overlap() {
+        let a = r("2021-01-01", "2021-06-30");
+        let b = r("2021-06-01", "2021-12-31");
+        assert!(a.overlaps(b));
+        assert_eq!(a.intersect(b), Some(r("2021-06-01", "2021-06-30")));
+        let c = r("2022-01-01", "2022-01-02");
+        assert!(!a.overlaps(c));
+        assert_eq!(a.intersect(c), None);
+    }
+
+    #[test]
+    fn periods_within_days() {
+        let range = r("2022-01-01", "2022-01-03");
+        let days: Vec<Period> = range.periods_within(Granularity::Day).collect();
+        assert_eq!(days.len(), 3);
+    }
+
+    #[test]
+    fn periods_within_weeks_matches_paper_example() {
+        // §VII-B: Jan 1 2022 .. Feb 15 2022 contains exactly the weeks of
+        // Jan 2, 9, 16, 23, 30 and Feb 6.
+        let range = r("2022-01-01", "2022-02-15");
+        let weeks: Vec<Period> = range.periods_within(Granularity::Week).collect();
+        let expect: Vec<Period> = ["2022-01-02", "2022-01-09", "2022-01-16", "2022-01-23", "2022-01-30", "2022-02-06"]
+            .iter()
+            .map(|s| Period::Week(d(s)))
+            .collect();
+        assert_eq!(weeks, expect);
+    }
+
+    #[test]
+    fn periods_within_months_and_years() {
+        let range = r("2022-01-01", "2022-02-15");
+        let months: Vec<Period> = range.periods_within(Granularity::Month).collect();
+        assert_eq!(months, vec![Period::Month(2022, 1)]);
+
+        let range2 = r("2020-01-01", "2021-12-31");
+        let years: Vec<Period> = range2.periods_within(Granularity::Year).collect();
+        assert_eq!(years, vec![Period::Year(2020), Period::Year(2021)]);
+
+        // Partial year at both ends ⇒ no contained year.
+        let range3 = r("2020-06-01", "2021-06-30");
+        assert_eq!(range3.periods_within(Granularity::Year).count(), 0);
+    }
+
+    #[test]
+    fn periods_within_across_year_boundary() {
+        // A range straddling New Year must produce weeks from both years
+        // and months from both years, all fully contained.
+        let range = r("2020-12-15", "2021-02-10");
+        let months: Vec<Period> = range.periods_within(Granularity::Month).collect();
+        assert_eq!(months, vec![Period::Month(2021, 1)]);
+        let weeks: Vec<Period> = range.periods_within(Granularity::Week).collect();
+        assert!(weeks.contains(&Period::Week(d("2020-12-20"))));
+        assert!(weeks.contains(&Period::Week(d("2021-01-31"))));
+        for w in &weeks {
+            assert!(w.within(range));
+        }
+    }
+
+    #[test]
+    fn single_day_range_periods() {
+        let range = DateRange::single(d("2021-06-06")); // a Sunday
+        assert_eq!(range.periods_within(Granularity::Day).count(), 1);
+        assert_eq!(range.periods_within(Granularity::Week).count(), 0);
+        assert_eq!(range.periods_within(Granularity::Month).count(), 0);
+    }
+
+    #[test]
+    fn parse_range_forms() {
+        assert_eq!(DateRange::parse("2021-01-01..2021-12-31").unwrap(), r("2021-01-01", "2021-12-31"));
+        assert_eq!(DateRange::parse("2021-07-04").unwrap(), DateRange::single(d("2021-07-04")));
+        assert!(DateRange::parse("2021-01-01..oops").is_err());
+    }
+}

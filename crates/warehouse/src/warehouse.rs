@@ -1,0 +1,256 @@
+//! [`Warehouse`]: the indexed UpdateList table for sample queries.
+
+use crate::heap::{HeapFile, RowId};
+use rased_geo::{BBox, GridIndex, Point};
+use rased_osm_model::{ChangesetId, UpdateRecord};
+use rased_storage::{DiskHashIndex, IoCostModel, StorageError};
+use std::fmt;
+use std::path::Path;
+
+/// Warehouse-level error.
+#[derive(Debug)]
+pub enum WarehouseError {
+    Storage(StorageError),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+impl From<StorageError> for WarehouseError {
+    fn from(e: StorageError) -> Self {
+        WarehouseError::Storage(e)
+    }
+}
+
+/// The sample-update warehouse: heap file + hash index on `ChangesetID` +
+/// grid spatial index on (lat, lon), exactly the two indexes §VI-B calls
+/// for.
+///
+/// The changeset index is a persistent extendible hash
+/// ([`DiskHashIndex`]) — reopening never rescans the heap for it. The
+/// spatial grid is memory-resident and rebuilt with one heap scan on open
+/// (its cells are position-derived, so persistence would only save that
+/// single scan).
+pub struct Warehouse {
+    heap: HeapFile,
+    by_changeset: DiskHashIndex,
+    spatial: GridIndex<RowId>,
+}
+
+impl fmt::Debug for Warehouse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Warehouse").field("rows", &self.heap.row_count()).finish_non_exhaustive()
+    }
+}
+
+impl Warehouse {
+    /// Create a fresh warehouse at `path` (plus `path.hx`/`.dir` sidecars
+    /// for the changeset hash index).
+    pub fn create(path: &Path, model: IoCostModel, pool_pages: usize) -> Result<Warehouse, WarehouseError> {
+        Ok(Warehouse {
+            heap: HeapFile::create(path, model, pool_pages)?,
+            by_changeset: DiskHashIndex::create(&path.with_extension("hx"), model)?,
+            spatial: GridIndex::world_default(),
+        })
+    }
+
+    /// Reopen an existing warehouse: the persistent changeset index opens
+    /// directly; the spatial grid is rebuilt with one scan.
+    pub fn open(path: &Path, model: IoCostModel, pool_pages: usize) -> Result<Warehouse, WarehouseError> {
+        let heap = HeapFile::open(path, model, pool_pages)?;
+        let by_changeset = DiskHashIndex::open(&path.with_extension("hx"), model)?;
+        let mut spatial = GridIndex::world_default();
+        heap.scan(|rid, rec| {
+            spatial.insert(Point::new(rec.lat7, rec.lon7), rid);
+        })?;
+        Ok(Warehouse { heap, by_changeset, spatial })
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> u64 {
+        self.heap.row_count()
+    }
+
+    /// The underlying heap (the baseline scans this directly).
+    pub fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// Insert one update record.
+    pub fn insert(&mut self, record: &UpdateRecord) -> Result<RowId, WarehouseError> {
+        let rid = self.heap.append(record)?;
+        self.by_changeset.insert(record.changeset.raw(), rid.0)?;
+        self.spatial.insert(Point::new(record.lat7, record.lon7), rid);
+        Ok(rid)
+    }
+
+    /// Bulk insert.
+    pub fn insert_batch<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a UpdateRecord>,
+    ) -> Result<u64, WarehouseError> {
+        let mut n = 0u64;
+        for r in records {
+            self.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Persist buffered rows and the changeset index directory.
+    pub fn flush(&mut self) -> Result<(), WarehouseError> {
+        self.heap.flush()?;
+        self.by_changeset.sync()?;
+        Ok(())
+    }
+
+    /// All updates of one changeset (hash-index lookup; §IV-B uses this to
+    /// hand a sample off to a changeset viewer).
+    pub fn by_changeset(&self, id: ChangesetId) -> Result<Vec<UpdateRecord>, WarehouseError> {
+        let rids = self.by_changeset.get(id.raw())?;
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            if let Some(rec) = self.heap.get(RowId(rid))? {
+                out.push(rec);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Up to `limit` updates inside a region (spatial-index lookup) — the
+    /// sample-update query with its default N = 100.
+    pub fn sample_region(&self, bbox: &BBox, limit: usize) -> Result<Vec<UpdateRecord>, WarehouseError> {
+        let rids = self.spatial.sample(bbox, limit);
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            if let Some(rec) = self.heap.get(rid)? {
+                out.push(rec);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Up to `limit` updates inside a region that also satisfy `pred` —
+    /// sampling scoped to an analysis query's filters.
+    pub fn sample_region_filtered(
+        &self,
+        bbox: &BBox,
+        limit: usize,
+        mut pred: impl FnMut(&UpdateRecord) -> bool,
+    ) -> Result<Vec<UpdateRecord>, WarehouseError> {
+        let mut out = Vec::new();
+        let mut err: Option<StorageError> = None;
+        self.spatial.query(bbox, &mut |_, rid| {
+            if out.len() >= limit || err.is_some() {
+                return;
+            }
+            match self.heap.get(*rid) {
+                Ok(Some(rec)) if pred(&rec) => out.push(rec),
+                Ok(_) => {}
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e.into()),
+            None => Ok(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
+
+    fn rec(i: u64, lat7: i32, lon7: i32) -> UpdateRecord {
+        UpdateRecord {
+            element_type: ElementType::Way,
+            update_type: UpdateType::Create,
+            country: CountryId((i % 5) as u16),
+            road_type: RoadTypeId(0),
+            date: rased_temporal::Date::from_days(18_000),
+            lat7,
+            lon7,
+            changeset: ChangesetId(i / 3 + 1), // three updates per changeset
+        }
+    }
+
+    fn tmppath(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "rased-wh-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("wh.pg")
+    }
+
+    fn filled(tag: &str, n: u64) -> Warehouse {
+        let mut w = Warehouse::create(&tmppath(tag), IoCostModel::free(), 16).unwrap();
+        for i in 0..n {
+            let lat = (i as i32 % 1_000) * 100_000; // 0°..~10° in 0.01° steps
+            let lon = (i as i32 % 500) * 200_000;
+            w.insert(&rec(i, lat, lon)).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn changeset_lookup() {
+        let w = filled("changeset", 30);
+        let got = w.by_changeset(ChangesetId(2)).unwrap();
+        assert_eq!(got.len(), 3, "changeset 2 holds updates 3,4,5");
+        assert!(got.iter().all(|r| r.changeset == ChangesetId(2)));
+        assert!(w.by_changeset(ChangesetId(999)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn region_sampling_respects_limit_and_bbox() {
+        let w = filled("region", 2000);
+        let bbox = BBox::from_deg(0.0, 0.0, 5.0, 5.0);
+        let sample = w.sample_region(&bbox, 100).unwrap();
+        assert_eq!(sample.len(), 100, "default N = 100");
+        for r in &sample {
+            assert!(bbox.contains(Point::new(r.lat7, r.lon7)));
+        }
+        // A region with nothing in it.
+        let empty = w.sample_region(&BBox::from_deg(-80.0, -170.0, -75.0, -160.0), 100).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn filtered_sampling() {
+        let w = filled("filtered", 500);
+        let bbox = BBox::world();
+        let only_c2 = w
+            .sample_region_filtered(&bbox, 50, |r| r.country == CountryId(2))
+            .unwrap();
+        assert!(!only_c2.is_empty());
+        assert!(only_c2.len() <= 50);
+        assert!(only_c2.iter().all(|r| r.country == CountryId(2)));
+    }
+
+    #[test]
+    fn reopen_rebuilds_indexes() {
+        let path = tmppath("reopen");
+        {
+            let mut w = Warehouse::create(&path, IoCostModel::free(), 16).unwrap();
+            for i in 0..100 {
+                w.insert(&rec(i, 10_000_000 + i as i32, 20_000_000)).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let w = Warehouse::open(&path, IoCostModel::free(), 16).unwrap();
+        assert_eq!(w.row_count(), 100);
+        assert_eq!(w.by_changeset(ChangesetId(1)).unwrap().len(), 3);
+        let all = w.sample_region(&BBox::world(), 1000).unwrap();
+        assert_eq!(all.len(), 100);
+    }
+}

@@ -1,0 +1,158 @@
+//! Concurrency: the dashboard serves many analysts at once, so the index +
+//! engine must answer concurrent queries consistently (shared `&self`,
+//! internal locking only).
+
+use rased_core::{
+    AnalysisQuery, CacheConfig, CacheStrategy, CubeSchema, DataCube, GroupDim, IoCostModel,
+    QueryEngine, TemporalIndex,
+};
+use rased_osm_model::{ChangesetId, CountryId, ElementType, RoadTypeId, UpdateRecord, UpdateType};
+use rased_temporal::{Date, DateRange};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("rased-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn build(tag: &str, cache: CacheConfig) -> (TemporalIndex, DateRange) {
+    let schema = CubeSchema::tiny();
+    let index =
+        TemporalIndex::create(&tmpdir(tag), schema, 4, cache, IoCostModel::free()).unwrap();
+    let start = Date::new(2021, 1, 1).unwrap();
+    let end = Date::new(2021, 6, 30).unwrap();
+    for (i, day) in DateRange::new(start, end).days().enumerate() {
+        let records: Vec<UpdateRecord> = (0..10)
+            .map(|j| UpdateRecord {
+                element_type: ElementType::ALL[(i + j) % 3],
+                update_type: UpdateType::ALL[(i * 7 + j) % 5],
+                country: CountryId(((i + j) % 4) as u16),
+                road_type: RoadTypeId((j % 3) as u16),
+                date: day,
+                lat7: 0,
+                lon7: 0,
+                changeset: ChangesetId((i * 10 + j) as u64 + 1),
+            })
+            .collect();
+        index.ingest_day(day, &DataCube::from_records(schema, &records).unwrap()).unwrap();
+    }
+    (index, DateRange::new(start, end))
+}
+
+#[test]
+fn concurrent_queries_agree_with_serial_answers() {
+    let (index, range) = build("queries", CacheConfig::disabled());
+    let queries: Vec<AnalysisQuery> = vec![
+        AnalysisQuery::over(range).group(GroupDim::Country),
+        AnalysisQuery::over(range).group(GroupDim::UpdateType),
+        AnalysisQuery::over(DateRange::new(range.start().add_days(40), range.end()))
+            .elements(vec![ElementType::Way])
+            .group(GroupDim::ElementType),
+        AnalysisQuery::over(range).group(GroupDim::Date(rased_temporal::Granularity::Month)),
+    ];
+    // Serial ground answers.
+    let engine = QueryEngine::new(&index);
+    let expected: Vec<_> = queries.iter().map(|q| engine.execute(q).unwrap().rows).collect();
+
+    // 8 threads × 20 iterations of mixed queries.
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let queries = &queries;
+            let expected = &expected;
+            let index = &index;
+            scope.spawn(move || {
+                let engine = QueryEngine::new(index);
+                for i in 0..20 {
+                    let k = (t + i) % queries.len();
+                    let got = engine.execute(&queries[k]).unwrap();
+                    assert_eq!(got.rows, expected[k], "thread {t} iter {i} query {k}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_queries_with_lru_cache_stay_consistent() {
+    // The LRU cache admits and evicts under concurrency; answers must not
+    // change even as the cache churns.
+    let (index, range) = build(
+        "lru",
+        CacheConfig { slots: 4, strategy: CacheStrategy::Lru },
+    );
+    let q = AnalysisQuery::over(range).group(GroupDim::Country);
+    let expected = QueryEngine::new(&index).execute(&q).unwrap().rows;
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let index = &index;
+            let q = &q;
+            let expected = &expected;
+            scope.spawn(move || {
+                let engine = QueryEngine::new(index);
+                for _ in 0..25 {
+                    assert_eq!(engine.execute(q).unwrap().rows, *expected);
+                }
+            });
+        }
+    });
+    let (hits, misses) = index.cache().counters();
+    assert!(hits + misses > 0, "cache was exercised");
+}
+
+#[test]
+fn queries_concurrent_with_ingest_see_complete_days() {
+    // RASED ingests offline, but a dashboard query racing a daily ingest
+    // must still see internally-consistent cubes (never a torn one).
+    let (index, range) = build("ingest-race", CacheConfig::disabled());
+    let schema = index.schema();
+    let more_days: Vec<Date> =
+        DateRange::new(Date::new(2021, 7, 1).unwrap(), Date::new(2021, 8, 31).unwrap())
+            .days()
+            .collect();
+
+    std::thread::scope(|scope| {
+        let index_ref = &index;
+        // Writer: ingest two more months.
+        let writer = scope.spawn(move || {
+            for day in &more_days {
+                let records = vec![UpdateRecord {
+                    element_type: ElementType::Node,
+                    update_type: UpdateType::Create,
+                    country: CountryId(0),
+                    road_type: RoadTypeId(0),
+                    date: *day,
+                    lat7: 0,
+                    lon7: 0,
+                    changeset: ChangesetId(999),
+                }];
+                index_ref
+                    .ingest_day(*day, &DataCube::from_records(schema, &records).unwrap())
+                    .unwrap();
+            }
+        });
+        // Readers: query the already-ingested window; the answer must be
+        // stable throughout.
+        let q = AnalysisQuery::over(range);
+        let expected = QueryEngine::new(&index).execute(&q).unwrap().total_count();
+        for _ in 0..4 {
+            let q = q.clone();
+            scope.spawn(move || {
+                let engine = QueryEngine::new(index_ref);
+                for _ in 0..30 {
+                    assert_eq!(engine.execute(&q).unwrap().total_count(), expected);
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+
+    // After the race, the new days are queryable too.
+    let q2 = AnalysisQuery::over(DateRange::new(
+        Date::new(2021, 7, 1).unwrap(),
+        Date::new(2021, 8, 31).unwrap(),
+    ));
+    assert_eq!(QueryEngine::new(&index).execute(&q2).unwrap().total_count(), 62);
+}

@@ -1,0 +1,176 @@
+//! Failure injection across crate boundaries: corrupt files, truncated
+//! pages, malformed XML, and hostile configurations must surface as typed
+//! errors — never panics, hangs, or silent misdata.
+
+use rased_core::{CubeSchema, Rased, RasedConfig};
+use rased_index::{CacheConfig, IndexError, TemporalIndex};
+use rased_osm_gen::{Dataset, DatasetConfig};
+use rased_osm_xml::{DiffReader, PlanetReader};
+use rased_storage::{IoCostModel, PageFile, StorageError};
+use rased_temporal::{Date, DateRange, Period};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("rased-fail-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn corrupt_cube_page_is_reported_not_misread() {
+    let dir = tmpdir("corrupt-cube");
+    let schema = CubeSchema::tiny();
+    let index =
+        TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+            .unwrap();
+    let day: Date = "2021-06-01".parse().unwrap();
+    index
+        .ingest_day(day, &rased_core::DataCube::zeroed(schema))
+        .unwrap();
+    index.sync().unwrap();
+    drop(index);
+
+    // Stomp the cube page's magic through the page file.
+    {
+        let pf = PageFile::open(&dir.join("cubes.pg"), IoCostModel::free()).unwrap();
+        let mut page = pf.read_page_vec(rased_storage::PageId(0)).unwrap();
+        page[0..8].copy_from_slice(b"GARBAGE!");
+        pf.write_page(rased_storage::PageId(0), &page).unwrap();
+        pf.sync().unwrap();
+    }
+
+    let index =
+        TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+    match index.fetch(Period::Day(day)) {
+        Err(IndexError::Cube(_)) => {}
+        other => panic!("expected cube corruption error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_page_file_is_reported() {
+    let dir = tmpdir("truncated-pg");
+    let path = dir.join("t.pg");
+    {
+        let pf = PageFile::create(&path, 4096, IoCostModel::free()).unwrap();
+        pf.append_page(&[7u8; 4096]).unwrap();
+        pf.sync().unwrap();
+    }
+    // Chop the file mid-page.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+
+    let pf = PageFile::open(&path, IoCostModel::free()).unwrap();
+    match pf.read_page_vec(rased_storage::PageId(0)) {
+        Err(StorageError::Io(_)) => {}
+        other => panic!("expected I/O error on truncated page, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_xml_never_panics() {
+    let hostile = [
+        "",
+        "<",
+        "<osm",
+        "<osm><node/></osm>",                       // node missing required attrs
+        "<osm><node id='1'></osm>",                 // tag soup
+        "<osmChange><modify><node id='1' lat='x' lon='0' version='1' timestamp='2020-01-01T00:00:00Z' changeset='1'/></modify></osmChange>",
+        "<?xml version='1.0'?><!-- only a comment -->",
+        "<osm>&unknown;</osm>",
+        "<osm><way id='1' version='1' timestamp='9999-99-99T00:00:00Z' changeset='1'/></osm>",
+    ];
+    for doc in hostile {
+        // Both readers must terminate with Ok(None) or Err — never hang or
+        // panic. (Iterator form caps at a generous bound to catch loops.)
+        let mut planet = PlanetReader::new(doc.as_bytes());
+        for _ in 0..100 {
+            match planet.next_element() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+        let mut diff = DiffReader::new(doc.as_bytes());
+        for _ in 0..100 {
+            match diff.next_change() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+#[test]
+fn ingest_with_missing_files_fails_cleanly() {
+    let dir = tmpdir("missing-files");
+    let mut cfg = DatasetConfig::small(61);
+    cfg.range = DateRange::new(Date::new(2021, 1, 1).unwrap(), Date::new(2021, 1, 10).unwrap());
+    cfg.sim.daily_edits_mean = 10.0;
+    let ds = Dataset::generate(&dir.join("osm"), cfg).unwrap();
+
+    // Delete one diff file.
+    std::fs::remove_file(ds.paths.diff(Date::new(2021, 1, 5).unwrap())).unwrap();
+
+    let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
+    let mut system =
+        Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
+    let err = system.ingest_dataset(&ds).unwrap_err();
+    assert!(err.to_string().contains("I/O"), "{err}");
+}
+
+#[test]
+fn schema_mismatch_on_reopen_is_detected() {
+    let dir = tmpdir("schema-mismatch");
+    let schema = CubeSchema::new(8, 4);
+    {
+        let index =
+            TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                .unwrap();
+        index
+            .ingest_day("2021-01-01".parse().unwrap(), &rased_core::DataCube::zeroed(schema))
+            .unwrap();
+        index.sync().unwrap();
+    }
+    // Reopen claiming a different schema: fetch must fail, not misdecode.
+    let wrong = CubeSchema::new(9, 4);
+    let index =
+        TemporalIndex::open(&dir, wrong, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+    let day: Date = "2021-01-01".parse().unwrap();
+    assert!(index.fetch(Period::Day(day)).is_err());
+}
+
+#[test]
+fn cache_capacity_zero_and_warm_on_empty_index() {
+    let dir = tmpdir("empty-warm");
+    let schema = CubeSchema::tiny();
+    let index = TemporalIndex::create(
+        &dir,
+        schema,
+        4,
+        CacheConfig { slots: 0, ..CacheConfig::paper_default() },
+        IoCostModel::free(),
+    )
+    .unwrap();
+    // Warming an empty index with a zero-slot cache is a no-op, not a crash.
+    index.warm_cache().unwrap();
+    assert!(index.cache().is_empty());
+    assert_eq!(index.coverage(), None);
+}
+
+#[test]
+fn queries_on_empty_system_return_empty() {
+    let dir = tmpdir("empty-system");
+    let system = Rased::create(RasedConfig::new(&dir)).unwrap();
+    let q = rased_core::AnalysisQuery::over(DateRange::new(
+        Date::new(2020, 1, 1).unwrap(),
+        Date::new(2020, 12, 31).unwrap(),
+    ));
+    let result = system.query(&q).unwrap();
+    assert!(result.rows.is_empty());
+    assert_eq!(result.stats.empty_days, 366);
+    let samples = system
+        .sample_region(&rased_geo::BBox::world(), 10)
+        .unwrap();
+    assert!(samples.is_empty());
+}

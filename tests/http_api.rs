@@ -1,0 +1,126 @@
+//! Integration test for the dashboard HTTP server: bind on an ephemeral
+//! port, issue raw HTTP/1.1 requests, check statuses and JSON bodies.
+
+use rased_core::{CubeSchema, Rased, RasedConfig};
+use rased_dashboard::DashboardServer;
+use rased_osm_gen::{Dataset, DatasetConfig};
+use rased_temporal::{Date, DateRange};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn demo_system(tag: &str) -> Rased {
+    let dir = std::env::temp_dir().join(format!("rased-http-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cfg = DatasetConfig::small(53);
+    cfg.range = DateRange::new(Date::new(2021, 1, 1).unwrap(), Date::new(2021, 1, 31).unwrap());
+    cfg.sim.daily_edits_mean = 25.0;
+    cfg.seed_nodes_per_country = 10;
+    let ds = Dataset::generate(&dir.join("osm"), cfg).unwrap();
+    let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
+    let mut system =
+        Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
+    system.ingest_dataset(&ds).unwrap();
+    system
+}
+
+/// Issue one request against a server that handles exactly one connection.
+fn get(server: &DashboardServer, path: &str) -> (u16, String) {
+    let addr = server.addr().unwrap();
+    let handle = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve_one().unwrap());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        serve.join().unwrap();
+        response
+    });
+    let status: u16 = handle
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = handle.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn http_endpoints_respond() {
+    let system = Arc::new(demo_system("endpoints"));
+    let server = DashboardServer::bind(Arc::clone(&system), "127.0.0.1:0").unwrap();
+
+    // The dashboard page.
+    let (status, body) = get(&server, "/");
+    assert_eq!(status, 200);
+    assert!(body.contains("<title>RASED"));
+
+    // Meta endpoint reports coverage and cube counts.
+    let (status, body) = get(&server, "/api/meta");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"coverage_start\":\"2021-01-01\""), "{body}");
+    assert!(body.contains("\"rows\":"));
+
+    // An analysis query grouped by country.
+    let (status, body) =
+        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&group=country,update");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("{\"rows\":["), "{body}");
+    assert!(body.contains("\"country\":"));
+    assert!(body.contains("\"stats\":"));
+
+    // Country filters accept codes and names.
+    let (status, body) =
+        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&countries=US&group=element");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"element\":\"way\""), "{body}");
+
+    // CSV export of the same query.
+    let (status, body) =
+        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&group=country&format=csv");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("date,country,element,road,update,count,value"), "{body}");
+    assert!(body.lines().count() > 1);
+
+    // Query-scoped sampling.
+    let (status, body) = get(
+        &server,
+        "/api/sample?min_lat=-90&min_lon=-180&max_lat=90&max_lon=180&limit=5&start=2021-01-01&end=2021-01-31&updates=create",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"update\":\"delete\""), "{body}");
+
+    // Sampling endpoint.
+    let (status, body) = get(
+        &server,
+        "/api/sample?min_lat=-90&min_lon=-180&max_lat=90&max_lon=180&limit=5",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"samples\":["));
+    assert!(body.matches("\"changeset\":").count() <= 5);
+}
+
+#[test]
+fn http_errors_are_reported() {
+    let system = Arc::new(demo_system("errors"));
+    let server = DashboardServer::bind(Arc::clone(&system), "127.0.0.1:0").unwrap();
+
+    let (status, _) = get(&server, "/nope");
+    assert_eq!(status, 404);
+
+    // Missing required parameter.
+    let (status, body) = get(&server, "/api/analysis?end=2021-01-31");
+    assert_eq!(status, 400);
+    assert!(body.contains("start"), "{body}");
+
+    // Unknown country.
+    let (status, body) =
+        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&countries=Atlantis");
+    assert_eq!(status, 400);
+    assert!(body.contains("Atlantis"));
+
+    // Malformed bbox.
+    let (status, _) = get(&server, "/api/sample?min_lat=x");
+    assert_eq!(status, 400);
+}

@@ -1,0 +1,177 @@
+//! End-to-end pipeline integration: synthetic world → OSM XML files →
+//! crawlers → cube index + warehouse → queries, validated against the
+//! simulator's ground truth at every stage.
+
+use rased_collector::{coarse, DailyCrawler, MonthlyCrawler};
+use rased_core::{AnalysisQuery, CubeSchema, GroupDim, Rased, RasedConfig};
+use rased_osm_gen::{Dataset, DatasetConfig};
+use rased_osm_model::{RoadTypeTable, UpdateRecord};
+use rased_osm_xml::ChangesetReader;
+use rased_query::naive_execute;
+use rased_temporal::{Date, DateRange};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("rased-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn dataset(tag: &str, seed: u64) -> Dataset {
+    let mut cfg = DatasetConfig::small(seed);
+    cfg.range =
+        DateRange::new(Date::new(2021, 3, 1).unwrap(), Date::new(2021, 4, 30).unwrap());
+    cfg.sim.daily_edits_mean = 40.0;
+    cfg.seed_nodes_per_country = 15;
+    Dataset::generate(&tmpdir(tag).join("osm"), cfg).unwrap()
+}
+
+/// Sort records into a canonical order for comparison.
+fn canon(mut v: Vec<UpdateRecord>) -> Vec<UpdateRecord> {
+    v.sort_by_key(|r| {
+        (r.date, r.changeset, r.element_type.index(), r.country.0, r.road_type.0, r.update_type.index(), r.lat7, r.lon7)
+    });
+    v
+}
+
+#[test]
+fn daily_crawler_reproduces_coarse_ground_truth() {
+    let ds = dataset("daily-truth", 31);
+    let atlas = ds.atlas();
+    let table = RoadTypeTable::with_cardinality(ds.config.sim.n_road_types);
+    let crawler = DailyCrawler::new(&atlas, &table);
+
+    let mut crawled = Vec::new();
+    for day in ds.config.range.days() {
+        let diff = BufReader::new(File::open(ds.paths.diff(day)).unwrap());
+        let changesets = BufReader::new(File::open(ds.paths.changesets(day)).unwrap());
+        let (records, stats) = crawler.crawl(diff, changesets).unwrap();
+        assert_eq!(stats.inspected(), stats.emitted, "nothing skipped on clean data");
+        crawled.extend(records);
+    }
+
+    // The daily crawler sees the same updates as the oracle, with update
+    // types coarsened to {create, delete, update}.
+    let expected: Vec<UpdateRecord> = ds
+        .truth
+        .iter()
+        .map(|r| UpdateRecord { update_type: coarse(r.update_type), ..*r })
+        .collect();
+    assert_eq!(canon(crawled), canon(expected));
+}
+
+#[test]
+fn monthly_crawler_reproduces_exact_ground_truth() {
+    let ds = dataset("monthly-truth", 37);
+    let atlas = ds.atlas();
+    let table = RoadTypeTable::with_cardinality(ds.config.sim.n_road_types);
+    let crawler = MonthlyCrawler::new(&atlas, &table);
+
+    let mut crawled = Vec::new();
+    for (y, m) in ds.months() {
+        let history = BufReader::new(File::open(ds.paths.history(y, m)).unwrap());
+        let mut metas = Vec::new();
+        for day in rased_temporal::Period::Month(y, m).range().days() {
+            if !ds.config.range.contains(day) {
+                continue;
+            }
+            let reader =
+                ChangesetReader::new(BufReader::new(File::open(ds.paths.changesets(day)).unwrap()));
+            for meta in reader {
+                metas.push(meta.unwrap());
+            }
+        }
+        let (by_day, stats) = crawler.crawl(history, metas, y, m).unwrap();
+        assert_eq!(stats.skipped_no_changeset, 0);
+        for (_, records) in by_day {
+            crawled.extend(records);
+        }
+    }
+
+    // Monthly refinement recovers the *exact* update types of the oracle.
+    assert_eq!(canon(crawled), canon(ds.truth.clone()));
+}
+
+#[test]
+fn random_query_battery_matches_oracle() {
+    use rased_osm_gen::rng::Rng;
+    use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
+    use rased_temporal::Granularity;
+
+    let ds = dataset("battery", 41);
+    let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
+    let mut system =
+        Rased::create(RasedConfig::new(tmpdir("battery-sys")).with_schema(schema)).unwrap();
+    system.ingest_dataset(&ds).unwrap();
+
+    let mut rng = Rng::new(0xBA77);
+    for case in 0..40 {
+        // Random window inside (and slightly beyond) the dataset range.
+        let a = ds.config.range.start().add_days(rng.below(70) as i32 - 5);
+        let b = a.add_days(rng.below(65) as i32);
+        let mut q = AnalysisQuery::over(DateRange::new(a, b));
+        if rng.chance(0.5) {
+            q = q.countries(
+                (0..1 + rng.below(3)).map(|_| CountryId(rng.below(12) as u16)).collect::<Vec<_>>(),
+            );
+        }
+        if rng.chance(0.4) {
+            q = q.elements(vec![*rng.pick(&ElementType::ALL)]);
+        }
+        if rng.chance(0.4) {
+            q = q.roads((0..2).map(|_| RoadTypeId(rng.below(12) as u16)).collect::<Vec<_>>());
+        }
+        if rng.chance(0.5) {
+            q = q.updates(vec![*rng.pick(&UpdateType::ALL)]);
+        }
+        for (dim, p) in [
+            (GroupDim::Country, 0.5),
+            (GroupDim::ElementType, 0.4),
+            (GroupDim::RoadType, 0.3),
+            (GroupDim::UpdateType, 0.4),
+        ] {
+            if rng.chance(p) {
+                q = q.group(dim);
+            }
+        }
+        if rng.chance(0.4) {
+            let g = *rng.pick(&[Granularity::Day, Granularity::Week, Granularity::Month]);
+            q = q.group(GroupDim::Date(g));
+        }
+
+        let got = system.query(&q).unwrap();
+        let want = naive_execute(&ds.truth, &q, None);
+        assert_eq!(got.rows, want.rows, "case {case}: {q:?}");
+    }
+}
+
+#[test]
+fn flat_and_hierarchical_indexes_agree() {
+    let ds = dataset("flat-vs-hier", 43);
+    let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
+
+    let mut full =
+        Rased::create(RasedConfig::new(tmpdir("fvh-full")).with_schema(schema)).unwrap();
+    full.ingest_dataset(&ds).unwrap();
+
+    let mut flat_config = RasedConfig::new(tmpdir("fvh-flat")).with_schema(schema);
+    flat_config.levels = 1;
+    let mut flat = Rased::create(flat_config).unwrap();
+    flat.ingest_dataset(&ds).unwrap();
+
+    let q = AnalysisQuery::over(ds.config.range).group(GroupDim::Country).group(GroupDim::UpdateType);
+    let a = full.query(&q).unwrap();
+    let b = flat.query(&q).unwrap();
+    assert_eq!(a.rows, b.rows, "index shape must not change answers");
+
+    // But the full hierarchy touches far fewer cubes.
+    let touched_full = a.stats.cubes_from_cache + a.stats.cubes_from_disk;
+    let touched_flat = b.stats.cubes_from_cache + b.stats.cubes_from_disk;
+    assert!(
+        touched_full < touched_flat / 3,
+        "hierarchy: {touched_full} cubes, flat: {touched_flat}"
+    );
+}

@@ -1,0 +1,204 @@
+//! Workspace-level property tests: arbitrary-content XML roundtrips,
+//! cube algebra over random record sets, and engine-vs-oracle equivalence
+//! on randomized queries.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use rased_core::{AnalysisQuery, CubeSchema, DataCube, GroupDim};
+use rased_osm_model::{
+    ChangesetId, CountryId, Element, ElementId, ElementType, Node, RoadTypeId, Tags, UpdateRecord,
+    UpdateType, UserId, Version, VersionInfo, Way,
+};
+use rased_osm_xml::{DiffAction, DiffReader, DiffWriter, PlanetReader, PlanetWriter};
+use rased_query::naive_execute;
+use rased_temporal::{Date, DateRange, Granularity};
+
+// --- generators -------------------------------------------------------------
+
+fn any_tag_string() -> impl Strategy<Value = String> {
+    // Printable-ish strings including XML-hostile characters.
+    proptest::string::string_regex("[ -~äöü€<>&\"']{0,24}").expect("valid regex")
+}
+
+fn any_tags() -> impl Strategy<Value = Tags> {
+    vec((proptest::string::string_regex("[a-z_:]{1,10}").expect("regex"), any_tag_string()), 0..5)
+        .prop_map(Tags::from_pairs)
+}
+
+fn any_info() -> impl Strategy<Value = VersionInfo> {
+    (1u32..50, 15_000i32..20_000, 1u64..1_000_000, 0u64..5_000, any::<bool>()).prop_map(
+        |(v, days, cs, uid, visible)| VersionInfo {
+            version: Version(v),
+            date: Date::from_days(days),
+            changeset: ChangesetId(cs),
+            user: UserId(uid),
+            visible,
+        },
+    )
+}
+
+fn any_element() -> impl Strategy<Value = Element> {
+    let node = (1i64..1_000_000, any_info(), -900_000_000i32..900_000_000, -1_800_000_000i32..1_800_000_000, any_tags())
+        .prop_map(|(id, info, lat7, lon7, tags)| {
+            Element::Node(Node { id: ElementId(id), info, lat7, lon7, tags })
+        });
+    let way = (1i64..1_000_000, any_info(), vec(1i64..1_000_000, 0..8), any_tags()).prop_map(
+        |(id, info, nodes, tags)| {
+            Element::Way(Way {
+                id: ElementId(id),
+                info,
+                nodes: nodes.into_iter().map(ElementId).collect(),
+                tags,
+            })
+        },
+    );
+    prop_oneof![node, way]
+}
+
+fn any_record() -> impl Strategy<Value = UpdateRecord> {
+    (0usize..3, 0u16..6, 0u16..5, 0usize..5, 18_000i32..18_100, 1u64..500).prop_map(
+        |(et, c, r, u, days, cs)| UpdateRecord {
+            element_type: ElementType::from_index(et).expect("in range"),
+            update_type: UpdateType::from_index(u).expect("in range"),
+            country: CountryId(c),
+            road_type: RoadTypeId(r),
+            date: Date::from_days(days),
+            lat7: 0,
+            lon7: 0,
+            changeset: ChangesetId(cs),
+        },
+    )
+}
+
+// --- properties ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn planet_roundtrip_arbitrary_elements(elements in vec(any_element(), 0..20)) {
+        let mut w = PlanetWriter::new(Vec::new()).expect("writer");
+        for e in &elements {
+            w.write(e).expect("write");
+        }
+        let bytes = w.finish().expect("finish");
+        let got: Vec<Element> = PlanetReader::new(bytes.as_slice())
+            .map(|r| r.expect("parse"))
+            .collect();
+        prop_assert_eq!(got, elements);
+    }
+
+    #[test]
+    fn diff_roundtrip_arbitrary_actions(
+        changes in vec((prop_oneof![
+            Just(DiffAction::Create), Just(DiffAction::Modify), Just(DiffAction::Delete)
+        ], any_element()), 0..20)
+    ) {
+        let mut w = DiffWriter::new(Vec::new()).expect("writer");
+        for (a, e) in &changes {
+            w.write(*a, e).expect("write");
+        }
+        let bytes = w.finish().expect("finish");
+        let got: Vec<(DiffAction, Element)> = DiffReader::new(bytes.as_slice())
+            .map(|r| r.expect("parse"))
+            .collect();
+        prop_assert_eq!(got, changes);
+    }
+
+    #[test]
+    fn cube_build_distributes_over_partition(records in vec(any_record(), 0..200), split in 0usize..200) {
+        let schema = CubeSchema::new(6, 5);
+        let split = split.min(records.len());
+        let whole = DataCube::from_records(schema, &records).expect("build");
+        let mut parts = DataCube::from_records(schema, &records[..split]).expect("build");
+        let rest = DataCube::from_records(schema, &records[split..]).expect("build");
+        parts.merge_from(&rest).expect("merge");
+        prop_assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn cube_serialization_roundtrip(records in vec(any_record(), 0..100)) {
+        let schema = CubeSchema::new(6, 5);
+        let cube = DataCube::from_records(schema, &records).expect("build");
+        let back = DataCube::from_bytes(schema, &cube.to_bytes()).expect("decode");
+        prop_assert_eq!(&back, &cube);
+        prop_assert_eq!(cube.total(), records.len() as u64);
+    }
+
+    #[test]
+    fn record_binary_roundtrip(r in any_record()) {
+        let bytes = r.encode();
+        prop_assert_eq!(UpdateRecord::decode(&bytes), Some(r));
+    }
+}
+
+// A heavier property: engine == oracle over an index built from random
+// records. Build cost makes per-case indexing slow, so the index is built
+// once per test run over a fixed record set and the *queries* are random.
+#[test]
+fn engine_matches_oracle_on_random_queries() {
+    use rased_core::{CacheConfig, IoCostModel, QueryEngine, TemporalIndex};
+    use std::collections::HashMap;
+
+    let schema = CubeSchema::new(6, 5);
+    // Deterministic random records spanning ~100 days.
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let records: Vec<UpdateRecord> = vec(any_record(), 3_000..3_001)
+        .new_tree(&mut runner)
+        .expect("gen")
+        .current();
+
+    let dir = std::env::temp_dir().join(format!("rased-prop-engine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let index = TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+        .expect("create");
+    let mut by_day: HashMap<Date, Vec<UpdateRecord>> = HashMap::new();
+    for r in &records {
+        by_day.entry(r.date).or_default().push(*r);
+    }
+    let mut days: Vec<Date> = by_day.keys().copied().collect();
+    days.sort();
+    for day in days {
+        let cube = DataCube::from_records(schema, &by_day[&day]).expect("cube");
+        index.ingest_day(day, &cube).expect("ingest");
+    }
+    let engine = QueryEngine::new(&index);
+
+    let query_strategy = (
+        18_000i32..18_100,
+        0i32..120,
+        proptest::option::of(vec(0u16..6, 1..3)),
+        proptest::option::of(vec(0usize..5, 1..3)),
+        proptest::bool::ANY,
+        proptest::option::of(prop_oneof![
+            Just(Granularity::Day),
+            Just(Granularity::Week),
+            Just(Granularity::Month)
+        ]),
+    );
+    for _ in 0..50 {
+        let (start, span, countries, updates, group_country, date_g) =
+            query_strategy.new_tree(&mut runner).expect("gen").current();
+        let a = Date::from_days(start);
+        let mut q = AnalysisQuery::over(DateRange::new(a, a.add_days(span)));
+        if let Some(cs) = countries {
+            q = q.countries(cs.into_iter().map(CountryId).collect::<Vec<_>>());
+        }
+        if let Some(us) = updates {
+            q = q.updates(
+                us.into_iter().filter_map(UpdateType::from_index).collect::<Vec<_>>(),
+            );
+        }
+        if group_country {
+            q = q.group(GroupDim::Country);
+        }
+        if let Some(g) = date_g {
+            q = q.group(GroupDim::Date(g));
+        }
+        let got = engine.execute(&q).expect("query");
+        let want = naive_execute(&records, &q, None);
+        assert_eq!(got.rows, want.rows, "{q:?}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Zone attribution (§VI-A): with continent zones enabled, an update in
+//! Germany also counts toward Europe — and a zone's count is exactly the
+//! sum of its members'.
+
+use rased_core::{AnalysisQuery, GroupDim, Rased, RasedConfig};
+use rased_osm_gen::{Dataset, DatasetConfig};
+use rased_osm_model::CountryId;
+use rased_temporal::{Date, DateRange};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("rased-zones-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn zone_counts_are_member_sums() {
+    let dir = tmpdir("sums");
+    let mut cfg = DatasetConfig::small(71);
+    cfg.range = DateRange::new(Date::new(2021, 2, 1).unwrap(), Date::new(2021, 3, 31).unwrap());
+    cfg.sim.daily_edits_mean = 30.0;
+    // 20 generator countries — the first 20 real codes, which span several
+    // continents (US/CA/MX → North America, DE/FR/GB/... → Europe, ...).
+    cfg.world.n_countries = 20;
+    let ds = Dataset::generate(&dir.join("osm"), cfg).unwrap();
+
+    let mut config = RasedConfig::new(dir.join("sys")).with_continent_zones();
+    config.n_road_types = ds.config.sim.n_road_types;
+    config = config.with_continent_zones(); // re-derive schema with road types set
+    let mut system = Rased::create(config).unwrap();
+    system.ingest_dataset(&ds).unwrap();
+
+    let q = AnalysisQuery::over(ds.config.range).group(GroupDim::Country);
+    let result = system.query(&q).unwrap();
+    let counts: HashMap<CountryId, u64> =
+        result.rows.iter().map(|r| (r.key.country.unwrap(), r.count)).collect();
+
+    let table = system.countries();
+    let europe = table.resolve("Z-EU").unwrap();
+    let de = table.resolve("DE").unwrap();
+    let na = table.resolve("Z-NA").unwrap();
+    let us = table.resolve("US").unwrap();
+
+    assert!(counts.get(&de).copied().unwrap_or(0) > 0, "Germany has updates");
+    assert!(counts.get(&europe).copied().unwrap_or(0) > 0, "Europe zone accumulated");
+    assert!(counts[&europe] >= counts[&de], "zone ≥ member");
+    assert!(counts[&na] >= counts[&us]);
+
+    // Exactness: each zone equals the sum of its member countries among the
+    // generator's 20.
+    let zones = rased_osm_model::ZoneMap::continents(table);
+    let mut zone_sums: HashMap<CountryId, u64> = HashMap::new();
+    for (country, count) in &counts {
+        for &zone in zones.parents(*country) {
+            *zone_sums.entry(zone).or_insert(0) += count;
+        }
+    }
+    for (zone, want) in zone_sums {
+        assert_eq!(counts.get(&zone).copied().unwrap_or(0), want, "zone {zone}");
+    }
+
+    // Total across plain countries equals the ground truth (zones are
+    // *extra* attributions, not double-counted countries).
+    let plain_total: u64 = counts
+        .iter()
+        .filter(|(c, _)| {
+            let code = table.code(**c).unwrap();
+            !code.starts_with("Z-") && !code.starts_with("US-")
+        })
+        .map(|(_, n)| *n)
+        .sum();
+    assert_eq!(plain_total as usize, ds.truth.len());
+
+    // Filtering by the zone works like any other country value.
+    let eu_only = system
+        .query(&AnalysisQuery::over(ds.config.range).countries(vec![europe]))
+        .unwrap();
+    assert_eq!(eu_only.total_count(), counts[&europe]);
+}
+
+#[test]
+fn zone_config_survives_reopen_via_manifest() {
+    let dir = tmpdir("persist");
+    let config = RasedConfig::new(dir.join("sys")).with_continent_zones();
+    {
+        let _ = Rased::create(config.clone()).unwrap();
+    }
+    let reloaded = RasedConfig::load(dir.join("sys")).unwrap();
+    assert!(!reloaded.zones.is_empty(), "zone setting must persist");
+    assert_eq!(reloaded.schema, config.schema);
+}
+
+#[test]
+fn zones_disabled_by_default() {
+    let dir = tmpdir("off");
+    let mut cfg = DatasetConfig::small(73);
+    cfg.range = DateRange::new(Date::new(2021, 1, 1).unwrap(), Date::new(2021, 1, 31).unwrap());
+    cfg.sim.daily_edits_mean = 20.0;
+    let ds = Dataset::generate(&dir.join("osm"), cfg).unwrap();
+    let schema = rased_core::CubeSchema::new(
+        ds.config.world.n_countries,
+        ds.config.sim.n_road_types,
+    );
+    let mut system =
+        Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
+    system.ingest_dataset(&ds).unwrap();
+    let result = system
+        .query(&AnalysisQuery::over(ds.config.range).group(GroupDim::Country))
+        .unwrap();
+    assert_eq!(result.total_count() as usize, ds.truth.len(), "no zone inflation");
+}
