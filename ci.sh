@@ -1,0 +1,9 @@
+#!/bin/sh
+# The tier-1 gate, runnable on a machine with no network and no registry
+# cache: the workspace has zero external dependencies, so --offline --locked
+# must always succeed. Benches are compiled (not run) to keep them honest.
+set -eu
+cd "$(dirname "$0")"
+
+cargo build --workspace --release --offline --locked --benches
+cargo test --workspace -q --offline --locked

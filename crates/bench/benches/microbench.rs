@@ -1,16 +1,16 @@
-//! Criterion microbenches for the individual subsystems: cube build and
-//! roll-up, level planning, XML parsing, the daily crawler, and warehouse
-//! lookups. These back the in-text performance assertions (e.g. the
-//! "30 minutes, dominated by scanning the UpdateList" daily maintenance).
+//! Microbenches for the individual subsystems: cube build and roll-up,
+//! level planning, XML parsing, the daily crawler, and warehouse lookups.
+//! These back the in-text performance assertions (e.g. the "30 minutes,
+//! dominated by scanning the UpdateList" daily maintenance).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rased_bench::harness::{Harness, Throughput};
 use rased_bench::{RecordSynth, Workload};
 use rased_core::{CubeSchema, DataCube};
 use rased_index::{LevelPlanner, PlannerKind};
 use rased_osm_model::{CountryId, RoadTypeTable};
 use rased_temporal::{Date, DateRange, Period};
 
-fn bench_cube(c: &mut Criterion) {
+fn bench_cube(c: &mut Harness) {
     let w = Workload::years(1, 5_000, 0x01);
     let mut synth = RecordSynth::new(&w);
     let records = synth.day(w.range.start());
@@ -38,7 +38,7 @@ fn bench_cube(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_planner(c: &mut Criterion) {
+fn bench_planner(c: &mut Harness) {
     let exists = |_: Period| true;
     let cached = |p: Period| p.start().day() < 8;
     let planner = LevelPlanner::new(4, &exists, &cached);
@@ -52,7 +52,7 @@ fn bench_planner(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_xml(c: &mut Criterion) {
+fn bench_xml(c: &mut Harness) {
     use rased_osm_gen::{EditSimulator, SimConfig, WorldAtlas, WorldConfig};
     use rased_osm_xml::{DiffReader, DiffWriter};
 
@@ -81,7 +81,7 @@ fn bench_xml(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_collector(c: &mut Criterion) {
+fn bench_collector(c: &mut Harness) {
     use rased_collector::DailyCrawler;
     use rased_osm_gen::{EditSimulator, SimConfig, WorldAtlas, WorldConfig};
     use rased_osm_model::CountryResolver;
@@ -127,7 +127,7 @@ fn bench_collector(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_warehouse(c: &mut Criterion) {
+fn bench_warehouse(c: &mut Harness) {
     use rased_geo::BBox;
     use rased_storage::IoCostModel;
     use rased_warehouse::Warehouse;
@@ -157,7 +157,7 @@ fn bench_warehouse(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_selection(c: &mut Criterion) {
+fn bench_selection(c: &mut Harness) {
     use rased_cube::DimSelection;
     let schema = CubeSchema::new(60, 40);
     let w = Workload::years(1, 20_000, 0x06);
@@ -180,5 +180,12 @@ fn bench_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cube, bench_planner, bench_xml, bench_collector, bench_warehouse, bench_selection);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_cube(&mut h);
+    bench_planner(&mut h);
+    bench_xml(&mut h);
+    bench_collector(&mut h);
+    bench_warehouse(&mut h);
+    bench_selection(&mut h);
+}

@@ -1,9 +1,9 @@
-//! Criterion bench: end-to-end analysis-query latency on a prebuilt index —
+//! End-to-end analysis-query latency on a prebuilt index —
 //! backing the paper's headline claim that "RASED queries are always
 //! supported in the order of milliseconds, regardless of how large is the
 //! query temporal window".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rased_bench::harness::{BenchmarkId, Harness};
 use rased_bench::{bench_dir, one_cell_query, Workload};
 use rased_core::{
     AnalysisQuery, CacheConfig, GroupDim, IoCostModel, QueryEngine, TemporalIndex,
@@ -15,7 +15,7 @@ fn window(w: &Workload, years: i32) -> DateRange {
     DateRange::new(Date::new(end.year() - years + 1, 1, 1).expect("valid"), end)
 }
 
-fn bench_query_latency(c: &mut Criterion) {
+fn bench_query_latency(c: &mut Harness) {
     let w = Workload::years(4, 200, 0xBE4C);
     let dir = bench_dir("crit-query");
     rased_bench::build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::free());
@@ -60,5 +60,7 @@ fn bench_query_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_latency);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_query_latency(&mut h);
+}

@@ -1,0 +1,121 @@
+//! Lazy shrink trees (rose trees, as in classic QuickCheck).
+//!
+//! A [`Shrink<T>`] is a candidate value plus a lazily computed list of
+//! *simpler* candidates, each itself a full tree. Shrinking a failing case
+//! is a greedy depth-first walk: take the first child that still fails,
+//! repeat until no child fails. Laziness matters — trees for vectors have
+//! combinatorially many nodes, and the walk only ever materializes one
+//! child list per accepted step.
+
+use std::rc::Rc;
+
+/// A value with its lazily-enumerable simpler alternatives.
+pub struct Shrink<T> {
+    /// The candidate value at this node.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Shrink<T>>>,
+}
+
+impl<T: Clone + 'static> Clone for Shrink<T> {
+    fn clone(&self) -> Self {
+        Shrink { value: self.value.clone(), children: Rc::clone(&self.children) }
+    }
+}
+
+impl<T: 'static> Shrink<T> {
+    /// A node with no simpler alternatives.
+    pub fn leaf(value: T) -> Shrink<T> {
+        Shrink { value, children: Rc::new(Vec::new) }
+    }
+
+    /// A node whose children are produced on demand. Children should be
+    /// ordered most-aggressive first (the greedy walk tries them in order).
+    pub fn new(value: T, children: impl Fn() -> Vec<Shrink<T>> + 'static) -> Shrink<T> {
+        Shrink { value, children: Rc::new(children) }
+    }
+
+    /// Materialize the immediate simpler alternatives.
+    pub fn children(&self) -> Vec<Shrink<T>> {
+        (self.children)()
+    }
+
+    /// Map the whole tree through `f`, preserving shrink structure. This is
+    /// what lets `Strategy::map` shrink: the *source* tree shrinks, and every
+    /// node is re-mapped.
+    pub fn map<U: 'static>(self, f: Rc<dyn Fn(&T) -> U>) -> Shrink<U> {
+        let value = f(&self.value);
+        let kids = self.children;
+        Shrink {
+            value,
+            children: Rc::new(move || {
+                let f = Rc::clone(&f);
+                kids().into_iter().map(|c| c.map(Rc::clone(&f))).collect()
+            }),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Shrink<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shrink").field("value", &self.value).finish_non_exhaustive()
+    }
+}
+
+/// Combine two trees into a tuple tree: shrink the left component first,
+/// then the right (lexicographic greediness).
+pub fn zip<A: Clone + 'static, B: Clone + 'static>(a: Shrink<A>, b: Shrink<B>) -> Shrink<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    Shrink::new(value, move || {
+        let mut out: Vec<Shrink<(A, B)>> = Vec::new();
+        for ca in a.children() {
+            out.push(zip(ca, b.clone()));
+        }
+        for cb in b.children() {
+            out.push(zip(a.clone(), cb));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_tree(v: i64) -> Shrink<i64> {
+        Shrink::new(v, move || {
+            let mut out = Vec::new();
+            if v != 0 {
+                out.push(int_tree(0));
+                if v / 2 != 0 && v / 2 != v {
+                    out.push(int_tree(v / 2));
+                }
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn leaf_has_no_children() {
+        assert!(Shrink::leaf(5).children().is_empty());
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let t = int_tree(8).map(Rc::new(|v: &i64| v * 10));
+        assert_eq!(t.value, 80);
+        let kids = t.children();
+        assert_eq!(kids[0].value, 0);
+        assert_eq!(kids[1].value, 40);
+    }
+
+    #[test]
+    fn zip_shrinks_componentwise() {
+        let t = zip(int_tree(4), int_tree(6));
+        assert_eq!(t.value, (4, 6));
+        let kids = t.children();
+        // Left shrinks first, right held fixed.
+        assert_eq!(kids[0].value, (0, 6));
+        // Right shrinks after all left candidates.
+        assert!(kids.iter().any(|k| k.value == (4, 0)));
+    }
+}

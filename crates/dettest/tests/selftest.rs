@@ -1,0 +1,129 @@
+//! Self-tests for the dettest harness: shrinking quality, failure
+//! reporting, and seed-based reproduction of counterexamples.
+
+use dettest::{check, det_proptest, one_of, vec_of, Config, Rng, Strategy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `check` expecting a failure; return the report text.
+fn failing_report<S: Strategy>(config: Config, strategy: S, f: impl Fn(&S::Value)) -> String {
+    let err = catch_unwind(AssertUnwindSafe(|| check("forced", config, strategy, f)))
+        .expect_err("property should fail");
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        err.downcast_ref::<&str>().map(|s| s.to_string()).expect("string panic")
+    }
+}
+
+fn extract<'a>(report: &'a str, prefix: &str) -> &'a str {
+    let line = report.lines().find(|l| l.trim_start().starts_with(prefix)).expect("line present");
+    line.trim_start().strip_prefix(prefix).expect("prefix").trim()
+}
+
+/// The shrunk value from the `minimal counterexample (after N shrink
+/// evals): …` report line.
+fn minimal_of(report: &str) -> &str {
+    let line = report
+        .lines()
+        .find(|l| l.trim_start().starts_with("minimal counterexample"))
+        .expect("counterexample line");
+    line.split("): ").nth(1).expect("value after evals count").trim()
+}
+
+#[test]
+fn int_counterexample_shrinks_to_boundary() {
+    // "all values < 500" fails; minimal counterexample is exactly 500.
+    let report =
+        failing_report(Config::default(), 0i64..10_000, |&v| assert!(v < 500, "too big: {v}"));
+    assert_eq!(minimal_of(&report), "500", "report: {report}");
+}
+
+#[test]
+fn vec_counterexample_shrinks_to_single_element() {
+    // "no vector contains a 7" — minimal counterexample is [7].
+    let strategy = vec_of(0u32..50, 0..20);
+    let report = failing_report(Config::default(), (strategy,), |(v,)| {
+        assert!(!v.contains(&7), "has a seven");
+    });
+    assert_eq!(minimal_of(&report), "([7],)", "report: {report}");
+}
+
+#[test]
+fn failure_report_names_a_seed_that_replays_the_same_counterexample() {
+    let prop = |&(a, b): &(i64, i64)| assert!(a + b < 900, "sum too big");
+    let strategy = || (0i64..1000, 0i64..1000);
+
+    let report = failing_report(Config::default(), strategy(), prop);
+    let seed_str = extract(&report, "reproduce with: DETTEST_SEED=");
+    let seed: u64 = seed_str.parse().expect("seed is a u64");
+    let minimal = minimal_of(&report).to_string();
+
+    // Replaying with the printed seed (the Config field DETTEST_SEED sets)
+    // must fail again with the identical minimal counterexample.
+    let replayed = failing_report(
+        Config { replay: Some(seed), ..Config::default() },
+        strategy(),
+        prop,
+    );
+    assert_eq!(minimal_of(&replayed), minimal);
+
+    // And through the environment variable itself.
+    std::env::set_var("DETTEST_SEED", seed_str);
+    let via_env = failing_report(Config::default(), strategy(), prop);
+    std::env::remove_var("DETTEST_SEED");
+    assert_eq!(minimal_of(&via_env), minimal);
+}
+
+#[test]
+fn replay_of_a_passing_seed_is_quiet() {
+    check("ok", Config { replay: Some(3), ..Config::default() }, 0u8..=255, |_| {});
+}
+
+#[test]
+fn sampling_is_deterministic_across_runs() {
+    let s = vec_of(one_of(vec![(0i32..10).boxed(), (100i32..110).boxed()]), 0..12);
+    let a: Vec<_> = {
+        let mut rng = Rng::new(99);
+        (0..20).map(|_| s.sample(&mut rng)).collect()
+    };
+    let b: Vec<_> = {
+        let mut rng = Rng::new(99);
+        (0..20).map(|_| s.sample(&mut rng)).collect()
+    };
+    assert_eq!(a, b);
+}
+
+#[test]
+fn shrink_budget_is_respected() {
+    // A property that always fails on huge vectors; with a tiny budget the
+    // runner must still terminate and report *something*.
+    let report = failing_report(
+        Config { max_shrink_evals: 3, ..Config::default() },
+        (vec_of(0u32..1000, 50..60),),
+        |(v,)| assert!(v.is_empty(), "non-empty"),
+    );
+    assert!(report.contains("3 shrink evals"), "report: {report}");
+}
+
+// The macro front end, exercised as real tests.
+det_proptest! {
+    #![det_config(cases = 64)]
+
+    #[test]
+    fn tuple_destructuring_works(a in 0i32..100, (b, c) in (0i32..10, 0i32..10)) {
+        assert!(a < 100 && b < 10 && c < 10);
+    }
+
+    #[test]
+    fn strings_respect_alphabet(s in dettest::string_from("ab<>&\"'", 0..=16)) {
+        assert!(s.chars().all(|ch| "ab<>&\"'".contains(ch)));
+        assert!(s.len() <= 16 * 4); // chars here are at most 4 UTF-8 bytes
+    }
+
+    #[test]
+    fn options_and_vectors(xs in vec_of(dettest::option_of(1u16..50), 0..8)) {
+        for x in xs.iter().flatten() {
+            assert!((1..50).contains(x));
+        }
+    }
+}

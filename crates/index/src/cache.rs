@@ -6,8 +6,8 @@
 //! ⌊βN⌋ weekly, ⌊γN⌋ monthly and ⌊θN⌋ yearly cubes. The ratios trade
 //! aggregation granularity against covered time span.
 
-use parking_lot::Mutex;
 use rased_cube::DataCube;
+use rased_storage::sync::Mutex;
 use rased_temporal::{Granularity, Period};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

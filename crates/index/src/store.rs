@@ -3,9 +3,9 @@
 use crate::cache::{CacheConfig, CubeCache};
 use crate::planner::LevelPlanner;
 use rased_cube::{CubeError, CubeSchema, DataCube};
+use rased_storage::sync::RwLock;
 use rased_storage::{IoCostModel, IoSnapshot, PageFile, PageId, StorageError};
 use rased_temporal::{Date, Granularity, Period};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};

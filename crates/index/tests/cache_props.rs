@@ -1,0 +1,142 @@
+//! Randomized cube-cache coverage (dettest): warming must respect the
+//! (α, β, γ, θ) level quotas for arbitrary ratio mixes, slot counts, and
+//! catalog shapes — per level, exactly the `min(quota, available)` most
+//! recent periods end up cached, never more than `slots` in total.
+
+use dettest::{det_proptest, vec_of};
+use rased_cube::{CubeSchema, DataCube};
+use rased_index::{CacheConfig, CacheStrategy, CubeCache};
+use rased_temporal::{Date, Granularity, Period};
+use std::sync::Arc;
+
+fn cube() -> Arc<DataCube> {
+    Arc::new(DataCube::zeroed(CubeSchema::tiny()))
+}
+
+/// Distinct periods per level, most recent last: `counts[i]` periods of
+/// `Granularity::ALL[i]`, anchored in 2021.
+fn catalog(counts: [usize; 4]) -> Vec<Period> {
+    let mut avail = Vec::new();
+    let day0 = Date::new(2021, 6, 1).expect("valid");
+    for i in 0..counts[0] {
+        avail.push(Period::Day(day0.add_days(i as i32)));
+    }
+    let week0 = Date::new(2021, 1, 3).expect("valid"); // a Sunday
+    for i in 0..counts[1] {
+        avail.push(Period::Week(week0.add_days(7 * i as i32)));
+    }
+    for i in 0..counts[2] {
+        avail.push(Period::Month(2018 + (i / 12) as i32, (i % 12) as u32 + 1));
+    }
+    for i in 0..counts[3] {
+        avail.push(Period::Year(2005 + i as i32));
+    }
+    avail
+}
+
+/// Warm a fresh recency cache over `catalog(counts)` and check every quota
+/// invariant. Returns (per-level cached counts, total loads) for pinning.
+fn check_warm_respects_quotas(
+    slots: usize,
+    weights: [u32; 4],
+    counts: [usize; 4],
+) -> ([usize; 4], usize) {
+    let sum: u32 = weights.iter().sum::<u32>().max(1);
+    let [a, b, g, t] = weights.map(|w| w as f64 / sum as f64);
+    let cache = CubeCache::new(CacheConfig {
+        slots,
+        strategy: CacheStrategy::Recency { alpha: a, beta: b, gamma: g, theta: t },
+    });
+    let avail = catalog(counts);
+    let mut loads = 0usize;
+    cache
+        .warm(&avail, |_| -> Result<_, ()> {
+            loads += 1;
+            Ok(cube())
+        })
+        .expect("warm never fails here");
+
+    let quota = cache.level_quota();
+    let mut cached_per_level = [0usize; 4];
+    for (i, &level) in Granularity::ALL.iter().enumerate() {
+        let mut of_level: Vec<Period> =
+            avail.iter().copied().filter(|p| p.granularity() == level).collect();
+        of_level.sort_unstable_by_key(|p| std::cmp::Reverse(p.start()));
+        let expect = quota[i].min(of_level.len());
+        // Exactly the `expect` most recent periods of this level are warm.
+        for (rank, p) in of_level.iter().enumerate() {
+            assert_eq!(
+                cache.contains(*p),
+                rank < expect,
+                "level {level:?} rank {rank} (quota {q}, avail {n}): {p}",
+                q = quota[i],
+                n = of_level.len(),
+            );
+        }
+        cached_per_level[i] = expect;
+    }
+    let total: usize = cached_per_level.iter().sum();
+    assert_eq!(cache.len(), total, "cache holds strays beyond the warm set");
+    assert!(cache.len() <= slots.max(quota.iter().sum()), "over capacity");
+    assert_eq!(loads, total, "fresh cache must load exactly the warm set");
+    (cached_per_level, loads)
+}
+
+det_proptest! {
+    #![det_config(cases = 96)]
+
+    #[test]
+    fn warm_caches_min_of_quota_and_available(
+        slots in 0usize..64,
+        weights in (0u32..8, 0u32..8, 0u32..8, 0u32..8),
+        counts in (0usize..50, 0usize..30, 0usize..30, 0usize..20),
+    ) {
+        let (w0, w1, w2, w3) = weights;
+        let (c0, c1, c2, c3) = counts;
+        check_warm_respects_quotas(slots, [w0, w1, w2, w3], [c0, c1, c2, c3]);
+    }
+
+    #[test]
+    fn rewarming_is_idempotent_and_loads_nothing_new(
+        slots in 1usize..32,
+        counts in (0usize..40, 0usize..20, 0usize..12, 0usize..8),
+    ) {
+        let (c0, c1, c2, c3) = counts;
+        let cache = CubeCache::new(CacheConfig {
+            slots,
+            strategy: CacheStrategy::paper_default(),
+        });
+        let avail = catalog([c0, c1, c2, c3]);
+        cache.warm(&avail, |_| -> Result<_, ()> { Ok(cube()) }).unwrap();
+        let len = cache.len();
+        let mut reloads = 0usize;
+        cache.warm(&avail, |_| -> Result<_, ()> { reloads += 1; Ok(cube()) }).unwrap();
+        assert_eq!(reloads, 0, "rewarming an unchanged catalog must reuse every cube");
+        assert_eq!(cache.len(), len);
+    }
+
+    #[test]
+    fn lru_never_exceeds_slots(
+        slots in 1usize..16,
+        ops in vec_of(0i32..120, 1..80),
+    ) {
+        let cache = CubeCache::new(CacheConfig { slots, strategy: CacheStrategy::Lru });
+        let day0 = Date::new(2021, 1, 1).expect("valid");
+        for off in ops {
+            cache.admit(Period::Day(day0.add_days(off)), &cube());
+            assert!(cache.len() <= slots, "LRU overflowed its {slots} slots");
+        }
+    }
+}
+
+/// Fixed-seed regression: one concrete (slots, ratios, catalog) instance
+/// with its per-level warm-set sizes pinned.
+#[test]
+fn regression_fixed_instance() {
+    // 20 slots at the paper's ratios over a catalog with scarce yearly
+    // cubes: quotas [8, 7, 4, 1] → warm [8, 7, 4, 1] … except only 0 years
+    // exist, so the yearly quota goes unfilled.
+    let (per_level, loads) = check_warm_respects_quotas(20, [40, 35, 20, 5], [30, 10, 6, 0]);
+    assert_eq!(per_level, [8, 7, 4, 0]);
+    assert_eq!(loads, 19);
+}

@@ -1,0 +1,122 @@
+//! Randomized level-planner coverage (dettest): the exact DP must dominate
+//! the greedy baseline in (disk fetches, cube count) over *arbitrary*
+//! exists/cached sets — not just the handcrafted ones in the unit tests —
+//! and every plan must be an exact, gap-free cover of its window.
+
+use dettest::{det_proptest, Rng};
+use rased_index::{LevelPlanner, PlannerKind, QueryPlan};
+use rased_temporal::{Date, DateRange, Period};
+
+/// Deterministic membership probe: period `p` is "in" a pseudo-random set
+/// identified by `seed` with density `pct`/100. Derived from SplitMix-style
+/// mixing so the same (seed, p) pair always answers the same.
+fn in_random_set(seed: u64, p: Period, pct: u8) -> bool {
+    let g = p.granularity() as u64;
+    let key = seed ^ (p.start().days() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (g << 56);
+    Rng::new(key).below(100) < pct as u64
+}
+
+/// A plan must tile its range exactly: in order, no gaps, no overlap.
+fn assert_exact_cover(plan: &QueryPlan, range: DateRange) {
+    let mut day = range.start();
+    for c in &plan.cubes {
+        assert_eq!(c.period.start(), day, "gap or overlap at {day}");
+        day = c.period.end().succ();
+    }
+    assert_eq!(day, range.end().succ(), "plan does not reach range end");
+}
+
+fn check_dp_dominates(
+    exist_seed: u64,
+    cache_seed: u64,
+    start_days: i32,
+    span: i32,
+    levels: u8,
+    exist_pct: u8,
+    cache_pct: u8,
+) -> (QueryPlan, QueryPlan) {
+    let start = Date::from_days(start_days);
+    let range = DateRange::new(start, start.add_days(span));
+    // Daily cubes always exist (the ingestion invariant the DP relies on
+    // treats missing days as empty, so arbitrary day-existence is fine too,
+    // but mixed densities at coarse levels are the interesting part).
+    let exists = move |p: Period| in_random_set(exist_seed, p, exist_pct);
+    let cached = move |p: Period| in_random_set(cache_seed, p, cache_pct);
+    let planner = LevelPlanner::new(levels, &exists, &cached);
+    let dp = planner.plan(range, PlannerKind::ExactDp);
+    let greedy = planner.plan(range, PlannerKind::Greedy);
+    assert_exact_cover(&dp, range);
+    assert_exact_cover(&greedy, range);
+    assert!(
+        (dp.disk_fetches(), dp.cube_count()) <= (greedy.disk_fetches(), greedy.cube_count()),
+        "DP (disk={}, cubes={}) worse than greedy (disk={}, cubes={}) on {range} \
+         (levels={levels}, exist={exist_pct}%, cache={cache_pct}%)",
+        dp.disk_fetches(),
+        dp.cube_count(),
+        greedy.disk_fetches(),
+        greedy.cube_count(),
+    );
+    (dp, greedy)
+}
+
+det_proptest! {
+    #![det_config(cases = 96)]
+
+    #[test]
+    fn dp_dominates_greedy_on_random_sets(
+        exist_seed in 0u64..u64::MAX,
+        cache_seed in 0u64..u64::MAX,
+        start in 15_000i32..19_000,
+        span in 0i32..500,
+        levels in 1u8..=4,
+        exist_pct in 0u8..=100,
+        cache_pct in 0u8..=100,
+    ) {
+        check_dp_dominates(exist_seed, cache_seed, start, span, levels, exist_pct, cache_pct);
+    }
+
+    #[test]
+    fn dp_disk_cost_is_monotone_in_cache(
+        seed in 0u64..u64::MAX,
+        start in 15_000i32..19_000,
+        span in 0i32..400,
+        cache_pct in 0u8..=100,
+    ) {
+        // Adding cache entries can only reduce the optimal disk cost.
+        let s = Date::from_days(start);
+        let range = DateRange::new(s, s.add_days(span));
+        let exists = |_: Period| true;
+        let cached = move |p: Period| in_random_set(seed, p, cache_pct);
+        let none = |_: Period| false;
+        let with_cache = LevelPlanner::new(4, &exists, &cached).plan(range, PlannerKind::ExactDp);
+        let cold = LevelPlanner::new(4, &exists, &none).plan(range, PlannerKind::ExactDp);
+        assert!(
+            with_cache.disk_fetches() <= cold.disk_fetches(),
+            "cache made the plan worse on {range}"
+        );
+    }
+}
+
+/// Fixed-seed regression: one concrete random instance with its exact plan
+/// costs pinned, so a planner change that shifts optimality is caught even
+/// if it still dominates greedy.
+#[test]
+fn regression_fixed_seed_instance() {
+    let (dp, greedy) =
+        check_dp_dominates(0xA11CE, 0xB0B, 18_262 /* 2020-01-01 */, 120, 4, 85, 30);
+    assert_eq!(
+        (dp.disk_fetches(), dp.cache_hits(), dp.cube_count()),
+        (REG_DP.0, REG_DP.1, REG_DP.2),
+        "pinned DP plan changed"
+    );
+    assert_eq!(
+        (greedy.disk_fetches(), greedy.cache_hits(), greedy.cube_count()),
+        (REG_GREEDY.0, REG_GREEDY.1, REG_GREEDY.2),
+        "pinned greedy plan changed"
+    );
+}
+
+// Pinned observed costs for the instance above (seeds 0xA11CE/0xB0B,
+// 2020-01-01 + 120 days, 4 levels, 85% exist, 30% cached).
+const REG_DP: (usize, usize, usize) = (4, 0, 4);
+const REG_GREEDY: (usize, usize, usize) = (9, 6, 15);

@@ -1,7 +1,7 @@
 //! [`BufferPool`]: an LRU page cache over a [`PageFile`].
 
 use crate::pagefile::{PageFile, PageId, StorageError};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

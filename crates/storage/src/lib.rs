@@ -22,6 +22,7 @@ mod buffer;
 mod hash_index;
 mod pagefile;
 mod stats;
+pub mod sync;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use hash_index::DiskHashIndex;

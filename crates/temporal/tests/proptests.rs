@@ -1,6 +1,6 @@
-//! Property-based tests for date arithmetic and period algebra.
+//! Property-based tests for date arithmetic and period algebra (dettest).
 
-use proptest::prelude::*;
+use dettest::{det_proptest, Strategy};
 use rased_temporal::{Date, DateRange, Granularity, Period};
 
 /// Strategy: any supported day number (years 1600..=9999).
@@ -14,46 +14,46 @@ fn osm_date() -> impl Strategy<Value = Date> {
         .prop_map(Date::from_days)
 }
 
-proptest! {
+det_proptest! {
     #[test]
     fn civil_roundtrip(d in any_date()) {
         let (y, m, day) = d.civil();
-        prop_assert_eq!(Date::new(y, m, day).unwrap(), d);
+        assert_eq!(Date::new(y, m, day).unwrap(), d);
     }
 
     #[test]
     fn display_parse_roundtrip(d in any_date()) {
         let s = d.to_string();
-        prop_assert_eq!(s.parse::<Date>().unwrap(), d);
+        assert_eq!(s.parse::<Date>().unwrap(), d);
     }
 
     #[test]
     fn succ_increases_by_one(d in osm_date()) {
-        prop_assert_eq!(d.succ().days_since(d), 1);
-        prop_assert_eq!(d.succ().pred(), d);
+        assert_eq!(d.succ().days_since(d), 1);
+        assert_eq!(d.succ().pred(), d);
     }
 
     #[test]
     fn weekday_cycles(d in osm_date()) {
         let w0 = d.weekday().index0();
         let w1 = d.succ().weekday().index0();
-        prop_assert_eq!(w1, (w0 + 1) % 7);
+        assert_eq!(w1, (w0 + 1) % 7);
     }
 
     #[test]
     fn week_start_is_sunday_and_contains(d in osm_date()) {
         let ws = d.week_start();
-        prop_assert!(ws.is_week_start());
-        prop_assert!(ws <= d);
-        prop_assert!(d.days_since(ws) < 7);
+        assert!(ws.is_week_start());
+        assert!(ws <= d);
+        assert!(d.days_since(ws) < 7);
     }
 
     #[test]
     fn period_contains_its_origin(d in osm_date()) {
         for g in Granularity::ALL {
             let p = Period::containing(g, d);
-            prop_assert!(p.contains(d), "{} should contain {}", p, d);
-            prop_assert_eq!(p.range().len_days(), p.len_days());
+            assert!(p.contains(d), "{} should contain {}", p, d);
+            assert_eq!(p.range().len_days(), p.len_days());
         }
     }
 
@@ -63,10 +63,10 @@ proptest! {
             let p = Period::containing(g, d);
             let kids = p.children();
             // Children are adjacent, in order, and cover exactly the parent.
-            prop_assert_eq!(kids.first().unwrap().start(), p.start());
-            prop_assert_eq!(kids.last().unwrap().end(), p.end());
+            assert_eq!(kids.first().unwrap().start(), p.start());
+            assert_eq!(kids.last().unwrap().end(), p.end());
             for w in kids.windows(2) {
-                prop_assert_eq!(w[1].start(), w[0].end().succ());
+                assert_eq!(w[1].start(), w[0].end().succ());
             }
         }
     }
@@ -76,10 +76,10 @@ proptest! {
         for g in [Granularity::Day, Granularity::Week, Granularity::Month] {
             let p = Period::containing(g, d);
             if let Some(parent) = p.parent() {
-                prop_assert!(parent.start() <= p.start());
-                prop_assert!(p.end() <= parent.end());
+                assert!(parent.start() <= p.start());
+                assert!(p.end() <= parent.end());
                 // And the child really is listed among the parent's children.
-                prop_assert!(parent.children().contains(&p), "{} not child of {}", p, parent);
+                assert!(parent.children().contains(&p), "{} not child of {}", p, parent);
             }
         }
     }
@@ -93,18 +93,18 @@ proptest! {
         for g in Granularity::ALL {
             let ps: Vec<Period> = range.periods_within(g).collect();
             for p in &ps {
-                prop_assert!(p.within(range));
+                assert!(p.within(range));
             }
             for w in ps.windows(2) {
-                prop_assert_eq!(w[1].start(), w[0].end().succ());
+                assert_eq!(w[1].start(), w[0].end().succ());
             }
             // Maximality: the period just before the first / after the last
             // must not fit.
             if let Some(first) = ps.first() {
-                prop_assert!(!first.pred().within(range));
+                assert!(!first.pred().within(range));
             }
             if let Some(last) = ps.last() {
-                prop_assert!(!last.succ().within(range));
+                assert!(!last.succ().within(range));
             }
         }
     }
@@ -118,12 +118,12 @@ proptest! {
         let r2 = DateRange::new(b, b.add_days(s2));
         let i12 = r1.intersect(r2);
         let i21 = r2.intersect(r1);
-        prop_assert_eq!(i12, i21);
+        assert_eq!(i12, i21);
         if let Some(i) = i12 {
-            prop_assert!(r1.contains(i.start()) && r2.contains(i.start()));
-            prop_assert!(r1.contains(i.end()) && r2.contains(i.end()));
+            assert!(r1.contains(i.start()) && r2.contains(i.start()));
+            assert!(r1.contains(i.end()) && r2.contains(i.end()));
         } else {
-            prop_assert!(!r1.overlaps(r2));
+            assert!(!r1.overlaps(r2));
         }
     }
 }

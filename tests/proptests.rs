@@ -1,10 +1,10 @@
-//! Workspace-level property tests: arbitrary-content XML roundtrips,
-//! cube algebra over random record sets, and engine-vs-oracle equivalence
-//! on randomized queries.
+//! Workspace-level property tests (dettest): arbitrary-content XML
+//! roundtrips, cube algebra over random record sets, and engine-vs-oracle
+//! equivalence on randomized queries.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
+use dettest::{
+    bools, det_proptest, just, one_of, option_of, string_from, vec_of, Rng, Strategy,
+};
 use rased_core::{AnalysisQuery, CubeSchema, DataCube, GroupDim};
 use rased_osm_model::{
     ChangesetId, CountryId, Element, ElementId, ElementType, Node, RoadTypeId, Tags, UpdateRecord,
@@ -16,18 +16,26 @@ use rased_temporal::{Date, DateRange, Granularity};
 
 // --- generators -------------------------------------------------------------
 
+/// Printable ASCII (the `[ -~]` class) plus XML-hostile multibyte chars.
+const TAG_ALPHABET: &str = concat!(
+    " !\"#$%&'()*+,-./0123456789:;<=>?@",
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`",
+    "abcdefghijklmnopqrstuvwxyz{|}~",
+    "äöü€<>&\"'",
+);
+
 fn any_tag_string() -> impl Strategy<Value = String> {
     // Printable-ish strings including XML-hostile characters.
-    proptest::string::string_regex("[ -~äöü€<>&\"']{0,24}").expect("valid regex")
+    string_from(TAG_ALPHABET, 0..=24)
 }
 
 fn any_tags() -> impl Strategy<Value = Tags> {
-    vec((proptest::string::string_regex("[a-z_:]{1,10}").expect("regex"), any_tag_string()), 0..5)
+    vec_of((string_from("abcdefghijklmnopqrstuvwxyz_:", 1..=10), any_tag_string()), 0..5)
         .prop_map(Tags::from_pairs)
 }
 
 fn any_info() -> impl Strategy<Value = VersionInfo> {
-    (1u32..50, 15_000i32..20_000, 1u64..1_000_000, 0u64..5_000, any::<bool>()).prop_map(
+    (1u32..50, 15_000i32..20_000, 1u64..1_000_000, 0u64..5_000, bools()).prop_map(
         |(v, days, cs, uid, visible)| VersionInfo {
             version: Version(v),
             date: Date::from_days(days),
@@ -39,11 +47,17 @@ fn any_info() -> impl Strategy<Value = VersionInfo> {
 }
 
 fn any_element() -> impl Strategy<Value = Element> {
-    let node = (1i64..1_000_000, any_info(), -900_000_000i32..900_000_000, -1_800_000_000i32..1_800_000_000, any_tags())
+    let node = (
+        1i64..1_000_000,
+        any_info(),
+        -900_000_000i32..900_000_000,
+        -1_800_000_000i32..1_800_000_000,
+        any_tags(),
+    )
         .prop_map(|(id, info, lat7, lon7, tags)| {
             Element::Node(Node { id: ElementId(id), info, lat7, lon7, tags })
         });
-    let way = (1i64..1_000_000, any_info(), vec(1i64..1_000_000, 0..8), any_tags()).prop_map(
+    let way = (1i64..1_000_000, any_info(), vec_of(1i64..1_000_000, 0..8), any_tags()).prop_map(
         |(id, info, nodes, tags)| {
             Element::Way(Way {
                 id: ElementId(id),
@@ -53,7 +67,7 @@ fn any_element() -> impl Strategy<Value = Element> {
             })
         },
     );
-    prop_oneof![node, way]
+    one_of(vec![node.boxed(), way.boxed()])
 }
 
 fn any_record() -> impl Strategy<Value = UpdateRecord> {
@@ -73,11 +87,11 @@ fn any_record() -> impl Strategy<Value = UpdateRecord> {
 
 // --- properties ---------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+det_proptest! {
+    #![det_config(cases = 64)]
 
     #[test]
-    fn planet_roundtrip_arbitrary_elements(elements in vec(any_element(), 0..20)) {
+    fn planet_roundtrip_arbitrary_elements(elements in vec_of(any_element(), 0..20)) {
         let mut w = PlanetWriter::new(Vec::new()).expect("writer");
         for e in &elements {
             w.write(e).expect("write");
@@ -86,14 +100,16 @@ proptest! {
         let got: Vec<Element> = PlanetReader::new(bytes.as_slice())
             .map(|r| r.expect("parse"))
             .collect();
-        prop_assert_eq!(got, elements);
+        assert_eq!(got, elements);
     }
 
     #[test]
     fn diff_roundtrip_arbitrary_actions(
-        changes in vec((prop_oneof![
-            Just(DiffAction::Create), Just(DiffAction::Modify), Just(DiffAction::Delete)
-        ], any_element()), 0..20)
+        changes in vec_of((one_of(vec![
+            just(DiffAction::Create).boxed(),
+            just(DiffAction::Modify).boxed(),
+            just(DiffAction::Delete).boxed(),
+        ]), any_element()), 0..20)
     ) {
         let mut w = DiffWriter::new(Vec::new()).expect("writer");
         for (a, e) in &changes {
@@ -103,33 +119,36 @@ proptest! {
         let got: Vec<(DiffAction, Element)> = DiffReader::new(bytes.as_slice())
             .map(|r| r.expect("parse"))
             .collect();
-        prop_assert_eq!(got, changes);
+        assert_eq!(got, changes);
     }
 
     #[test]
-    fn cube_build_distributes_over_partition(records in vec(any_record(), 0..200), split in 0usize..200) {
+    fn cube_build_distributes_over_partition(
+        records in vec_of(any_record(), 0..200),
+        split in 0usize..200,
+    ) {
         let schema = CubeSchema::new(6, 5);
         let split = split.min(records.len());
         let whole = DataCube::from_records(schema, &records).expect("build");
         let mut parts = DataCube::from_records(schema, &records[..split]).expect("build");
         let rest = DataCube::from_records(schema, &records[split..]).expect("build");
         parts.merge_from(&rest).expect("merge");
-        prop_assert_eq!(whole, parts);
+        assert_eq!(whole, parts);
     }
 
     #[test]
-    fn cube_serialization_roundtrip(records in vec(any_record(), 0..100)) {
+    fn cube_serialization_roundtrip(records in vec_of(any_record(), 0..100)) {
         let schema = CubeSchema::new(6, 5);
         let cube = DataCube::from_records(schema, &records).expect("build");
         let back = DataCube::from_bytes(schema, &cube.to_bytes()).expect("decode");
-        prop_assert_eq!(&back, &cube);
-        prop_assert_eq!(cube.total(), records.len() as u64);
+        assert_eq!(&back, &cube);
+        assert_eq!(cube.total(), records.len() as u64);
     }
 
     #[test]
     fn record_binary_roundtrip(r in any_record()) {
         let bytes = r.encode();
-        prop_assert_eq!(UpdateRecord::decode(&bytes), Some(r));
+        assert_eq!(UpdateRecord::decode(&bytes), Some(r));
     }
 }
 
@@ -143,11 +162,8 @@ fn engine_matches_oracle_on_random_queries() {
 
     let schema = CubeSchema::new(6, 5);
     // Deterministic random records spanning ~100 days.
-    let mut runner = proptest::test_runner::TestRunner::deterministic();
-    let records: Vec<UpdateRecord> = vec(any_record(), 3_000..3_001)
-        .new_tree(&mut runner)
-        .expect("gen")
-        .current();
+    let mut rng = Rng::new(0xD5EED_0BAC1E);
+    let records: Vec<UpdateRecord> = vec_of(any_record(), 3000usize).sample(&mut rng);
 
     let dir = std::env::temp_dir().join(format!("rased-prop-engine-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -169,18 +185,18 @@ fn engine_matches_oracle_on_random_queries() {
     let query_strategy = (
         18_000i32..18_100,
         0i32..120,
-        proptest::option::of(vec(0u16..6, 1..3)),
-        proptest::option::of(vec(0usize..5, 1..3)),
-        proptest::bool::ANY,
-        proptest::option::of(prop_oneof![
-            Just(Granularity::Day),
-            Just(Granularity::Week),
-            Just(Granularity::Month)
-        ]),
+        option_of(vec_of(0u16..6, 1..3)),
+        option_of(vec_of(0usize..5, 1..3)),
+        bools(),
+        option_of(one_of(vec![
+            just(Granularity::Day).boxed(),
+            just(Granularity::Week).boxed(),
+            just(Granularity::Month).boxed(),
+        ])),
     );
     for _ in 0..50 {
         let (start, span, countries, updates, group_country, date_g) =
-            query_strategy.new_tree(&mut runner).expect("gen").current();
+            query_strategy.sample(&mut rng);
         let a = Date::from_days(start);
         let mut q = AnalysisQuery::over(DateRange::new(a, a.add_days(span)));
         if let Some(cs) = countries {
