@@ -7,3 +7,9 @@ cd "$(dirname "$0")"
 
 cargo build --workspace --release --offline --locked --benches
 cargo test --workspace -q --offline --locked
+
+# The HTTP serving-tier battery re-runs under an explicit wall-clock budget:
+# a hang in the worker pool, keep-alive loop, or shutdown path must fail CI
+# as a timeout, not stall it forever.
+timeout 300 cargo test -q --offline --locked \
+    --test http_parser --test http_api --test concurrency --test failure_injection

@@ -24,9 +24,11 @@
 //! ```
 
 mod ingest;
+mod server_config;
 mod system;
 
 pub use ingest::IngestReport;
+pub use server_config::ServerConfig;
 pub use system::{Rased, RasedConfig, RasedError};
 
 // Re-export the public API surface so downstream users (examples, the

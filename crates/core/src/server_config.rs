@@ -1,0 +1,91 @@
+//! [`ServerConfig`] — operational knobs for the dashboard serving tier.
+//!
+//! The paper demos RASED as a *public* dashboard; a public deployment needs
+//! bounded resources and defensive request limits, not an unbounded
+//! thread-per-connection loop. These knobs live in `rased-core` (rather
+//! than the dashboard crate) so they ride along [`crate::RasedConfig`] and
+//! every front end — CLI, tests, embedding applications — shares one
+//! vocabulary.
+
+use std::time::Duration;
+
+/// Configuration for the HTTP serving tier.
+///
+/// All limits are per connection unless noted. The defaults are sized for a
+/// small public deployment: a worker per core, a modest accept queue, and
+/// request caps far above anything the JSON API legitimately needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads handling connections. `0` means "one per available
+    /// core" (`std::thread::available_parallelism`, minimum 2).
+    pub workers: usize,
+    /// Accepted connections waiting for a free worker. When the queue is
+    /// full new connections are rejected with `503` + `Retry-After` —
+    /// backpressure instead of unbounded thread spawn.
+    pub queue_depth: usize,
+    /// Socket read timeout; a connection that stalls mid-request this long
+    /// is answered `408` and closed (slowloris defense). Also bounds how
+    /// long an idle keep-alive connection is retained.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a client that stops draining its response this
+    /// long gets its connection dropped.
+    pub write_timeout: Duration,
+    /// Maximum request-line length in bytes (`431` beyond).
+    pub max_request_line_bytes: usize,
+    /// Maximum total header bytes per request (`431` beyond).
+    pub max_header_bytes: usize,
+    /// Maximum request body bytes (`413` beyond).
+    pub max_body_bytes: usize,
+    /// Requests served over one keep-alive connection before the server
+    /// closes it (bounds per-connection state lifetime).
+    pub max_keep_alive_requests: usize,
+    /// Value of the `Retry-After` header on `503` queue-full rejections.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_line_bytes: 8 * 1024,
+            max_header_bytes: 32 * 1024,
+            max_body_bytes: 64 * 1024,
+            max_keep_alive_requests: 1000,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The effective worker-pool size: `workers`, or the machine's
+    /// available parallelism (minimum 2 so one slow request cannot starve
+    /// the whole dashboard) when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2),
+            n => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bounded() {
+        let c = ServerConfig::default();
+        assert!(c.effective_workers() >= 2);
+        assert!(c.queue_depth > 0);
+        assert!(c.max_request_line_bytes <= c.max_header_bytes);
+    }
+
+    #[test]
+    fn explicit_worker_count_wins() {
+        let c = ServerConfig { workers: 3, ..ServerConfig::default() };
+        assert_eq!(c.effective_workers(), 3);
+    }
+}

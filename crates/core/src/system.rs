@@ -88,6 +88,10 @@ pub struct RasedConfig {
     /// containing their country. Default: no zones. The schema's country
     /// dimension must cover the zone ids.
     pub zones: ZoneMap,
+    /// Serving-tier knobs (worker pool, queue depth, timeouts, request
+    /// limits) consumed by the dashboard's HTTP server. Per-process tuning,
+    /// not persisted by [`RasedConfig::save`].
+    pub server: crate::ServerConfig,
 }
 
 impl RasedConfig {
@@ -105,6 +109,7 @@ impl RasedConfig {
             n_countries: 60,
             n_road_types: 40,
             zones: ZoneMap::none(),
+            server: crate::ServerConfig::default(),
         }
     }
 

@@ -46,6 +46,27 @@ pub fn url_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Percent-encode a URL component — the exact inverse of [`url_decode`]:
+/// `url_decode(&form_urlencode(s)) == s` for every string. Unreserved
+/// characters (`A–Z a–z 0–9 - _ . ~`) pass through, space becomes `+`,
+/// everything else is `%XX`-escaped byte-wise.
+pub fn form_urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
 /// Split a query string into decoded key/value pairs.
 pub fn parse_query_string(qs: &str) -> Vec<(String, String)> {
     qs.split('&')
@@ -183,6 +204,15 @@ mod tests {
         assert_eq!(url_decode("plain"), "plain");
         assert_eq!(url_decode("bad%zz"), "bad%zz");
         assert_eq!(url_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn url_encoding_round_trips() {
+        for s in ["", "plain", "a b&c=d", "käse+100%", "\u{1}\u{7f}", "~.-_"] {
+            let enc = form_urlencode(s);
+            assert_eq!(url_decode(&enc), s, "via {enc}");
+            assert!(enc.bytes().all(|b| b.is_ascii_graphic()), "{enc}");
+        }
     }
 
     fn empty_system(tag: &str) -> Rased {

@@ -6,11 +6,12 @@
 //! rased ingest   --data DIR --system DIR
 //! rased query    --system DIR --start YYYY-MM-DD --end YYYY-MM-DD [--group country,element,...]
 //!                [--countries US,DE] [--updates create,update] [--value percentage] [--chart bar|table|series]
-//! rased serve    --system DIR [--addr 127.0.0.1:7878]
+//! rased serve    --system DIR [--addr 127.0.0.1:7878] [--workers N] [--queue N]
+//!                [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N]
 //! rased demo     --dir DIR  (generate + ingest + serve in one step)
 //! ```
 
-use rased_core::{CubeSchema, Rased, RasedConfig};
+use rased_core::{CubeSchema, Rased, RasedConfig, ServerConfig};
 use rased_dashboard::{charts, parse_analysis_query, DashboardServer};
 use rased_osm_gen::{Dataset, DatasetConfig};
 use rased_temporal::{Date, DateRange};
@@ -59,7 +60,8 @@ fn print_usage() {
          \x20 ingest   --data DIR --system DIR\n\
          \x20 query    --system DIR --start D --end D [--group country,element,road,update,day,week,month,year]\n\
          \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv]\n\
-         \x20 serve    --system DIR [--addr HOST:PORT]\n\
+         \x20 serve    --system DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N]\n\
          \x20 demo     --dir DIR [--seed N]"
     );
 }
@@ -172,12 +174,48 @@ fn query(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// Build a [`ServerConfig`] from the `serve` flags (defaults otherwise).
+fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, AnyError> {
+    let mut cfg = ServerConfig::default();
+    if let Some(n) = flags.get("workers") {
+        cfg.workers = n.parse()?;
+    }
+    if let Some(n) = flags.get("queue") {
+        cfg.queue_depth = n.parse()?;
+    }
+    if let Some(ms) = flags.get("read-timeout-ms") {
+        cfg.read_timeout = std::time::Duration::from_millis(ms.parse()?);
+    }
+    if let Some(ms) = flags.get("write-timeout-ms") {
+        cfg.write_timeout = std::time::Duration::from_millis(ms.parse()?);
+    }
+    if let Some(kb) = flags.get("max-body-kb") {
+        cfg.max_body_bytes = kb.parse::<usize>()? * 1024;
+    }
+    Ok(cfg)
+}
+
 fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let system = open_or_create_system(get(flags, "system")?, None)?;
     let addr = flags.get("addr").map(|s| s.as_str()).unwrap_or("127.0.0.1:7878");
-    let server = DashboardServer::bind(Arc::new(system), addr)?;
-    println!("RASED dashboard listening on http://{}", server.addr()?);
+    let config = server_config(flags)?;
+    let server = DashboardServer::bind_with(Arc::new(system), addr, config)?;
+    let addr = server.addr()?;
+    println!(
+        "RASED dashboard listening on http://{addr} ({} workers, queue depth {})",
+        server.config().effective_workers(),
+        server.config().queue_depth,
+    );
+    println!("serving-tier telemetry at http://{addr}/api/metrics");
     server.serve()?;
+    let m = server.metrics();
+    println!(
+        "shut down: {} connections ({} rejected busy, {} timeouts), {} requests",
+        m.completed(),
+        m.queue_full_total(),
+        m.timeouts_total(),
+        m.requests_total(),
+    );
     Ok(())
 }
 

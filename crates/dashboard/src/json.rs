@@ -122,6 +122,17 @@ impl Json {
         self
     }
 
+    /// Emit `"k":v` for an unsigned integer — the dominant pair shape in
+    /// the metrics document.
+    pub fn kv_uint(&mut self, k: &str, v: u64) -> &mut Json {
+        self.key(k).uint(v)
+    }
+
+    /// Emit `"k":"v"`.
+    pub fn kv_string(&mut self, k: &str, v: &str) -> &mut Json {
+        self.key(k).string(v)
+    }
+
     /// Emit a boolean.
     pub fn boolean(&mut self, v: bool) -> &mut Json {
         self.before_value();

@@ -7,16 +7,24 @@
 //!   by the examples to reproduce the visualizations of Figures 2–5;
 //! * [`json`] — a minimal JSON writer (output only; the API never parses
 //!   JSON) backing the HTTP API;
-//! * [`server`] — an HTTP/1.1 server on `std::net` exposing
-//!   `GET /api/analysis`, `GET /api/sample`, `GET /api/meta`, and an
-//!   embedded single-page dashboard at `/`;
+//! * [`http`] — limit-enforcing HTTP/1.1 request parsing;
+//! * [`metrics`] — lock-free serving-tier telemetry behind `/api/metrics`;
+//! * [`server`] — an HTTP/1.1 server on `std::net` with a bounded worker
+//!   pool, keep-alive, per-request limits and graceful shutdown, exposing
+//!   `GET /api/analysis`, `GET /api/sample`, `GET /api/meta`,
+//!   `GET /api/metrics`, and an embedded single-page dashboard at `/`;
 //! * the `rased` CLI binary — generate / ingest / query / serve.
 
 pub mod charts;
+pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod server;
 
 mod api;
 
-pub use api::{parse_analysis_query, result_to_json, ApiError};
-pub use server::DashboardServer;
+pub use api::{
+    form_urlencode, parse_analysis_query, parse_query_string, result_to_json, url_decode, ApiError,
+};
+pub use metrics::ServerMetrics;
+pub use server::{DashboardServer, StopHandle};

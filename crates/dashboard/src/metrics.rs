@@ -1,0 +1,279 @@
+//! [`ServerMetrics`] — lock-free serving-tier telemetry.
+//!
+//! A long-running public dashboard is operated by its numbers: connection
+//! throughput, status mix, rejection/timeout counts, and latency shape.
+//! Everything here is a relaxed atomic — recording a request is a handful
+//! of `fetch_add`s, cheap enough to run on every request — and the whole
+//! struct serializes to the JSON served at `GET /api/metrics`.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Upper bucket bounds (µs) of the request-latency histogram; an implicit
+/// overflow bucket catches everything slower.
+pub const LATENCY_BUCKETS_MICROS: [u64; 10] =
+    [100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000];
+
+/// The endpoints tracked individually; everything else lands in `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Root,
+    Meta,
+    Analysis,
+    Sample,
+    Metrics,
+    Other,
+}
+
+impl Endpoint {
+    /// All tracked endpoints, in serialization order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Root,
+        Endpoint::Meta,
+        Endpoint::Analysis,
+        Endpoint::Sample,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// Classify a request path.
+    pub fn classify(path: &str) -> Endpoint {
+        match path {
+            "/" | "/index.html" => Endpoint::Root,
+            "/api/meta" => Endpoint::Meta,
+            "/api/analysis" => Endpoint::Analysis,
+            "/api/sample" => Endpoint::Sample,
+            "/api/metrics" => Endpoint::Metrics,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The label used in the metrics JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Root => "/",
+            Endpoint::Meta => "/api/meta",
+            Endpoint::Analysis => "/api/analysis",
+            Endpoint::Sample => "/api/sample",
+            Endpoint::Metrics => "/api/metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Serving-tier counters. All methods are `&self` and thread-safe.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted off the listener.
+    accepted: AtomicU64,
+    /// Connections currently inside a worker (gauge).
+    active: AtomicU64,
+    /// High-watermark of `active` — proves the pool bound held.
+    max_active: AtomicU64,
+    /// Connections fully handled and closed.
+    completed: AtomicU64,
+    /// Connections rejected with 503 because the queue was full.
+    queue_full_rejections: AtomicU64,
+    /// Read/write timeouts (slowloris reaps, stalled clients, idle expiry).
+    timeouts: AtomicU64,
+    /// Requests answered, by status class (index 0 = 1xx … 4 = 5xx).
+    status_classes: [AtomicU64; 5],
+    /// Requests answered, by endpoint (indexed like [`Endpoint::ALL`]).
+    endpoints: [AtomicU64; 6],
+    /// Latency histogram counts; last slot is the overflow bucket.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_MICROS.len() + 1],
+    /// Sum of request latencies in µs (mean = total / requests).
+    latency_total_micros: AtomicU64,
+}
+
+impl ServerMetrics {
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    /// A connection was accepted off the listener (it may still be queued).
+    pub fn connection_accepted(&self) {
+        self.accepted.fetch_add(1, Relaxed);
+    }
+
+    /// A worker started handling a connection.
+    pub fn connection_opened(&self) {
+        let now = self.active.fetch_add(1, Relaxed) + 1;
+        self.max_active.fetch_max(now, Relaxed);
+    }
+
+    /// A worker finished with a connection.
+    pub fn connection_closed(&self) {
+        self.active.fetch_sub(1, Relaxed);
+        self.completed.fetch_add(1, Relaxed);
+    }
+
+    /// A connection was answered 503 because the queue was full.
+    pub fn queue_full_rejection(&self) {
+        self.queue_full_rejections.fetch_add(1, Relaxed);
+    }
+
+    /// A socket timeout fired.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Relaxed);
+    }
+
+    /// A request was answered with `status` after `latency`.
+    pub fn record_request(&self, endpoint: Endpoint, status: u16, latency: Duration) {
+        let class = (status / 100).clamp(1, 5) as usize - 1;
+        self.status_classes[class].fetch_add(1, Relaxed);
+        let ei = Endpoint::ALL.iter().position(|e| *e == endpoint).unwrap_or(5);
+        self.endpoints[ei].fetch_add(1, Relaxed);
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bi = LATENCY_BUCKETS_MICROS
+            .iter()
+            .position(|&le| micros <= le)
+            .unwrap_or(LATENCY_BUCKETS_MICROS.len());
+        self.latency_buckets[bi].fetch_add(1, Relaxed);
+        self.latency_total_micros.fetch_add(micros, Relaxed);
+    }
+
+    /// Connections accepted so far (tests use this to sequence shutdown).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Relaxed)
+    }
+
+    /// Connections currently being handled.
+    pub fn active(&self) -> u64 {
+        self.active.load(Relaxed)
+    }
+
+    /// High-watermark of concurrently handled connections.
+    pub fn max_active(&self) -> u64 {
+        self.max_active.load(Relaxed)
+    }
+
+    /// Connections fully handled.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Relaxed)
+    }
+
+    /// Total requests answered (sum over status classes).
+    pub fn requests_total(&self) -> u64 {
+        self.status_classes.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Requests answered in the given status class (2 → 2xx).
+    pub fn requests_in_class(&self, class: u16) -> u64 {
+        let i = (class.clamp(1, 5) - 1) as usize;
+        self.status_classes[i].load(Relaxed)
+    }
+
+    /// Timeouts observed.
+    pub fn timeouts_total(&self) -> u64 {
+        self.timeouts.load(Relaxed)
+    }
+
+    /// 503 queue-full rejections observed.
+    pub fn queue_full_total(&self) -> u64 {
+        self.queue_full_rejections.load(Relaxed)
+    }
+
+    /// The `/api/metrics` document. Schema (all counters cumulative since
+    /// server start):
+    ///
+    /// ```json
+    /// {
+    ///   "connections": {"accepted":N,"active":N,"max_active":N,"completed":N,
+    ///                   "queue_full_rejections":N,"timeouts":N},
+    ///   "requests": {"total":N,"status":{"1xx":N,...,"5xx":N}},
+    ///   "endpoints": {"/":N,"/api/meta":N,...,"other":N},
+    ///   "latency_micros": {"total":N,
+    ///     "buckets":[{"le":100,"count":N},...,{"le":null,"count":N}]}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut j = Json::new();
+        j.begin_object();
+        j.key("connections").begin_object();
+        j.kv_uint("accepted", self.accepted());
+        j.kv_uint("active", self.active());
+        j.kv_uint("max_active", self.max_active());
+        j.kv_uint("completed", self.completed());
+        j.kv_uint("queue_full_rejections", self.queue_full_total());
+        j.kv_uint("timeouts", self.timeouts_total());
+        j.end_object();
+
+        j.key("requests").begin_object();
+        j.kv_uint("total", self.requests_total());
+        j.key("status").begin_object();
+        for class in 1u16..=5 {
+            j.kv_uint(&format!("{class}xx"), self.requests_in_class(class));
+        }
+        j.end_object();
+        j.end_object();
+
+        j.key("endpoints").begin_object();
+        for (i, e) in Endpoint::ALL.iter().enumerate() {
+            j.kv_uint(e.label(), self.endpoints[i].load(Relaxed));
+        }
+        j.end_object();
+
+        j.key("latency_micros").begin_object();
+        j.kv_uint("total", self.latency_total_micros.load(Relaxed));
+        j.key("buckets").begin_array();
+        for (i, count) in self.latency_buckets.iter().enumerate() {
+            j.begin_object();
+            match LATENCY_BUCKETS_MICROS.get(i) {
+                Some(&le) => j.key("le").uint(le),
+                None => j.key("le").null(),
+            };
+            j.kv_uint("count", count.load(Relaxed));
+            j.end_object();
+        }
+        j.end_array();
+        j.end_object();
+        j.end_object();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_serialize() {
+        let m = ServerMetrics::new();
+        m.connection_accepted();
+        m.connection_opened();
+        m.record_request(Endpoint::Meta, 200, Duration::from_micros(250));
+        m.record_request(Endpoint::Other, 404, Duration::from_millis(2));
+        m.connection_closed();
+        m.timeout();
+        m.queue_full_rejection();
+
+        assert_eq!(m.accepted(), 1);
+        assert_eq!(m.active(), 0);
+        assert_eq!(m.max_active(), 1);
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.requests_total(), 2);
+        assert_eq!(m.requests_in_class(2), 1);
+        assert_eq!(m.requests_in_class(4), 1);
+
+        let json = m.to_json();
+        assert!(json.contains("\"accepted\":1"), "{json}");
+        assert!(json.contains("\"2xx\":1"), "{json}");
+        assert!(json.contains("\"/api/meta\":1"), "{json}");
+        assert!(json.contains("\"le\":100"), "{json}");
+        assert!(json.contains("\"le\":null"), "{json}");
+    }
+
+    #[test]
+    fn latency_buckets_are_cumulative_histogram_slots() {
+        let m = ServerMetrics::new();
+        // 250 µs lands in the ≤500 bucket, 2 ms in ≤5000, 10 s in overflow.
+        m.record_request(Endpoint::Root, 200, Duration::from_micros(250));
+        m.record_request(Endpoint::Root, 200, Duration::from_millis(2));
+        m.record_request(Endpoint::Root, 200, Duration::from_secs(10));
+        assert_eq!(m.latency_buckets[1].load(Relaxed), 1);
+        assert_eq!(m.latency_buckets[3].load(Relaxed), 1);
+        assert_eq!(m.latency_buckets[LATENCY_BUCKETS_MICROS.len()].load(Relaxed), 1);
+    }
+}

@@ -1,4 +1,4 @@
-//! A small HTTP/1.1 server exposing the dashboard and its JSON API.
+//! The dashboard's HTTP/1.1 serving tier.
 //!
 //! Endpoints:
 //! * `GET /` — the embedded single-page dashboard;
@@ -7,168 +7,383 @@
 //!   [`crate::parse_analysis_query`] for parameters);
 //! * `GET /api/sample?min_lat=&min_lon=&max_lat=&max_lon=&limit=` — sample
 //!   updates in a region (§IV-B); add `start`/`end` and any analysis
-//!   filters to scope the sample to a query.
+//!   filters to scope the sample to a query;
+//! * `GET /api/metrics` — serving-tier telemetry ([`ServerMetrics`]).
 //!
-//! One thread per connection, `Connection: close` — the dashboard is a demo
-//! UI, not a production web server; the interesting latency lives in the
-//! query backend it fronts.
+//! Architecture: a bounded worker pool (default one worker per core) drains
+//! a bounded queue of accepted connections. When the queue is full, new
+//! connections are rejected immediately with `503` + `Retry-After` —
+//! backpressure, never unbounded thread spawn. Connections are keep-alive
+//! with per-request read/write timeouts and parse limits (see
+//! [`rased_core::ServerConfig`]); a stalled or hostile client is reaped by
+//! the socket timeout, answered `408`, and closed. [`StopHandle::stop`]
+//! initiates graceful shutdown: the acceptor is woken deterministically,
+//! stops accepting, queued and in-flight requests drain, and
+//! [`DashboardServer::serve`] returns only after every worker has been
+//! joined.
 
 use crate::api::{parse_analysis_query, parse_query_string, result_to_json};
+use crate::http::{read_request, write_response, HttpError, Limits, Request};
 use crate::json::Json;
-use rased_core::Rased;
+use crate::metrics::{Endpoint, ServerMetrics};
+use rased_core::{Rased, ServerConfig};
 use rased_geo::BBox;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// The dashboard HTTP server.
 pub struct DashboardServer {
     system: Arc<Rased>,
     listener: TcpListener,
     stop: Arc<AtomicBool>,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// Requests [`DashboardServer::serve`] to shut down gracefully.
+///
+/// [`StopHandle::stop`] sets the stop flag and then *wakes the acceptor
+/// deterministically* with a loopback connect, so shutdown never waits for
+/// a sacrificial client connection.
+#[derive(Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl StopHandle {
+    /// Initiate graceful shutdown: stop accepting, drain in-flight
+    /// requests, join all workers. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(mut addr) = self.addr {
+            // `0.0.0.0` is bindable but not connectable; nudge via loopback.
+            if addr.ip().is_unspecified() {
+                addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+            }
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// The bounded hand-off queue between the acceptor and the worker pool.
+struct ConnQueue {
+    inner: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(QueueState { conns: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a connection, or hand it back when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.inner.lock().expect("queue poisoned");
+        if state.closed || state.conns.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.conns.push_back(stream);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(s) = state.conns.pop_front() {
+                return Some(s);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stop accepting pushes; workers drain what is queued, then exit.
+    fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
 }
 
 impl DashboardServer {
-    /// Bind to `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port).
+    /// Bind to `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port),
+    /// with the serving knobs from the system's [`ServerConfig`].
     pub fn bind(system: Arc<Rased>, addr: &str) -> std::io::Result<DashboardServer> {
+        let config = system.config().server.clone();
+        DashboardServer::bind_with(system, addr, config)
+    }
+
+    /// Bind with an explicit [`ServerConfig`] (tests tighten timeouts and
+    /// shrink pools through this).
+    pub fn bind_with(
+        system: Arc<Rased>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<DashboardServer> {
         let listener = TcpListener::bind(addr)?;
-        Ok(DashboardServer { system, listener, stop: Arc::new(AtomicBool::new(false)) })
+        Ok(DashboardServer {
+            system,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+            config,
+            metrics: Arc::new(ServerMetrics::new()),
+        })
     }
 
     /// The bound address.
-    pub fn addr(&self) -> std::io::Result<std::net::SocketAddr> {
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
-    /// A handle that makes [`DashboardServer::serve`] return after the next
-    /// connection.
-    pub fn stop_handle(&self) -> Arc<AtomicBool> {
-        Arc::clone(&self.stop)
+    /// The serving configuration in force.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
-    /// Accept connections until the stop flag is set. Each connection is
-    /// handled on its own thread.
+    /// The live serving-tier counters (also served at `/api/metrics`).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// A handle that shuts the server down gracefully (see [`StopHandle`]).
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle { stop: Arc::clone(&self.stop), addr: self.listener.local_addr().ok() }
+    }
+
+    /// Run the serving loop: spawn the worker pool, accept into the bounded
+    /// queue, and on [`StopHandle::stop`] drain in-flight requests and join
+    /// every worker before returning.
     pub fn serve(&self) -> std::io::Result<()> {
-        for stream in self.listener.incoming() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
+        let workers = self.config.effective_workers();
+        let queue = ConnQueue::new(self.config.queue_depth);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = &queue;
+                scope.spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        self.handle_connection(stream);
+                    }
+                });
             }
-            let stream = stream?;
-            let system = Arc::clone(&self.system);
-            std::thread::spawn(move || {
-                let _ = handle(system, stream);
-            });
+            let result = self.accept_loop(&queue);
+            // Wake and retire the pool; the scope joins every worker before
+            // `serve` returns, so shutdown leaves no orphan threads.
+            queue.close();
+            result
+        })
+    }
+
+    fn accept_loop(&self, queue: &ConnQueue) -> std::io::Result<()> {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                // The stop nudge (or a client racing shutdown): drop it.
+                return Ok(());
+            }
+            self.metrics.connection_accepted();
+            if let Err(stream) = queue.push(stream) {
+                self.reject_queue_full(stream);
+            }
+        }
+    }
+
+    /// Answer `503` + `Retry-After` on the acceptor thread and close — the
+    /// backpressure path must never block behind the pool it is protecting.
+    fn reject_queue_full(&self, stream: TcpStream) {
+        self.metrics.queue_full_rejection();
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let retry = self.config.retry_after_secs.to_string();
+        self.metrics.record_request(Endpoint::Other, 503, std::time::Duration::ZERO);
+        let _ = write_response(
+            &mut &stream,
+            503,
+            "text/plain",
+            b"server busy, retry shortly",
+            false,
+            &[("Retry-After", &retry)],
+        );
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Handle exactly one connection on the caller's thread (useful for
+    /// tests and single-shot tooling). Keep-alive and limits apply.
+    pub fn serve_one(&self) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        self.metrics.connection_accepted();
+        self.handle_connection(stream);
+        Ok(())
+    }
+
+    /// Serve requests off one connection until it closes, errors, times
+    /// out, hits the keep-alive budget, or shutdown begins.
+    fn handle_connection(&self, stream: TcpStream) {
+        self.metrics.connection_opened();
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let _ = self.serve_requests(&stream);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        self.metrics.connection_closed();
+    }
+
+    fn serve_requests(&self, stream: &TcpStream) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let limits = Limits::from_config(&self.config);
+        for served in 1..=self.config.max_keep_alive_requests {
+            match read_request(&mut reader, &limits) {
+                Ok(None) => break, // client closed an idle connection
+                Ok(Some(req)) => {
+                    let start = Instant::now();
+                    let (path, _) = req.path_and_query();
+                    let endpoint = Endpoint::classify(path);
+                    // Drain in-flight work on shutdown, but take no new
+                    // requests on this connection afterwards.
+                    let keep = req.keep_alive()
+                        && served < self.config.max_keep_alive_requests
+                        && !self.stop.load(Ordering::SeqCst);
+                    let (status, content_type, body) = self.route(&req);
+                    // Record *before* writing: once the client has the
+                    // response, a follow-up `/api/metrics` read must already
+                    // count this request. (Latency therefore covers routing
+                    // and query execution, not the socket write.)
+                    self.metrics.record_request(endpoint, status, start.elapsed());
+                    write_response(
+                        &mut &*stream,
+                        status,
+                        content_type,
+                        body.as_bytes(),
+                        keep,
+                        &[],
+                    )?;
+                    if !keep {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    if matches!(e, HttpError::Timeout { .. }) {
+                        self.metrics.timeout();
+                    }
+                    // Framing is unknown after a parse error: answer (when
+                    // possible) and close.
+                    if let Some(status) = e.status() {
+                        self.metrics.record_request(
+                            Endpoint::Other,
+                            status,
+                            std::time::Duration::ZERO,
+                        );
+                        let _ = write_response(
+                            &mut &*stream,
+                            status,
+                            "text/plain",
+                            e.message().as_bytes(),
+                            false,
+                            &[],
+                        );
+                    }
+                    break;
+                }
+            }
         }
         Ok(())
     }
 
-    /// Handle exactly one connection (useful for tests).
-    pub fn serve_one(&self) -> std::io::Result<()> {
-        let (stream, _) = self.listener.accept()?;
-        handle(Arc::clone(&self.system), stream)
-    }
-}
-
-fn handle(system: Arc<Rased>, stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers (we need none of them).
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
+    /// Dispatch one well-formed request to its endpoint.
+    fn route(&self, req: &Request) -> (u16, &'static str, Cow<'static, str>) {
+        if req.method != "GET" {
+            return (405, "text/plain", Cow::from("method not allowed"));
+        }
+        let (path, query) = req.path_and_query();
+        let params = parse_query_string(query);
+        let system = &self.system;
+        match path {
+            "/" | "/index.html" => (200, "text/html; charset=utf-8", Cow::from(DASHBOARD_HTML)),
+            "/api/meta" => (200, "application/json", Cow::from(meta_json(system))),
+            "/api/metrics" => (200, "application/json", Cow::from(self.metrics.to_json())),
+            "/api/analysis" => match parse_analysis_query(system, &params) {
+                Ok(q) => match system.query(&q) {
+                    Ok(result) => {
+                        let format = params
+                            .iter()
+                            .find(|(k, _)| k == "format")
+                            .map(|(_, v)| v.as_str())
+                            .unwrap_or("json");
+                        match format {
+                            "csv" => {
+                                (200, "text/csv", Cow::from(crate::charts::csv(system, &result)))
+                            }
+                            _ => (
+                                200,
+                                "application/json",
+                                Cow::from(result_to_json(system, &result)),
+                            ),
+                        }
+                    }
+                    Err(e) => (500, "text/plain", Cow::from(e.to_string())),
+                },
+                Err(e) => (400, "text/plain", Cow::from(e.to_string())),
+            },
+            "/api/sample" => match sample_json(system, &params) {
+                Ok(body) => (200, "application/json", Cow::from(body)),
+                Err(e) => (400, "text/plain", Cow::from(e.0)),
+            },
+            _ => (404, "text/plain", Cow::from("not found")),
         }
     }
-
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("/");
-    if method != "GET" {
-        return respond(stream, 405, "text/plain", "method not allowed");
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    let params = parse_query_string(query);
-
-    match path {
-        "/" | "/index.html" => respond(stream, 200, "text/html; charset=utf-8", DASHBOARD_HTML),
-        "/api/meta" => respond(stream, 200, "application/json", &meta_json(&system)),
-        "/api/analysis" => match parse_analysis_query(&system, &params) {
-            Ok(q) => match system.query(&q) {
-                Ok(result) => {
-                    let format = params
-                        .iter()
-                        .find(|(k, _)| k == "format")
-                        .map(|(_, v)| v.as_str())
-                        .unwrap_or("json");
-                    match format {
-                        "csv" => respond(
-                            stream,
-                            200,
-                            "text/csv",
-                            &crate::charts::csv(&system, &result),
-                        ),
-                        _ => respond(
-                            stream,
-                            200,
-                            "application/json",
-                            &result_to_json(&system, &result),
-                        ),
-                    }
-                }
-                Err(e) => respond(stream, 500, "text/plain", &e.to_string()),
-            },
-            Err(e) => respond(stream, 400, "text/plain", &e.to_string()),
-        },
-        "/api/sample" => match sample_json(&system, &params) {
-            Ok(body) => respond(stream, 200, "application/json", &body),
-            Err(e) => respond(stream, 400, "text/plain", &e.0),
-        },
-        _ => respond(stream, 404, "text/plain", "not found"),
-    }
-}
-
-fn respond(mut stream: TcpStream, status: u16, content_type: &str, body: &str) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        _ => "Internal Server Error",
-    };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
 }
 
 fn meta_json(system: &Rased) -> String {
     let mut j = Json::new();
     j.begin_object();
-    j.key("system").string("RASED");
+    j.kv_string("system", "RASED");
     match system.index().coverage() {
         Some((lo, hi)) => {
-            j.key("coverage_start").string(&lo.to_string());
-            j.key("coverage_end").string(&hi.to_string());
+            j.kv_string("coverage_start", &lo.to_string());
+            j.kv_string("coverage_end", &hi.to_string());
         }
         None => {
             j.key("coverage_start").null();
             j.key("coverage_end").null();
         }
     }
-    j.key("cubes").uint(system.index().cube_count() as u64);
-    j.key("rows").uint(system.warehouse().row_count());
-    j.key("countries").uint(system.countries().len() as u64);
-    j.key("road_types").uint(system.roads().len() as u64);
-    j.key("index_levels").uint(system.index().levels() as u64);
-    j.key("cache_slots").uint(system.index().cache().slots() as u64);
+    j.kv_uint("cubes", system.index().cube_count() as u64);
+    j.kv_uint("rows", system.warehouse().row_count());
+    j.kv_uint("countries", system.countries().len() as u64);
+    j.kv_uint("road_types", system.roads().len() as u64);
+    j.kv_uint("index_levels", system.index().levels() as u64);
+    j.kv_uint("cache_slots", system.index().cache().slots() as u64);
     j.end_object();
     j.finish()
 }
@@ -200,14 +415,14 @@ fn sample_json(system: &Rased, params: &[(String, String)]) -> Result<String, cr
     j.key("samples").begin_array();
     for r in &records {
         j.begin_object();
-        j.key("element").string(r.element_type.xml_name());
-        j.key("update").string(r.update_type.label());
-        j.key("date").string(&r.date.to_string());
+        j.kv_string("element", r.element_type.xml_name());
+        j.kv_string("update", r.update_type.label());
+        j.kv_string("date", &r.date.to_string());
         j.key("lat").number(r.lat());
         j.key("lon").number(r.lon());
-        j.key("country").string(system.countries().name(r.country).unwrap_or("?"));
-        j.key("road").string(system.roads().value(r.road_type).unwrap_or("?"));
-        j.key("changeset").uint(r.changeset.raw());
+        j.kv_string("country", system.countries().name(r.country).unwrap_or("?"));
+        j.kv_string("road", system.roads().value(r.road_type).unwrap_or("?"));
+        j.kv_uint("changeset", r.changeset.raw());
         j.end_object();
     }
     j.end_array();

@@ -1,0 +1,197 @@
+//! Shared integration-test infrastructure: RAII temp dirs (no leaks on
+//! test failure), a raw HTTP/1.1 test client with keep-alive support, and
+//! a live-server harness around [`DashboardServer`].
+#![allow(dead_code)]
+
+use rased_core::{Rased, ServerConfig};
+use rased_dashboard::{DashboardServer, StopHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A unique temporary directory removed (recursively) on drop — unlike the
+/// old per-file `tmpdir` helpers, failures don't leak directories.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+static NEXT_TMPDIR: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Create `$TMPDIR/rased-<tag>-<pid>-<n>`, fresh and empty.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT_TMPDIR.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "rased-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn join(&self, p: impl AsRef<Path>) -> PathBuf {
+        self.path.join(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::ops::Deref for TempDir {
+    type Target = Path;
+    fn deref(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The canonical helper the old copy-pasted `tmpdir(tag)` functions became.
+pub fn tmpdir(tag: &str) -> TempDir {
+    TempDir::new(tag)
+}
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    /// Lowercased header names.
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one `Content-Length`-framed response off `reader`.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<Response> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Response { status, headers, body: String::from_utf8_lossy(&body).into_owned() })
+}
+
+/// A raw HTTP/1.1 client holding one keep-alive connection.
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient { stream, reader })
+    }
+
+    /// Issue `GET path` on the held connection and read the response.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        write!(self.stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n")?;
+        self.stream.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// One-shot `GET` over a fresh `Connection: close` connection.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    write!(&stream, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")?;
+    (&stream).flush()?;
+    read_response(&mut reader)
+}
+
+/// A dashboard server running on its own thread, stopped (gracefully) and
+/// joined by [`TestServer::stop`] or on drop.
+pub struct TestServer {
+    pub server: Arc<DashboardServer>,
+    pub addr: SocketAddr,
+    stop: StopHandle,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    pub fn start(system: Arc<Rased>, config: ServerConfig) -> TestServer {
+        let server = Arc::new(
+            DashboardServer::bind_with(system, "127.0.0.1:0", config).expect("bind"),
+        );
+        let addr = server.addr().expect("addr");
+        let stop = server.stop_handle();
+        let thread = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve())
+        };
+        TestServer { server, addr, stop, thread: Some(thread) }
+    }
+
+    /// Graceful shutdown: request stop, then join the serve thread (which
+    /// itself joins every worker).
+    pub fn stop(mut self) -> std::io::Result<()> {
+        self.stop.stop();
+        self.thread.take().expect("not yet stopped").join().expect("serve thread panicked")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.stop();
+            let _ = thread.join();
+        }
+    }
+}

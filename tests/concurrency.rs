@@ -1,26 +1,27 @@
 //! Concurrency: the dashboard serves many analysts at once, so the index +
 //! engine must answer concurrent queries consistently (shared `&self`,
-//! internal locking only).
+//! internal locking only) — and the serving tier above them must hold its
+//! worker-pool bound under concurrent keep-alive load and drain cleanly on
+//! shutdown.
 
+mod common;
+
+use common::{tmpdir, HttpClient, TempDir, TestServer};
 use rased_core::{
     AnalysisQuery, CacheConfig, CacheStrategy, CubeSchema, DataCube, GroupDim, IoCostModel,
-    QueryEngine, TemporalIndex,
+    QueryEngine, Rased, RasedConfig, ServerConfig, TemporalIndex,
 };
+use rased_osm_gen::{Dataset, DatasetConfig};
 use rased_osm_model::{ChangesetId, CountryId, ElementType, RoadTypeId, UpdateRecord, UpdateType};
 use rased_temporal::{Date, DateRange};
-use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("rased-conc-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
-
-fn build(tag: &str, cache: CacheConfig) -> (TemporalIndex, DateRange) {
+fn build(tag: &str, cache: CacheConfig) -> (TempDir, TemporalIndex, DateRange) {
+    let dir = tmpdir(&format!("conc-{tag}"));
     let schema = CubeSchema::tiny();
     let index =
-        TemporalIndex::create(&tmpdir(tag), schema, 4, cache, IoCostModel::free()).unwrap();
+        TemporalIndex::create(dir.path(), schema, 4, cache, IoCostModel::free()).unwrap();
     let start = Date::new(2021, 1, 1).unwrap();
     let end = Date::new(2021, 6, 30).unwrap();
     for (i, day) in DateRange::new(start, end).days().enumerate() {
@@ -38,12 +39,12 @@ fn build(tag: &str, cache: CacheConfig) -> (TemporalIndex, DateRange) {
             .collect();
         index.ingest_day(day, &DataCube::from_records(schema, &records).unwrap()).unwrap();
     }
-    (index, DateRange::new(start, end))
+    (dir, index, DateRange::new(start, end))
 }
 
 #[test]
 fn concurrent_queries_agree_with_serial_answers() {
-    let (index, range) = build("queries", CacheConfig::disabled());
+    let (_dir, index, range) = build("queries", CacheConfig::disabled());
     let queries: Vec<AnalysisQuery> = vec![
         AnalysisQuery::over(range).group(GroupDim::Country),
         AnalysisQuery::over(range).group(GroupDim::UpdateType),
@@ -78,7 +79,7 @@ fn concurrent_queries_agree_with_serial_answers() {
 fn concurrent_queries_with_lru_cache_stay_consistent() {
     // The LRU cache admits and evicts under concurrency; answers must not
     // change even as the cache churns.
-    let (index, range) = build(
+    let (_dir, index, range) = build(
         "lru",
         CacheConfig { slots: 4, strategy: CacheStrategy::Lru },
     );
@@ -106,7 +107,7 @@ fn concurrent_queries_with_lru_cache_stay_consistent() {
 fn queries_concurrent_with_ingest_see_complete_days() {
     // RASED ingests offline, but a dashboard query racing a daily ingest
     // must still see internally-consistent cubes (never a torn one).
-    let (index, range) = build("ingest-race", CacheConfig::disabled());
+    let (_dir, index, range) = build("ingest-race", CacheConfig::disabled());
     let schema = index.schema();
     let more_days: Vec<Date> =
         DateRange::new(Date::new(2021, 7, 1).unwrap(), Date::new(2021, 8, 31).unwrap())
@@ -155,4 +156,151 @@ fn queries_concurrent_with_ingest_see_complete_days() {
         Date::new(2021, 8, 31).unwrap(),
     ));
     assert_eq!(QueryEngine::new(&index).execute(&q2).unwrap().total_count(), 62);
+}
+
+// ---------------------------------------------------------------------------
+// Live-server stress: the serving tier, not just the engine, under load.
+// ---------------------------------------------------------------------------
+
+fn demo_system(tag: &str) -> (TempDir, Arc<Rased>) {
+    let dir = tmpdir(&format!("conc-{tag}"));
+    let mut cfg = DatasetConfig::small(59);
+    cfg.range = DateRange::new(Date::new(2021, 1, 1).unwrap(), Date::new(2021, 1, 31).unwrap());
+    cfg.sim.daily_edits_mean = 20.0;
+    cfg.seed_nodes_per_country = 8;
+    let ds = Dataset::generate(&dir.join("osm"), cfg).unwrap();
+    let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
+    let mut system =
+        Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
+    system.ingest_dataset(&ds).unwrap();
+    (dir, Arc::new(system))
+}
+
+/// The ISSUE's acceptance stress: 8 workers, 16 keep-alive clients × 25
+/// requests over mixed endpoints. Every response must be well-formed and
+/// consistent, the pool bound must hold (observed via `/api/metrics`), and
+/// graceful shutdown must drain in-flight work and join every worker.
+#[test]
+fn live_server_stress_keep_alive_pool_bound_and_graceful_drain() {
+    const CLIENTS: usize = 16;
+    const REQUESTS: usize = 25;
+    const WORKERS: usize = 8;
+
+    let (_dir, system) = demo_system("stress");
+    let config = ServerConfig {
+        workers: WORKERS,
+        queue_depth: 64,
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let ts = TestServer::start(system, config);
+
+    // One canonical answer per endpoint for consistency checks.
+    let paths = [
+        "/api/meta",
+        "/api/analysis?start=2021-01-01&end=2021-01-31&group=country",
+        "/",
+        "/api/sample?min_lat=-90&min_lon=-180&max_lat=90&max_lon=180&limit=3",
+        "/api/analysis?start=2021-01-10&end=2021-01-20&group=update",
+    ];
+    let mut canonical: Vec<String> = Vec::new();
+    {
+        let mut c = HttpClient::connect(ts.addr).unwrap();
+        for p in paths {
+            let r = c.get(p).unwrap();
+            assert_eq!(r.status, 200, "{p}: {}", r.body);
+            canonical.push(r.body);
+        }
+    }
+    let canonical = Arc::new(canonical);
+
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let canonical = Arc::clone(&canonical);
+            let addr = ts.addr;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for i in 0..REQUESTS {
+                    let k = (t + i) % (paths.len() + 1);
+                    if k == paths.len() {
+                        // Mixed in: the metrics endpoint itself, asserting
+                        // the pool bound from *inside* the storm.
+                        let r = client.get("/api/metrics").expect("metrics");
+                        assert_eq!(r.status, 200);
+                        let max_active = parse_uint_field(&r.body, "max_active");
+                        assert!(
+                            max_active <= WORKERS as u64,
+                            "pool bound violated: max_active={max_active} > {WORKERS}: {}",
+                            r.body
+                        );
+                    } else {
+                        let r = client.get(paths[k]).expect(paths[k]);
+                        assert_eq!(r.status, 200, "client {t} iter {i} {}", paths[k]);
+                        // The query *answers* must be identical under
+                        // concurrency (read-only system); execution stats
+                        // (wall time, cache mix) legitimately vary.
+                        assert_eq!(
+                            stable_part(&r.body),
+                            stable_part(&canonical[k]),
+                            "client {t} iter {i} {}",
+                            paths[k]
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Graceful shutdown with one request *in flight*: the request must be
+    // answered completely (zero dropped), then all workers join.
+    let accepted_before = ts.server.metrics().accepted();
+    let mut straggler = HttpClient::connect(ts.addr).unwrap();
+    // Connection made; wait until the acceptor has taken it so it is
+    // in-flight (queued or handled) when shutdown begins.
+    while ts.server.metrics().accepted() <= accepted_before {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let server = Arc::clone(&ts.server);
+    let stopper = std::thread::spawn(move || ts.stop());
+    let r = straggler.get("/api/meta").expect("in-flight request must be drained, not dropped");
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, canonical[0]);
+    stopper.join().unwrap().unwrap();
+
+    // Post-mortem telemetry: every accepted connection completed, nothing
+    // left active, the pool bound held throughout, and all stress requests
+    // were answered successfully.
+    let m = server.metrics();
+    assert_eq!(m.active(), 0, "workers left connections active after join");
+    assert_eq!(m.completed(), m.accepted(), "accepted connections were dropped");
+    assert!(m.max_active() <= WORKERS as u64, "max_active {}", m.max_active());
+    let expected_min = (CLIENTS * REQUESTS + paths.len() + 1) as u64;
+    assert!(
+        m.requests_in_class(2) >= expected_min,
+        "expected ≥{expected_min} 2xx requests, got {}",
+        m.requests_in_class(2)
+    );
+    assert_eq!(m.requests_in_class(5), 0, "server errors under stress");
+}
+
+/// The deterministic part of a response body: everything before the
+/// per-request execution stats (`"stats":{...,"wall_micros":N}` varies).
+fn stable_part(body: &str) -> &str {
+    match body.find(",\"stats\":") {
+        Some(i) => &body[..i],
+        None => body,
+    }
+}
+
+/// Pull `"name":N` out of a flat JSON document.
+fn parse_uint_field(json: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("{name} not in {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {name} in {json}"))
 }

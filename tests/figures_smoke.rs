@@ -13,14 +13,9 @@ use rased_core::{
     CacheConfig, CacheStrategy, CubeSchema, IoCostModel, QueryEngine, TemporalIndex,
 };
 use rased_temporal::{Date, DateRange};
-use std::path::PathBuf;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("rased-figsmoke-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
+mod common;
+use common::tmpdir;
 
 fn small_workload() -> Workload {
     let mut w = Workload::years(2, 60, 0x57A0);

@@ -1,18 +1,21 @@
-//! Integration test for the dashboard HTTP server: bind on an ephemeral
-//! port, issue raw HTTP/1.1 requests, check statuses and JSON bodies.
+//! Integration tests for the dashboard HTTP serving tier: a live server
+//! (bounded worker pool + keep-alive), raw HTTP/1.1 requests, statuses,
+//! JSON bodies, the `/api/metrics` telemetry endpoint, and deterministic
+//! graceful shutdown.
 
-use rased_core::{CubeSchema, Rased, RasedConfig};
-use rased_dashboard::DashboardServer;
+mod common;
+
+use common::{http_get, HttpClient, TempDir, TestServer};
+use rased_core::{CubeSchema, Rased, RasedConfig, ServerConfig};
 use rased_osm_gen::{Dataset, DatasetConfig};
 use rased_temporal::{Date, DateRange};
-use std::io::{Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
-fn demo_system(tag: &str) -> Rased {
-    let dir = std::env::temp_dir().join(format!("rased-http-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+fn demo_system(tag: &str) -> (TempDir, Arc<Rased>) {
+    let dir = common::tmpdir(&format!("http-{tag}"));
     let mut cfg = DatasetConfig::small(53);
     cfg.range = DateRange::new(Date::new(2021, 1, 1).unwrap(), Date::new(2021, 1, 31).unwrap());
     cfg.sim.daily_edits_mean = 25.0;
@@ -22,105 +25,192 @@ fn demo_system(tag: &str) -> Rased {
     let mut system =
         Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
     system.ingest_dataset(&ds).unwrap();
-    system
+    (dir, Arc::new(system))
 }
 
-/// Issue one request against a server that handles exactly one connection.
-fn get(server: &DashboardServer, path: &str) -> (u16, String) {
-    let addr = server.addr().unwrap();
-    let handle = std::thread::scope(|scope| {
-        let serve = scope.spawn(|| server.serve_one().unwrap());
-        let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
-        serve.join().unwrap();
-        response
-    });
-    let status: u16 = handle
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let body = handle.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
-    (status, body)
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
 }
 
 #[test]
-fn http_endpoints_respond() {
-    let system = Arc::new(demo_system("endpoints"));
-    let server = DashboardServer::bind(Arc::clone(&system), "127.0.0.1:0").unwrap();
+fn http_endpoints_respond_over_one_keep_alive_connection() {
+    let (_dir, system) = demo_system("endpoints");
+    let ts = TestServer::start(system, test_config());
+    // All requests ride a single keep-alive connection.
+    let mut client = HttpClient::connect(ts.addr).unwrap();
 
     // The dashboard page.
-    let (status, body) = get(&server, "/");
-    assert_eq!(status, 200);
-    assert!(body.contains("<title>RASED"));
+    let r = client.get("/").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("<title>RASED"));
+    assert_eq!(r.header("connection"), Some("keep-alive"));
 
     // Meta endpoint reports coverage and cube counts.
-    let (status, body) = get(&server, "/api/meta");
-    assert_eq!(status, 200);
-    assert!(body.contains("\"coverage_start\":\"2021-01-01\""), "{body}");
-    assert!(body.contains("\"rows\":"));
+    let r = client.get("/api/meta").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"coverage_start\":\"2021-01-01\""), "{}", r.body);
+    assert!(r.body.contains("\"rows\":"));
 
     // An analysis query grouped by country.
-    let (status, body) =
-        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&group=country,update");
-    assert_eq!(status, 200, "{body}");
-    assert!(body.starts_with("{\"rows\":["), "{body}");
-    assert!(body.contains("\"country\":"));
-    assert!(body.contains("\"stats\":"));
+    let r = client
+        .get("/api/analysis?start=2021-01-01&end=2021-01-31&group=country,update")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.starts_with("{\"rows\":["), "{}", r.body);
+    assert!(r.body.contains("\"country\":"));
+    assert!(r.body.contains("\"stats\":"));
 
     // Country filters accept codes and names.
-    let (status, body) =
-        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&countries=US&group=element");
-    assert_eq!(status, 200, "{body}");
-    assert!(body.contains("\"element\":\"way\""), "{body}");
+    let r = client
+        .get("/api/analysis?start=2021-01-01&end=2021-01-31&countries=US&group=element")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"element\":\"way\""), "{}", r.body);
 
     // CSV export of the same query.
-    let (status, body) =
-        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&group=country&format=csv");
-    assert_eq!(status, 200, "{body}");
-    assert!(body.starts_with("date,country,element,road,update,count,value"), "{body}");
-    assert!(body.lines().count() > 1);
+    let r = client
+        .get("/api/analysis?start=2021-01-01&end=2021-01-31&group=country&format=csv")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.starts_with("date,country,element,road,update,count,value"), "{}", r.body);
+    assert!(r.body.lines().count() > 1);
 
     // Query-scoped sampling.
-    let (status, body) = get(
-        &server,
-        "/api/sample?min_lat=-90&min_lon=-180&max_lat=90&max_lon=180&limit=5&start=2021-01-01&end=2021-01-31&updates=create",
-    );
-    assert_eq!(status, 200, "{body}");
-    assert!(!body.contains("\"update\":\"delete\""), "{body}");
+    let r = client
+        .get("/api/sample?min_lat=-90&min_lon=-180&max_lat=90&max_lon=180&limit=5&start=2021-01-01&end=2021-01-31&updates=create")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(!r.body.contains("\"update\":\"delete\""), "{}", r.body);
 
     // Sampling endpoint.
-    let (status, body) = get(
-        &server,
-        "/api/sample?min_lat=-90&min_lon=-180&max_lat=90&max_lon=180&limit=5",
-    );
-    assert_eq!(status, 200, "{body}");
-    assert!(body.contains("\"samples\":["));
-    assert!(body.matches("\"changeset\":").count() <= 5);
+    let r = client
+        .get("/api/sample?min_lat=-90&min_lon=-180&max_lat=90&max_lon=180&limit=5")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"samples\":["));
+    assert!(r.body.matches("\"changeset\":").count() <= 5);
+
+    // Telemetry: everything above was served on ONE connection.
+    let r = client.get("/api/metrics").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"accepted\":1"), "{}", r.body);
+    assert!(r.body.contains("\"/api/analysis\":3"), "{}", r.body);
+    assert!(r.body.contains("\"latency_micros\""), "{}", r.body);
+
+    drop(client);
+    ts.stop().unwrap();
 }
 
 #[test]
 fn http_errors_are_reported() {
-    let system = Arc::new(demo_system("errors"));
-    let server = DashboardServer::bind(Arc::clone(&system), "127.0.0.1:0").unwrap();
+    let (_dir, system) = demo_system("errors");
+    let ts = TestServer::start(system, test_config());
 
-    let (status, _) = get(&server, "/nope");
-    assert_eq!(status, 404);
+    let r = http_get(ts.addr, "/nope").unwrap();
+    assert_eq!(r.status, 404);
+    assert_eq!(r.header("connection"), Some("close"));
 
     // Missing required parameter.
-    let (status, body) = get(&server, "/api/analysis?end=2021-01-31");
-    assert_eq!(status, 400);
-    assert!(body.contains("start"), "{body}");
+    let r = http_get(ts.addr, "/api/analysis?end=2021-01-31").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("start"), "{}", r.body);
 
     // Unknown country.
-    let (status, body) =
-        get(&server, "/api/analysis?start=2021-01-01&end=2021-01-31&countries=Atlantis");
-    assert_eq!(status, 400);
-    assert!(body.contains("Atlantis"));
+    let r =
+        http_get(ts.addr, "/api/analysis?start=2021-01-01&end=2021-01-31&countries=Atlantis")
+            .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("Atlantis"));
 
     // Malformed bbox.
-    let (status, _) = get(&server, "/api/sample?min_lat=x");
-    assert_eq!(status, 400);
+    let r = http_get(ts.addr, "/api/sample?min_lat=x").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Non-GET methods are rejected without breaking the connection framing.
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write!(&stream, "DELETE /api/meta HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let r = common::read_response(&mut reader).unwrap();
+    assert_eq!(r.status, 405);
+
+    ts.stop().unwrap();
+}
+
+#[test]
+fn connection_close_and_http10_are_honored() {
+    let (_dir, system) = demo_system("connclose");
+    let ts = TestServer::start(system, test_config());
+
+    // `Connection: close` → the server closes after one response.
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(&stream, "GET /api/meta HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut all = String::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_to_string(&mut all).unwrap(); // returns only because the server closed
+    assert!(all.starts_with("HTTP/1.1 200"), "{all}");
+    assert!(all.contains("Connection: close"), "{all}");
+
+    // HTTP/1.0 without keep-alive: same close behavior.
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(&stream, "GET /api/meta HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+    let mut all = String::new();
+    BufReader::new(stream).read_to_string(&mut all).unwrap();
+    assert!(all.starts_with("HTTP/1.1 200"), "{all}");
+    assert!(all.contains("Connection: close"), "{all}");
+
+    ts.stop().unwrap();
+}
+
+#[test]
+fn metrics_endpoint_reports_status_classes() {
+    let (_dir, system) = demo_system("metrics");
+    let ts = TestServer::start(system, test_config());
+
+    assert_eq!(http_get(ts.addr, "/api/meta").unwrap().status, 200);
+    assert_eq!(http_get(ts.addr, "/definitely-not-here").unwrap().status, 404);
+    let r = http_get(ts.addr, "/api/metrics").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"2xx\":1"), "{}", r.body);
+    assert!(r.body.contains("\"4xx\":1"), "{}", r.body);
+    assert!(r.body.contains("\"other\":1"), "{}", r.body);
+    assert!(r.body.contains("\"max_active\":"), "{}", r.body);
+
+    // After graceful shutdown every accepted connection was completed.
+    let server = Arc::clone(&ts.server);
+    ts.stop().unwrap();
+    assert_eq!(server.metrics().completed(), server.metrics().accepted());
+    assert_eq!(server.metrics().active(), 0);
+}
+
+/// Shutdown must not require a sacrificial connection: the stop handle
+/// wakes the blocking acceptor deterministically.
+#[test]
+fn shutdown_without_any_connection_is_prompt() {
+    let (_dir, system) = demo_system("shutdown");
+    let server =
+        Arc::new(rased_dashboard::DashboardServer::bind_with(system, "127.0.0.1:0", test_config()).unwrap());
+    let stop = server.stop_handle();
+    let thread = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve())
+    };
+    // Give the acceptor a moment to block in accept(), then stop with NO
+    // client connection ever arriving.
+    std::thread::sleep(Duration::from_millis(50));
+    let started = std::time::Instant::now();
+    stop.stop();
+    thread.join().expect("serve thread").unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} — acceptor was not woken",
+        started.elapsed()
+    );
+    assert_eq!(server.metrics().active(), 0);
 }

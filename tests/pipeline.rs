@@ -11,22 +11,21 @@ use rased_query::naive_execute;
 use rased_temporal::{Date, DateRange};
 use std::fs::File;
 use std::io::BufReader;
-use std::path::PathBuf;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("rased-it-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
+mod common;
+use common::{tmpdir, TempDir};
 
-fn dataset(tag: &str, seed: u64) -> Dataset {
+/// The returned [`TempDir`] guard must outlive the [`Dataset`], whose files
+/// live inside it.
+fn dataset(tag: &str, seed: u64) -> (TempDir, Dataset) {
     let mut cfg = DatasetConfig::small(seed);
     cfg.range =
         DateRange::new(Date::new(2021, 3, 1).unwrap(), Date::new(2021, 4, 30).unwrap());
     cfg.sim.daily_edits_mean = 40.0;
     cfg.seed_nodes_per_country = 15;
-    Dataset::generate(&tmpdir(tag).join("osm"), cfg).unwrap()
+    let dir = tmpdir(tag);
+    let ds = Dataset::generate(&dir.join("osm"), cfg).unwrap();
+    (dir, ds)
 }
 
 /// Sort records into a canonical order for comparison.
@@ -39,7 +38,7 @@ fn canon(mut v: Vec<UpdateRecord>) -> Vec<UpdateRecord> {
 
 #[test]
 fn daily_crawler_reproduces_coarse_ground_truth() {
-    let ds = dataset("daily-truth", 31);
+    let (_dir, ds) = dataset("daily-truth", 31);
     let atlas = ds.atlas();
     let table = RoadTypeTable::with_cardinality(ds.config.sim.n_road_types);
     let crawler = DailyCrawler::new(&atlas, &table);
@@ -65,7 +64,7 @@ fn daily_crawler_reproduces_coarse_ground_truth() {
 
 #[test]
 fn monthly_crawler_reproduces_exact_ground_truth() {
-    let ds = dataset("monthly-truth", 37);
+    let (_dir, ds) = dataset("monthly-truth", 37);
     let atlas = ds.atlas();
     let table = RoadTypeTable::with_cardinality(ds.config.sim.n_road_types);
     let crawler = MonthlyCrawler::new(&atlas, &table);
@@ -101,10 +100,11 @@ fn random_query_battery_matches_oracle() {
     use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
     use rased_temporal::Granularity;
 
-    let ds = dataset("battery", 41);
+    let (_dir, ds) = dataset("battery", 41);
+    let sys_dir = tmpdir("battery-sys");
     let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
     let mut system =
-        Rased::create(RasedConfig::new(tmpdir("battery-sys")).with_schema(schema)).unwrap();
+        Rased::create(RasedConfig::new(sys_dir.path()).with_schema(schema)).unwrap();
     system.ingest_dataset(&ds).unwrap();
 
     let mut rng = Rng::new(0xBA77);
@@ -150,14 +150,16 @@ fn random_query_battery_matches_oracle() {
 
 #[test]
 fn flat_and_hierarchical_indexes_agree() {
-    let ds = dataset("flat-vs-hier", 43);
+    let (_dir, ds) = dataset("flat-vs-hier", 43);
     let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
 
+    let full_dir = tmpdir("fvh-full");
     let mut full =
-        Rased::create(RasedConfig::new(tmpdir("fvh-full")).with_schema(schema)).unwrap();
+        Rased::create(RasedConfig::new(full_dir.path()).with_schema(schema)).unwrap();
     full.ingest_dataset(&ds).unwrap();
 
-    let mut flat_config = RasedConfig::new(tmpdir("fvh-flat")).with_schema(schema);
+    let flat_dir = tmpdir("fvh-flat");
+    let mut flat_config = RasedConfig::new(flat_dir.path()).with_schema(schema);
     flat_config.levels = 1;
     let mut flat = Rased::create(flat_config).unwrap();
     flat.ingest_dataset(&ds).unwrap();

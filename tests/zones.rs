@@ -7,14 +7,9 @@ use rased_osm_gen::{Dataset, DatasetConfig};
 use rased_osm_model::CountryId;
 use rased_temporal::{Date, DateRange};
 use std::collections::HashMap;
-use std::path::PathBuf;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("rased-zones-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
+mod common;
+use common::tmpdir;
 
 #[test]
 fn zone_counts_are_member_sums() {
