@@ -5,6 +5,11 @@
 set -eu
 cd "$(dirname "$0")"
 
+# Static-analysis gate first: the panic-freedom ratchet (lint-baseline.toml),
+# lock-discipline audit, determinism lint, and hermeticity scan. Policy lives
+# in lint.toml; a non-zero exit fails CI before any test runs.
+cargo run -p rased-lint --release --offline --locked -- --workspace
+
 cargo build --workspace --release --offline --locked --benches
 cargo test --workspace -q --offline --locked
 

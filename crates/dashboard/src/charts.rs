@@ -107,24 +107,28 @@ pub fn time_series(system: &Rased, result: &QueryResult, width: usize) -> String
     let mut dates: Vec<Period> = result.rows.iter().filter_map(|r| r.key.date).collect();
     dates.sort();
     dates.dedup();
-    if dates.is_empty() {
+    let (Some(&first_date), Some(&last_date)) = (dates.first(), dates.last()) else {
         return "(no date-grouped rows)\n".to_string();
-    }
+    };
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for row in &result.rows {
         let Some(date) = row.key.date else { continue };
         let mut keyless = row.clone();
         keyless.key.date = None;
         let label = key_label(system, &keyless);
-        let idx = dates.binary_search(&date).expect("date collected above");
-        let entry = match series.iter_mut().find(|(l, _)| *l == label) {
-            Some(e) => e,
+        // Every row date was collected into `dates` above; a miss would mean
+        // the vecs diverged, in which case dropping the row beats a panic.
+        let Ok(idx) = dates.binary_search(&date) else { continue };
+        let pos = match series.iter().position(|(l, _)| *l == label) {
+            Some(pos) => pos,
             None => {
                 series.push((label, vec![0.0; dates.len()]));
-                series.last_mut().expect("just pushed")
+                series.len() - 1
             }
         };
-        entry.1[idx] = row.value;
+        if let Some(slot) = series[pos].1.get_mut(idx) {
+            *slot = row.value;
+        }
     }
     series.sort_by(|a, b| a.0.cmp(&b.0));
 
@@ -139,8 +143,8 @@ pub fn time_series(system: &Rased, result: &QueryResult, width: usize) -> String
         out,
         "{:<label_width$}  {} .. {}  (max {max:.3})",
         "series",
-        period_label(dates[0]),
-        period_label(*dates.last().expect("non-empty")),
+        period_label(first_date),
+        period_label(last_date),
     );
     for (label, values) in &series {
         let mut line = String::new();

@@ -108,9 +108,9 @@ impl Json {
     pub fn number(&mut self, v: f64) -> &mut Json {
         self.before_value();
         if v.fract() == 0.0 && v.abs() < 9e15 {
-            write!(self.out, "{}", v as i64).expect("write to string");
+            let _ = write!(self.out, "{}", v as i64); // fmt::Write to String is infallible
         } else {
-            write!(self.out, "{v}").expect("write to string");
+            let _ = write!(self.out, "{v}");
         }
         self
     }
@@ -118,7 +118,7 @@ impl Json {
     /// Emit an unsigned integer exactly.
     pub fn uint(&mut self, v: u64) -> &mut Json {
         self.before_value();
-        write!(self.out, "{v}").expect("write to string");
+        let _ = write!(self.out, "{v}");
         self
     }
 
@@ -164,7 +164,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).expect("write to string");
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }

@@ -185,9 +185,14 @@ impl ServerMetrics {
     ///   "requests": {"total":N,"status":{"1xx":N,...,"5xx":N}},
     ///   "endpoints": {"/":N,"/api/meta":N,...,"other":N},
     ///   "latency_micros": {"total":N,
-    ///     "buckets":[{"le":100,"count":N},...,{"le":null,"count":N}]}
+    ///     "buckets":[{"le":100,"count":N},...,{"le":null,"count":N}]},
+    ///   "sync": {"poison_recoveries":N}
     /// }
     /// ```
+    ///
+    /// `sync.poison_recoveries` counts lock acquisitions (process-wide)
+    /// that recovered a lock poisoned by a panicking holder — panics a
+    /// poison-transparent lock survives must be visible, not silent.
     pub fn to_json(&self) -> String {
         let mut j = Json::new();
         j.begin_object();
@@ -229,6 +234,10 @@ impl ServerMetrics {
         }
         j.end_array();
         j.end_object();
+
+        j.key("sync").begin_object();
+        j.kv_uint("poison_recoveries", rased_storage::sync::poison_recoveries_total());
+        j.end_object();
         j.end_object();
         j.finish()
     }
@@ -263,6 +272,7 @@ mod tests {
         assert!(json.contains("\"/api/meta\":1"), "{json}");
         assert!(json.contains("\"le\":100"), "{json}");
         assert!(json.contains("\"le\":null"), "{json}");
+        assert!(json.contains("\"sync\":{\"poison_recoveries\":"), "{json}");
     }
 
     #[test]

@@ -32,8 +32,9 @@ use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use rased_storage::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The dashboard HTTP server.
@@ -91,15 +92,23 @@ struct QueueState {
 impl ConnQueue {
     fn new(capacity: usize) -> ConnQueue {
         ConnQueue {
-            inner: Mutex::new(QueueState { conns: VecDeque::new(), closed: false }),
+            inner: Mutex::new_named(
+                QueueState { conns: VecDeque::new(), closed: false },
+                "dashboard.conn_queue",
+            ),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
         }
     }
 
     /// Enqueue a connection, or hand it back when the queue is full.
+    ///
+    /// The poison-transparent lock keeps the acceptor alive even if a
+    /// worker panicked while holding the queue: the queue state is a plain
+    /// `VecDeque` + flag with no multi-step invariants, so recovery is safe
+    /// (and counted in `sync.poison_recoveries`).
     fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock();
         if state.closed || state.conns.len() >= self.capacity {
             return Err(stream);
         }
@@ -111,7 +120,7 @@ impl ConnQueue {
 
     /// Dequeue the next connection; `None` once closed and drained.
     fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock();
         loop {
             if let Some(s) = state.conns.pop_front() {
                 return Some(s);
@@ -119,13 +128,13 @@ impl ConnQueue {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = self.not_empty.wait(state);
         }
     }
 
     /// Stop accepting pushes; workers drain what is queued, then exit.
     fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.inner.lock().closed = true;
         self.not_empty.notify_all();
     }
 }

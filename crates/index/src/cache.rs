@@ -77,7 +77,7 @@ impl CubeCache {
     pub fn new(config: CacheConfig) -> CubeCache {
         CubeCache {
             config,
-            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            inner: Mutex::new_named(Inner { map: HashMap::new(), tick: 0 }, "index.cube_cache"),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }

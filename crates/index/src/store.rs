@@ -126,7 +126,7 @@ impl TemporalIndex {
             schema,
             levels,
             file: Arc::new(file),
-            catalog: RwLock::new(HashMap::new()),
+            catalog: RwLock::new_named(HashMap::new(), "index.catalog"),
             cache: CubeCache::new(cache),
             catalog_path: dir.join("catalog.bin"),
         })
@@ -148,7 +148,7 @@ impl TemporalIndex {
             schema,
             levels,
             file: Arc::new(file),
-            catalog: RwLock::new(catalog),
+            catalog: RwLock::new_named(catalog, "index.catalog"),
             cache: CubeCache::new(cache),
             catalog_path,
         })
@@ -455,18 +455,19 @@ fn load_catalog(path: &Path) -> Result<HashMap<Period, PageId>, IndexError> {
     if bytes.len() < 16 || &bytes[..8] != CATALOG_MAGIC {
         return Err(IndexError::BadCatalog("missing or corrupt header".into()));
     }
-    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("len")) as usize;
+    let truncated = || IndexError::BadCatalog("truncated entries".into());
+    let count = rased_storage::bytes::read_u64_le(&bytes, 8).ok_or_else(truncated)? as usize;
     let body = &bytes[16..];
-    if body.len() < count * 17 {
-        return Err(IndexError::BadCatalog("truncated entries".into()));
+    if count.checked_mul(17).is_none_or(|need| body.len() < need) {
+        return Err(truncated());
     }
     let mut catalog = HashMap::with_capacity(count);
     for i in 0..count {
-        let e = &body[i * 17..(i + 1) * 17];
-        let g = e[0];
-        let a = i32::from_le_bytes(e[1..5].try_into().expect("len"));
-        let b = u32::from_le_bytes(e[5..9].try_into().expect("len"));
-        let page = u64::from_le_bytes(e[9..17].try_into().expect("len"));
+        let off = i * 17;
+        let g = *body.get(off).ok_or_else(truncated)?;
+        let a = rased_storage::bytes::read_u32_le(body, off + 1).ok_or_else(truncated)? as i32;
+        let b = rased_storage::bytes::read_u32_le(body, off + 5).ok_or_else(truncated)?;
+        let page = rased_storage::bytes::read_u64_le(body, off + 9).ok_or_else(truncated)?;
         catalog.insert(decode_period(g, a, b)?, PageId(page));
     }
     Ok(catalog)

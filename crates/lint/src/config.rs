@@ -1,0 +1,228 @@
+//! `lint.toml` — the lint's declarative policy, checked in at the
+//! workspace root.
+//!
+//! Parsed with a deliberately minimal line-based reader (same stance as
+//! the hermetic pass: no TOML crate). Supported shapes:
+//!
+//! ```toml
+//! [section]
+//! key = ["a", "b"]          # string array
+//! [section.map]
+//! "quoted key" = 10         # string → integer map
+//! ```
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The lint policy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates where unsuppressed `panic` findings fail outright (the
+    /// request path), independent of the baseline.
+    pub panic_deny_crates: Vec<String>,
+    /// Files (workspace-relative) exempt from the determinism pass.
+    pub determinism_allow: Vec<String>,
+    /// Lock rank table: `crate:field` → rank; nested acquisitions must
+    /// strictly increase in rank.
+    pub lock_ranks: HashMap<String, i64>,
+    /// Dependency names that must not appear in any manifest.
+    pub hermetic_banned: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            panic_deny_crates: Vec::new(),
+            determinism_allow: Vec::new(),
+            lock_ranks: HashMap::new(),
+            hermetic_banned: vec![
+                "proptest".to_string(),
+                "parking_lot".to_string(),
+                "criterion".to_string(),
+            ],
+        }
+    }
+}
+
+/// A malformed `lint.toml`.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Load `lint.toml` from `root`; defaults when the file is absent.
+    pub fn load(root: &Path) -> Result<Config, Box<dyn std::error::Error>> {
+        let path = root.join("lint.toml");
+        if !path.is_file() {
+            return Ok(Config::default());
+        }
+        let text = std::fs::read_to_string(&path)?;
+        Ok(Config::parse(&text)?)
+    }
+
+    /// Parse the policy text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let mut line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // A `[` with no closing `]` opens a multi-line array: fold the
+            // following lines in until the bracket closes.
+            while line.contains('[') && !line.contains(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(ConfigError { line: lineno, message: "unclosed array".to_string() });
+                };
+                line.push(' ');
+                line.push_str(strip_comment(next).trim());
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                section = header.trim_end_matches(']').trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = split_kv(&line) else {
+                return Err(ConfigError { line: lineno, message: format!("expected `key = value`, got {line:?}") });
+            };
+            match (section.as_str(), key.as_str()) {
+                ("panic", "deny_crates") => {
+                    config.panic_deny_crates = parse_string_array(&value, lineno)?;
+                }
+                ("determinism", "allow") => {
+                    config.determinism_allow = parse_string_array(&value, lineno)?;
+                }
+                ("hermetic", "banned") => {
+                    config.hermetic_banned = parse_string_array(&value, lineno)?;
+                }
+                ("locks.rank", _) => {
+                    let rank = value.trim().parse::<i64>().map_err(|_| ConfigError {
+                        line: lineno,
+                        message: format!("rank for {key:?} must be an integer, got {value:?}"),
+                    })?;
+                    config.lock_ranks.insert(key, rank);
+                }
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown setting [{section}] {key}"),
+                    });
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// The declared rank of a lock, if any.
+    pub fn lock_rank(&self, lock: &str) -> Option<i64> {
+        self.lock_ranks.get(lock).copied()
+    }
+}
+
+/// Strip a trailing `# comment` (quote-aware).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Split `key = value` on the first `=` outside quotes; unquotes the key.
+fn split_kv(line: &str) -> Option<(String, String)> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '=' if !in_str => {
+                let key = line[..i].trim().trim_matches('"').to_string();
+                let value = line[i + 1..].trim().to_string();
+                return Some((key, value));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `["a", "b"]` → `vec!["a", "b"]` (single-line arrays only).
+fn parse_string_array(value: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ConfigError { line, message: format!("expected a [\"…\"] array, got {value:?}") })?;
+    Ok(inner
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_sections() {
+        let text = r#"
+# policy
+[panic]
+deny_crates = ["rased-dashboard", "rased-storage"]   # request path
+
+[determinism]
+allow = ["crates/dashboard/src/server.rs"]
+
+[locks.rank]
+"dashboard:inner" = 10
+"storage:inner" = 40
+
+[hermetic]
+banned = ["proptest", "parking_lot"]
+"#;
+        let c = Config::parse(text).expect("parses");
+        assert_eq!(c.panic_deny_crates, vec!["rased-dashboard", "rased-storage"]);
+        assert_eq!(c.determinism_allow, vec!["crates/dashboard/src/server.rs"]);
+        assert_eq!(c.lock_rank("dashboard:inner"), Some(10));
+        assert_eq!(c.lock_rank("storage:inner"), Some(40));
+        assert_eq!(c.lock_rank("nope"), None);
+        assert_eq!(c.hermetic_banned, vec!["proptest", "parking_lot"]);
+    }
+
+    #[test]
+    fn multi_line_arrays_fold() {
+        let text = "[determinism]\nallow = [\n    \"a.rs\",  # serving tier\n    \"b.rs\",\n]\n";
+        let c = Config::parse(text).expect("parses");
+        assert_eq!(c.determinism_allow, vec!["a.rs", "b.rs"]);
+        assert!(Config::parse("[determinism]\nallow = [\n\"a.rs\",\n").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(Config::parse("[panic]\nmystery = [\"x\"]\n").is_err());
+        assert!(Config::parse("[locks.rank]\n\"a:b\" = ten\n").is_err());
+    }
+
+    #[test]
+    fn empty_text_gives_defaults() {
+        let c = Config::parse("").expect("parses");
+        assert!(c.panic_deny_crates.is_empty());
+        assert!(c.hermetic_banned.contains(&"proptest".to_string()));
+    }
+}

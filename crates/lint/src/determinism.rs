@@ -1,0 +1,143 @@
+//! The determinism pass.
+//!
+//! `dettest` replayability rests on the core pipeline being a pure
+//! function of its inputs: a seed reproduces a failure only if nothing on
+//! the executed path consults wall-clock time, the process environment, or
+//! the network. This pass bans the std entry points to all three outside
+//! an explicit allowlist (`[determinism] allow` in `lint.toml` — the
+//! serving tier, the CLI binary, and the test harnesses, which are exactly
+//! the places that *interface* nondeterminism to the outside world).
+//!
+//! Flagged over shipped tokens:
+//!
+//! * `SystemTime::now` (wall clock; `Instant` is fine — the repo uses it
+//!   for *measuring*, never for *deciding*);
+//! * the `std::env` module (`env::var`, `env::args`, `env::temp_dir`, …;
+//!   the `env!` compile-time macro is allowed);
+//! * `std::net` types (`TcpListener`, `TcpStream`, `UdpSocket`).
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::{Category, Finding};
+
+/// `std::env` functions recognized when called via a bare `env::` path.
+const ENV_FNS: &[&str] =
+    &["var", "vars", "var_os", "args", "args_os", "temp_dir", "current_dir", "set_var", "remove_var", "home_dir"];
+
+/// `std::net` types that open sockets.
+const NET_TYPES: &[&str] = &["TcpListener", "TcpStream", "UdpSocket"];
+
+/// Run the pass over one file (no-op when the file is allowlisted).
+pub fn scan(crate_name: &str, config: &Config, file: &SourceFile, out: &mut Vec<Finding>) {
+    let path_str = file.path.to_string_lossy().replace('\\', "/");
+    if config.determinism_allow.iter().any(|a| *a == path_str) {
+        return;
+    }
+    let shipped = &file.shipped;
+    let text = |s: usize| file.text(shipped[s]);
+    let push = |out: &mut Vec<Finding>, s: usize, message: String| {
+        let line = file.line_of(file.tokens[shipped[s]].start);
+        out.push(Finding {
+            category: Category::Determinism,
+            crate_name: crate_name.to_string(),
+            path: file.path.clone(),
+            line,
+            message,
+            suppressed: file.suppressed(line, Category::Determinism.name()),
+        });
+    };
+
+    for s in 0..shipped.len() {
+        let t = text(s);
+
+        // SystemTime::now — any mention of SystemTime is already suspect,
+        // but the call is what breaks replay.
+        if t == "SystemTime" {
+            push(out, s, "wall-clock time (`SystemTime`) in deterministic code".to_string());
+            continue;
+        }
+
+        // The lexer emits `::` as two single-byte `:` puncts.
+        let path_sep_before = s >= 2 && text(s - 1) == ":" && text(s - 2) == ":";
+        let path_sep_after = s + 2 < shipped.len() && text(s + 1) == ":" && text(s + 2) == ":";
+
+        // `std :: env` as a path, or `env :: <known fn>`, or a
+        // `use std::env…` import. `env!` (compile-time) is allowed.
+        if t == "env" {
+            let after_bang = s + 1 < shipped.len() && text(s + 1) == "!";
+            if after_bang {
+                continue;
+            }
+            let via_std = s >= 3 && path_sep_before && text(s - 3) == "std";
+            let calls_env_fn =
+                s + 3 < shipped.len() && path_sep_after && ENV_FNS.contains(&text(s + 3).as_ref());
+            if via_std || calls_env_fn {
+                push(out, s, "process environment (`std::env`) in deterministic code".to_string());
+            }
+            continue;
+        }
+
+        // `std :: net`, or socket types by name.
+        let via_std_net = t == "net" && s >= 3 && path_sep_before && text(s - 3) == "std";
+        if via_std_net || NET_TYPES.contains(&t.as_ref()) {
+            push(out, s, format!("network access (`{t}`) in deterministic code"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn findings_with(src: &str, allow: Vec<String>) -> Vec<Finding> {
+        let f = SourceFile::new(PathBuf::from("crates/x/src/lib.rs"), src.as_bytes().to_vec());
+        let config = Config { determinism_allow: allow, ..Config::default() };
+        let mut out = Vec::new();
+        scan("rased-x", &config, &f, &mut out);
+        out.into_iter().filter(|f| !f.suppressed).collect()
+    }
+
+    fn findings(src: &str) -> Vec<Finding> {
+        findings_with(src, Vec::new())
+    }
+
+    #[test]
+    fn system_time_is_flagged_instant_is_not() {
+        assert_eq!(findings("fn f() { let t = SystemTime::now(); }").len(), 1);
+        assert!(findings("fn f() { let t = Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn std_env_uses_are_flagged() {
+        assert_eq!(findings("use std::env;").len(), 1);
+        assert_eq!(findings("fn f() { let d = std::env::temp_dir(); }").len(), 1);
+        assert_eq!(findings("fn f() { for a in env::args() {} }").len(), 1);
+    }
+
+    #[test]
+    fn env_macro_and_unrelated_env_idents_are_fine() {
+        assert!(findings("const V: &str = env!(\"CARGO_PKG_VERSION\");").is_empty());
+        assert!(findings("fn f(env: &Environment) { env.get(1); }").is_empty());
+    }
+
+    #[test]
+    fn net_types_are_flagged() {
+        assert_eq!(findings("use std::net::TcpListener;").len(), 2); // `net` + type
+        assert_eq!(findings("fn f() { TcpStream::connect(addr); }").len(), 1);
+    }
+
+    #[test]
+    fn allowlisted_files_are_skipped() {
+        let f = findings_with(
+            "fn f() { let t = SystemTime::now(); }",
+            vec!["crates/x/src/lib.rs".to_string()],
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_not_scanned() {
+        assert!(findings("#[cfg(test)]\nmod tests { fn t() { std::env::temp_dir(); } }").is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! The hermeticity pass (absorbed from `tests/hermetic.rs`, PR 1).
+//!
+//! The workspace must build with no external crates: every
+//! `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]` /
+//! `[workspace.dependencies]` entry must be an in-repo path dependency.
+//! Registry (`foo = "1"`) and git dependencies would break the offline
+//! tier-1 gate. The scan is line-based on purpose — a TOML crate would
+//! itself be an external dependency.
+//!
+//! Banned names (`[hermetic] banned` in `lint.toml`, defaulting to the
+//! crates PR 1 removed) fail even when path-shaped: a vendored
+//! `proptest/` reappearing under `crates/` should be conspicuous.
+
+use crate::config::Config;
+use crate::{Category, Finding};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries are dependency declarations.
+const DEP_SECTIONS: [&str; 4] =
+    ["dependencies", "dev-dependencies", "build-dependencies", "workspace.dependencies"];
+
+#[derive(Debug)]
+struct Dep {
+    manifest: PathBuf,
+    section: String,
+    name: String,
+    line: u32,
+    /// Everything to the right of the first `=` (or `<table>`/`path` for
+    /// `[dependencies.name]` tables).
+    spec: String,
+}
+
+/// Pull `name = spec` dependency entries out of one manifest's text.
+fn deps_of(manifest: &Path, text: &str) -> Vec<Dep> {
+    let mut out = Vec::new();
+    let mut section: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            let header = line.trim_matches(['[', ']']);
+            // `[dependencies.serde]`-style table headers count as an entry
+            // of the parent section.
+            if let Some((parent, name)) = header.split_once('.') {
+                if DEP_SECTIONS.contains(&parent) {
+                    out.push(Dep {
+                        manifest: manifest.to_path_buf(),
+                        section: parent.to_string(),
+                        name: name.to_string(),
+                        line: lineno,
+                        spec: String::from("<table>"),
+                    });
+                    section = Some(format!("{parent}.{name}"));
+                    continue;
+                }
+            }
+            section = DEP_SECTIONS.contains(&header).then(|| header.to_string());
+            continue;
+        }
+        let Some(current) = &section else { continue };
+        // Inside a `[dependencies.name]` table, `path = …` legitimizes the
+        // parent entry. (`workspace.dependencies` is itself a plain
+        // section, not such a table.)
+        if let Some((parent, name)) =
+            current.clone().split_once('.').filter(|(p, _)| DEP_SECTIONS.contains(p))
+        {
+            if line.starts_with("path") {
+                if let Some(d) = out
+                    .iter_mut()
+                    .find(|d| d.section == parent && d.name == name && d.manifest == manifest)
+                {
+                    d.spec = String::from("path");
+                }
+            }
+            continue;
+        }
+        let Some((key, spec)) = line.split_once('=') else { continue };
+        // `dettest.workspace = true` → name "dettest", spec "workspace = true".
+        let key = key.trim();
+        let (name, spec) = match key.split_once('.') {
+            Some((name, rest)) => (name, format!("{rest} = {}", spec.trim())),
+            None => (key, spec.trim().to_string()),
+        };
+        out.push(Dep {
+            manifest: manifest.to_path_buf(),
+            section: current.clone(),
+            name: name.to_string(),
+            line: lineno,
+            spec,
+        });
+    }
+    out
+}
+
+/// `true` when a spec is an explicit in-repo path dependency.
+fn is_path_spec(spec: &str) -> bool {
+    spec == "path" || spec.contains("path =") || spec.contains("path=")
+}
+
+/// Scan the root + `crates/*` manifests under `root`, appending findings.
+pub fn scan(root: &Path, config: &Config, out: &mut Vec<Finding>) -> std::io::Result<()> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> =
+            std::fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            let m = dir.join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+
+    let mut push = |manifest: &Path, line: u32, message: String| {
+        let rel = manifest.strip_prefix(root).unwrap_or(manifest).to_path_buf();
+        out.push(Finding {
+            category: Category::Hermetic,
+            crate_name: String::new(),
+            path: rel,
+            line,
+            message,
+            suppressed: false, // no pragmas in manifests: hermeticity is absolute
+        });
+    };
+
+    // The root `[workspace.dependencies]` entries every `workspace = true`
+    // reference resolves through.
+    let root_manifest = root.join("Cargo.toml");
+    let root_text = std::fs::read_to_string(&root_manifest)?;
+    let workspace_deps: HashMap<String, String> = deps_of(&root_manifest, &root_text)
+        .into_iter()
+        .filter(|d| d.section == "workspace.dependencies")
+        .map(|d| (d.name, d.spec))
+        .collect();
+
+    for manifest in &manifests {
+        let text = std::fs::read_to_string(manifest)?;
+        for dep in deps_of(manifest, &text) {
+            if config.hermetic_banned.iter().any(|b| *b == dep.name) {
+                push(manifest, dep.line, format!("banned dependency `{}`", dep.name));
+                continue;
+            }
+            let resolved = if dep.spec.contains("workspace = true") || dep.spec.contains("workspace=true")
+            {
+                match workspace_deps.get(&dep.name) {
+                    Some(ws) => ws.clone(),
+                    None => {
+                        push(
+                            manifest,
+                            dep.line,
+                            format!(
+                                "[{}] {} references a missing workspace dependency",
+                                dep.section, dep.name
+                            ),
+                        );
+                        continue;
+                    }
+                }
+            } else {
+                dep.spec.clone()
+            };
+            if !is_path_spec(&resolved) {
+                push(
+                    manifest,
+                    dep.line,
+                    format!(
+                        "[{}] {} = {} is not an in-repo path dependency",
+                        dep.section, dep.name, resolved
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deps(text: &str) -> Vec<(String, String, String)> {
+        deps_of(Path::new("Cargo.toml"), text)
+            .into_iter()
+            .map(|d| (d.section, d.name, d.spec))
+            .collect()
+    }
+
+    #[test]
+    fn parses_plain_workspace_and_table_deps() {
+        let text = "\
+[package]
+name = \"x\"
+
+[dependencies]
+rased-core = { path = \"../core\" }
+dettest.workspace = true
+
+[dependencies.special]
+path = \"../special\"
+
+[dev-dependencies]
+serde = \"1\"
+";
+        let d = deps(text);
+        assert!(d.contains(&("dependencies".into(), "rased-core".into(), "{ path = \"../core\" }".into())));
+        assert!(d.contains(&("dependencies".into(), "dettest".into(), "workspace = true".into())));
+        assert!(d.contains(&("dependencies".into(), "special".into(), "path".into())));
+        assert!(d.contains(&("dev-dependencies".into(), "serde".into(), "\"1\"".into())));
+    }
+
+    #[test]
+    fn path_spec_detection() {
+        assert!(is_path_spec("{ path = \"../core\" }"));
+        assert!(is_path_spec("path"));
+        assert!(!is_path_spec("\"1.0\""));
+        assert!(!is_path_spec("{ git = \"https://example.com/x\" }"));
+    }
+}

@@ -1,0 +1,226 @@
+//! `rased-lint` — in-repo static analysis for the RASED workspace.
+//!
+//! The workspace is hermetic by policy (std-only, `--offline --locked`
+//! CI), so its correctness tooling lives in-repo too. This crate is a
+//! std-only static-analysis engine over the workspace's own sources,
+//! built on a total Rust lexer ([`lexer`]): any byte sequence lexes to
+//! tokens or a typed error, never a panic — the same contract as the
+//! serving tier's HTTP parser.
+//!
+//! Passes (each a module, each feeding [`Finding`]s into one report):
+//!
+//! * [`panics`] — the panic-freedom ratchet (`unwrap`/`expect`/`panic!`
+//!   family, plus a separate slice-indexing count), checked per crate
+//!   against [`baseline::Baseline`]; request-path crates are denied any
+//!   unsuppressed finding.
+//! * [`locks`] — static lock-discipline audit against the rank table in
+//!   `lint.toml`; complements the runtime cycle detector in
+//!   `rased_storage::sync`.
+//! * [`determinism`] — wall-clock/env/network bans outside the allowlist,
+//!   protecting `dettest` replayability.
+//! * [`hermetic`] — manifest scanning (no external dependencies), absorbed
+//!   from `tests/hermetic.rs`.
+//!
+//! Justified residue is suppressed in place with
+//! `// lint: allow(<category>, "<reason>")` on the finding's line or the
+//! line above; suppressions are counted and reported, never silent.
+
+pub mod baseline;
+pub mod config;
+pub mod determinism;
+pub mod hermetic;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod source;
+
+use baseline::Baseline;
+use config::Config;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The finding taxonomy. `Panic` and `SliceIndex` ratchet against the
+/// baseline; the rest fail outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    Panic,
+    SliceIndex,
+    Lock,
+    Determinism,
+    Hermetic,
+}
+
+impl Category {
+    /// The name used in pragmas and report output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Panic => "panic",
+            Category::SliceIndex => "slice_index",
+            Category::Lock => "lock",
+            Category::Determinism => "determinism",
+            Category::Hermetic => "hermetic",
+        }
+    }
+}
+
+/// One finding, suppressed or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub category: Category,
+    /// Owning crate (empty for manifest-level findings).
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// Covered by a `// lint: allow(...)` pragma.
+    pub suppressed: bool,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}{}",
+            self.path.display(),
+            self.line,
+            self.category.name(),
+            self.message,
+            if self.suppressed { " (suppressed by pragma)" } else { "" },
+        )
+    }
+}
+
+/// The complete result of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, including suppressed ones.
+    pub findings: Vec<Finding>,
+    /// Unsuppressed `panic` counts per crate.
+    pub panic_counts: BTreeMap<String, usize>,
+    /// Unsuppressed `slice_index` counts per crate.
+    pub slice_index_counts: BTreeMap<String, usize>,
+    /// Hard failures (formatted), empty on a passing run.
+    pub failures: Vec<String>,
+    /// Notices (e.g. "ratchet can tighten"), informational.
+    pub notices: Vec<String>,
+}
+
+impl Report {
+    /// Total unsuppressed panic findings — the headline number.
+    pub fn panic_total(&self) -> usize {
+        self.panic_counts.values().sum()
+    }
+
+    /// The baseline these counts would write.
+    pub fn as_baseline(&self) -> Baseline {
+        Baseline { panic: self.panic_counts.clone(), slice_index: self.slice_index_counts.clone() }
+    }
+
+    /// Did the run pass?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run every pass over the workspace at `root` and evaluate policy
+/// (baseline ratchet + deny-crates) into a [`Report`].
+pub fn run_workspace(root: &Path) -> Result<Report, Box<dyn std::error::Error>> {
+    let config = Config::load(root)?;
+    let baseline = Baseline::load(root)?;
+    let crates = source::discover_workspace(root)?;
+
+    let mut report = Report::default();
+    for c in &crates {
+        report.panic_counts.insert(c.name.clone(), 0);
+        report.slice_index_counts.insert(c.name.clone(), 0);
+        for file in &c.files {
+            panics::scan(&c.name, file, &mut report.findings);
+            locks::scan(&c.name, &config, file, &mut report.findings);
+            determinism::scan(&c.name, &config, file, &mut report.findings);
+        }
+    }
+    hermetic::scan(root, &config, &mut report.findings)?;
+
+    for f in &report.findings {
+        if f.suppressed {
+            continue;
+        }
+        match f.category {
+            Category::Panic => {
+                *report.panic_counts.entry(f.crate_name.clone()).or_default() += 1;
+            }
+            Category::SliceIndex => {
+                *report.slice_index_counts.entry(f.crate_name.clone()).or_default() += 1;
+            }
+            // Non-ratcheted categories fail outright.
+            Category::Lock | Category::Determinism | Category::Hermetic => {
+                report.failures.push(f.to_string());
+            }
+        }
+    }
+
+    // Deny rule: the request path may contain no unsuppressed panic
+    // findings at all, baseline or not.
+    for f in &report.findings {
+        if f.category == Category::Panic
+            && !f.suppressed
+            && config.panic_deny_crates.contains(&f.crate_name)
+        {
+            report.failures.push(format!("{f} — `{}` is a request-path crate: panic-free or pragma'd", f.crate_name));
+        }
+    }
+
+    // Ratchet: counts may only go down.
+    match &baseline {
+        None => report.notices.push(format!(
+            "no {} yet — run with --write-baseline to seed the ratchet",
+            baseline::BASELINE_FILE
+        )),
+        Some(base) => {
+            let mut can_tighten = false;
+            for (counts, base_map, category) in [
+                (&report.panic_counts, &base.panic, Category::Panic),
+                (&report.slice_index_counts, &base.slice_index, Category::SliceIndex),
+            ] {
+                for (name, &count) in counts {
+                    let allowed = base_map.get(name).copied().unwrap_or(0);
+                    if count > allowed {
+                        report.failures.push(format!(
+                            "[{}] {name}: {count} findings exceed the baseline of {allowed} — \
+                             the ratchet only goes down (fix the new call sites or add a \
+                             `// lint: allow({}, \"…\")` pragma with a reason)",
+                            category.name(),
+                            category.name(),
+                        ));
+                    } else if count < allowed {
+                        can_tighten = true;
+                    }
+                }
+            }
+            if can_tighten {
+                report.notices.push(
+                    "counts are below the checked-in baseline — run with --write-baseline to tighten the ratchet"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_names_match_pragma_syntax() {
+        assert_eq!(Category::Panic.name(), "panic");
+        assert_eq!(Category::SliceIndex.name(), "slice_index");
+        assert_eq!(Category::Lock.name(), "lock");
+        assert_eq!(Category::Determinism.name(), "determinism");
+        assert_eq!(Category::Hermetic.name(), "hermetic");
+    }
+}

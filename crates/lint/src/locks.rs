@@ -1,0 +1,285 @@
+//! The lock-discipline pass.
+//!
+//! A static, heuristic complement to the runtime detector in
+//! `rased_storage::sync`: where the runtime graph catches whatever the
+//! test suites actually execute, this pass reads every shipped function
+//! and checks the acquisitions it can see against the declared lock-rank
+//! table in `lint.toml`.
+//!
+//! What it extracts (token-level, no type information):
+//!
+//! * An **acquisition** is `recv.lock()` / `recv.read()` / `recv.write()`
+//!   with *empty* parentheses — the empty-args requirement keeps
+//!   `io::Read::read(&mut buf)` and `Write::write(&data)` out. The lock's
+//!   identity is `<crate>:<field>` where `field` is the last path segment
+//!   before the method (`self.inner.lock()` → `inner`).
+//! * A guard is **held** when the acquisition is bound by `let` at the
+//!   same brace depth (`let g = self.inner.lock();`); it is released by
+//!   `drop(g)` or when its scope closes. Unbound acquisitions
+//!   (`self.inner.lock().closed = true`) and block-scoped initializers
+//!   (`let x = { self.inner.lock().get() };`) are temporaries.
+//!
+//! Checks:
+//!
+//! * **Nested order** — acquiring lock `B` while holding `A` requires both
+//!   to be ranked and `rank(B) > rank(A)`: ranks define the one legal
+//!   global order, so cycles are impossible by construction.
+//! * **Write-guard across I/O** — filesystem calls while a `.write()`
+//!   guard is held stall every reader behind a disk operation; flagged
+//!   (suppress with `// lint: allow(lock, "…")` where the write-out is the
+//!   point, e.g. checkpointing).
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::{Category, Finding};
+
+/// Identifiers that signal filesystem I/O in this workspace.
+const IO_MARKERS: &[&str] =
+    &["fs", "write_all_at", "read_exact_at", "sync_all", "File", "OpenOptions", "flush"];
+
+#[derive(Debug)]
+struct HeldGuard {
+    binding: String,
+    lock: String,
+    /// `{`-depth at which the guard was bound; leaving it releases.
+    depth: usize,
+    is_write: bool,
+}
+
+/// Run the pass over one file.
+pub fn scan(crate_name: &str, config: &Config, file: &SourceFile, out: &mut Vec<Finding>) {
+    let shipped = &file.shipped;
+    let text = |s: usize| file.text(shipped[s]);
+    let push = |out: &mut Vec<Finding>, s: usize, message: String| {
+        let line = file.line_of(file.tokens[shipped[s]].start);
+        out.push(Finding {
+            category: Category::Lock,
+            crate_name: crate_name.to_string(),
+            path: file.path.clone(),
+            line,
+            message,
+            suppressed: file.suppressed(line, Category::Lock.name()),
+        });
+    };
+
+    let mut depth = 0usize;
+    let mut held: Vec<HeldGuard> = Vec::new();
+    // The pending `let <ident> =` of the current statement, with the depth
+    // it occurred at; cleared at `;`.
+    let mut pending_let: Option<(String, usize)> = None;
+
+    let mut s = 0usize;
+    while s < shipped.len() {
+        let t = text(s);
+        match t.as_ref() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                held.retain(|g| g.depth <= depth);
+            }
+            ";" => pending_let = None,
+            "let" => {
+                if s + 1 < shipped.len() {
+                    let next = text(s + 1).into_owned();
+                    // `let mut g = …` / `let g = …`; destructuring lets
+                    // can't bind a single guard, skip them.
+                    let name_idx = if next == "mut" { s + 2 } else { s + 1 };
+                    if name_idx < shipped.len() {
+                        let name = text(name_idx).into_owned();
+                        if name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+                            pending_let = Some((name, depth));
+                        }
+                    }
+                }
+            }
+            "drop" => {
+                // `drop(ident)` releases that guard.
+                if s + 2 < shipped.len() && text(s + 1) == "(" {
+                    let target = text(s + 2).into_owned();
+                    held.retain(|g| g.binding != target);
+                }
+            }
+            "lock" | "read" | "write" => {
+                let is_acquisition = s >= 1
+                    && text(s - 1) == "."
+                    && s + 2 < shipped.len()
+                    && text(s + 1) == "("
+                    && text(s + 2) == ")";
+                if is_acquisition {
+                    let Some(field) = receiver_field(file, shipped, s) else {
+                        s += 1;
+                        continue;
+                    };
+                    let lock = format!("{}:{field}", short_crate(crate_name));
+                    // Order check against everything currently held.
+                    for g in &held {
+                        check_order(config, &g.lock, &lock, s, &mut |s, m| push(out, s, m));
+                    }
+                    // Held only when directly bound by `let` at this depth.
+                    if let Some((binding, let_depth)) = &pending_let {
+                        if *let_depth == depth {
+                            held.push(HeldGuard {
+                                binding: binding.clone(),
+                                lock,
+                                depth,
+                                is_write: t == "write",
+                            });
+                            pending_let = None;
+                        }
+                    }
+                }
+            }
+            _ => {
+                // I/O while a write guard is held.
+                if IO_MARKERS.contains(&t.as_ref()) && held.iter().any(|g| g.is_write) {
+                    let lock = held
+                        .iter()
+                        .rev()
+                        .find(|g| g.is_write)
+                        .map(|g| g.lock.clone())
+                        .unwrap_or_default();
+                    push(out, s, format!("I/O (`{t}`) while write guard on `{lock}` is held"));
+                }
+            }
+        }
+        s += 1;
+    }
+}
+
+/// The field name a `.lock()`/`.read()`/`.write()` call is made on: the
+/// identifier directly before the method's `.`.
+fn receiver_field(file: &SourceFile, shipped: &[usize], method: usize) -> Option<String> {
+    // shipped[method-1] is `.`; shipped[method-2] should be the field.
+    if method < 2 {
+        return None;
+    }
+    let prev = file.text(shipped[method - 2]).into_owned();
+    let is_ident = prev.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if is_ident && prev != "self" {
+        Some(prev)
+    } else if prev == "self" {
+        // `self.lock()` — a lock wrapper method on self; name by `self`.
+        Some("self".to_string())
+    } else {
+        None
+    }
+}
+
+fn check_order(
+    config: &Config,
+    held: &str,
+    acquiring: &str,
+    s: usize,
+    push: &mut dyn FnMut(usize, String),
+) {
+    let held_rank = config.lock_rank(held);
+    let new_rank = config.lock_rank(acquiring);
+    match (held_rank, new_rank) {
+        (Some(h), Some(n)) if n > h => {} // legal order
+        (Some(h), Some(n)) => push(
+            s,
+            format!(
+                "acquiring `{acquiring}` (rank {n}) while holding `{held}` (rank {h}): \
+                 ranks must strictly increase"
+            ),
+        ),
+        _ => push(
+            s,
+            format!(
+                "nested acquisition `{held}` → `{acquiring}` with unranked lock(s): \
+                 declare both in [locks.rank] in lint.toml"
+            ),
+        ),
+    }
+}
+
+/// `rased-storage` → `storage`; rank-table keys use the short form.
+fn short_crate(name: &str) -> &str {
+    name.strip_prefix("rased-").unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn config() -> Config {
+        let mut c = Config::default();
+        c.lock_ranks.insert("t:a".to_string(), 10);
+        c.lock_ranks.insert("t:b".to_string(), 20);
+        c
+    }
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::new(PathBuf::from("t.rs"), src.as_bytes().to_vec());
+        let mut out = Vec::new();
+        scan("rased-t", &config(), &f, &mut out);
+        out.into_iter().filter(|f| !f.suppressed).collect()
+    }
+
+    #[test]
+    fn ordered_nesting_is_clean() {
+        let src = "fn f(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn inverted_nesting_is_flagged() {
+        let src = "fn f(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("ranks must strictly increase"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn unranked_nesting_is_flagged() {
+        let src = "fn f(&self) { let ga = self.a.lock(); let gx = self.mystery.lock(); }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unranked"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn dropped_guard_releases() {
+        let src = "fn f(&self) { let gb = self.b.lock(); drop(gb); let ga = self.a.lock(); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn scope_exit_releases() {
+        let src = "fn f(&self) { { let gb = self.b.lock(); } let ga = self.a.lock(); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn unbound_acquisition_is_a_temporary() {
+        let src = "fn f(&self) { self.b.lock().x = 1; let ga = self.a.lock(); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn block_initializer_acquisition_is_a_temporary() {
+        let src = "fn f(&self) { let v = { self.b.lock().get() }; let ga = self.a.lock(); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn io_read_write_methods_are_not_acquisitions() {
+        let src = "fn f(&self, s: &mut S) { let ga = self.a.lock(); s.read(&mut buf); s.write(&data); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn io_under_write_guard_is_flagged() {
+        let src = "fn f(&self) { let g = self.a.write(); fs::write(&p, &b); }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("write guard"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn io_under_read_guard_is_fine() {
+        let src = "fn f(&self) { let g = self.a.read(); fs::write(&p, &b); }";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! The panic-freedom pass.
+//!
+//! Two categories over shipped (non-test) tokens:
+//!
+//! * **`panic`** — calls that unwind on their error path: the
+//!   `.unwrap()` / `.unwrap_err()` / `.expect(…)` / `.expect_err(…)`
+//!   method family, and the `panic!` / `unreachable!` / `unimplemented!` /
+//!   `todo!` macros. Ratcheted per crate, and denied outright in the
+//!   request-path crates. (`assert!` is deliberately *not* counted: the
+//!   repo uses it for constructor contract checks, which are caller bugs,
+//!   not data-dependent failures; `unwrap_or*` never unwinds.)
+//! * **`slice_index`** — postfix `expr[…]` indexing, which panics out of
+//!   bounds. Ratcheted per crate only: bounded-by-construction indexing is
+//!   idiomatic, but new code shouldn't grow the count unreviewed.
+
+use crate::source::SourceFile;
+use crate::{Category, Finding};
+
+/// Method names whose failure path unwinds.
+fn is_panicking_method(name: &str) -> bool {
+    matches!(name, "unwrap" | "unwrap_err" | "expect" | "expect_err")
+}
+
+/// Macro names that unconditionally unwind.
+fn is_panicking_macro(name: &str) -> bool {
+    matches!(name, "panic" | "unreachable" | "unimplemented" | "todo")
+}
+
+/// Tokens that can legally end the expression a postfix `[` indexes into.
+/// Keywords that *precede* an array literal (`for x in [..]`,
+/// `return [..]`) are excluded.
+fn can_end_indexable_expr(text: &str, kind: crate::lexer::TokenKind) -> bool {
+    use crate::lexer::TokenKind as K;
+    const NON_EXPR_KEYWORDS: &[&str] = &[
+        "in", "return", "break", "continue", "else", "match", "if", "while", "loop", "move",
+        "mut", "ref", "as", "where", "let", "const", "static", "yield",
+    ];
+    match kind {
+        K::Ident => !NON_EXPR_KEYWORDS.contains(&text),
+        K::Number | K::StrLit => true,
+        K::Punct => matches!(text, ")" | "]"),
+        _ => false,
+    }
+}
+
+/// Run the pass over one file, appending findings (suppressed ones too —
+/// the caller partitions on [`Finding::suppressed`]).
+pub fn scan(crate_name: &str, file: &SourceFile, out: &mut Vec<Finding>) {
+    let shipped = &file.shipped;
+    let text = |s: usize| file.text(shipped[s]);
+    let kind = |s: usize| file.tokens[shipped[s]].kind;
+    let push = |out: &mut Vec<Finding>, s: usize, category: Category, message: String| {
+        let line = file.line_of(file.tokens[shipped[s]].start);
+        out.push(Finding {
+            category,
+            crate_name: crate_name.to_string(),
+            path: file.path.clone(),
+            line,
+            message,
+            suppressed: file.suppressed(line, category.name()),
+        });
+    };
+
+    for s in 0..shipped.len() {
+        let t = text(s);
+
+        // `.unwrap()` / `.expect(` — a panicking method *call*: preceded by
+        // `.`, followed by `(`.
+        if kind(s) == crate::lexer::TokenKind::Ident
+            && is_panicking_method(&t)
+            && s >= 1
+            && text(s - 1) == "."
+            && s + 1 < shipped.len()
+            && text(s + 1) == "("
+        {
+            push(out, s, Category::Panic, format!(".{t}() call"));
+            continue;
+        }
+
+        // `panic!(…)` — a panicking macro invocation.
+        if kind(s) == crate::lexer::TokenKind::Ident
+            && is_panicking_macro(&t)
+            && s + 1 < shipped.len()
+            && text(s + 1) == "!"
+        {
+            push(out, s, Category::Panic, format!("{t}! macro"));
+            continue;
+        }
+
+        // Postfix indexing `expr[…]`: a `[` whose previous significant
+        // token ends an expression. Excludes `#[attr]` (prev is `#`),
+        // array types/literals (prev is `=`/`(`/etc.), and `name![…]`
+        // macro bodies (prev is `!`).
+        if t == "[" && s >= 1 {
+            let pt = text(s - 1);
+            let pk = kind(s - 1);
+            if pt != "!" && can_end_indexable_expr(&pt, pk) {
+                push(out, s, Category::SliceIndex, format!("indexing after `{pt}`"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::new(PathBuf::from("t.rs"), src.as_bytes().to_vec());
+        let mut out = Vec::new();
+        scan("test-crate", &f, &mut out);
+        out
+    }
+
+    fn count(src: &str, cat: Category) -> usize {
+        findings(src).iter().filter(|f| f.category == cat && !f.suppressed).count()
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_are_flagged() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); z.unwrap_err(); }";
+        assert_eq!(count(src, Category::Panic), 3);
+    }
+
+    #[test]
+    fn unwrap_or_family_is_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }";
+        assert_eq!(count(src, Category::Panic), 0);
+    }
+
+    #[test]
+    fn panic_macros_are_flagged_but_not_paths() {
+        let src = "fn f() { panic!(\"boom\"); unreachable!(); std::panic::catch_unwind(|| ()); }";
+        assert_eq!(count(src, Category::Panic), 2);
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_do_not_count() {
+        let src = "fn f() { let s = \".unwrap()\"; } // calls .unwrap() and panic!()";
+        assert_eq!(count(src, Category::Panic), 0);
+    }
+
+    #[test]
+    fn test_code_does_not_count() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }\nfn s() {}";
+        assert_eq!(count(src, Category::Panic), 0);
+    }
+
+    #[test]
+    fn pragma_suppresses_but_is_recorded() {
+        let src = "fn f() {\n    // lint: allow(panic, \"justified\")\n    x.unwrap();\n}";
+        let all = findings(src);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].suppressed);
+    }
+
+    #[test]
+    fn slice_index_counts_postfix_indexing_only() {
+        let src = "fn f(v: &[u8], m: [u8; 4]) { v[0]; self.items[i]; (x)[1]; }";
+        assert_eq!(count(src, Category::SliceIndex), 3);
+        // Attributes, array types, vec! macro bodies are not indexing.
+        let src2 = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn g() { let v = vec![1, 2]; let a = [0u8; 8]; }";
+        assert_eq!(count(src2, Category::SliceIndex), 0);
+    }
+}

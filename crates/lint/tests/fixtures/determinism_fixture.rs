@@ -1,0 +1,10 @@
+//! Fixture: exactly 2 determinism findings (wall clock + env read);
+//! `Instant` and the `env!` macro must not count.
+
+pub fn stamp() -> u64 {
+    let _monotonic = std::time::Instant::now();
+    let _version = env!("CARGO_PKG_VERSION");
+    let _wall = std::time::SystemTime::now();
+    let _home = std::env::var("HOME");
+    0
+}

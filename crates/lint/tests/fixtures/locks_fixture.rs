@@ -1,0 +1,22 @@
+//! Fixture: one nested acquisition that inverts the configured rank
+//! order (`app:low` = 1 must never be acquired while `app:high` = 2 is
+//! held), plus one correctly-ordered nesting that must stay clean.
+
+pub struct S {
+    low: Mutex<u32>,
+    high: Mutex<u32>,
+}
+
+impl S {
+    pub fn well_ordered(&self) -> u32 {
+        let a = self.low.lock();
+        let b = self.high.lock();
+        *a + *b
+    }
+
+    pub fn inverted(&self) -> u32 {
+        let a = self.high.lock();
+        let b = self.low.lock();
+        *a + *b
+    }
+}

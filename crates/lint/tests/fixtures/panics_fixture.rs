@@ -1,0 +1,25 @@
+//! Fixture: exactly 3 unsuppressed panic findings, 1 suppressed panic
+//! finding, and 1 slice_index finding in shipped code; test code holds
+//! more that must not count. `tests/engine.rs` asserts these numbers.
+
+pub fn run(v: &[u8]) -> u8 {
+    let first = v.first().unwrap();
+    let text = std::str::from_utf8(v).expect("utf8");
+    if text.is_empty() {
+        panic!("empty input");
+    }
+    // lint: allow(panic, "non-empty checked above")
+    let last = v.last().unwrap();
+    let _ = (first, last);
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_panics_freely() {
+        super::run(b"x");
+        None::<u8>.unwrap();
+        unreachable!();
+    }
+}

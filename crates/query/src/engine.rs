@@ -87,7 +87,9 @@ impl<'a> QueryEngine<'a> {
                 // partial periods at the edges only count in-range days.
                 let mut p = Period::containing(g, q.range.start());
                 while p.start() <= q.range.end() {
-                    let sub = p.range().intersect(q.range).expect("overlapping period");
+                    // The loop condition keeps p overlapping q.range, but a
+                    // typed break beats a panic if Period arithmetic drifts.
+                    let Some(sub) = p.range().intersect(q.range) else { break };
                     let plan = self.plan(sub);
                     self.aggregate_plan(&plan, &selection, q, Some(p), &mut groups, &mut stats)?;
                     p = p.succ();

@@ -183,7 +183,7 @@ impl QueryResult {
 
     /// Rows sorted by value, descending (the dashboard's default ordering).
     pub fn sorted_desc(mut self) -> QueryResult {
-        self.rows.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("no NaN").then(a.key.cmp(&b.key)));
+        self.rows.sort_by(|a, b| b.value.total_cmp(&a.value).then(a.key.cmp(&b.key)));
         self
     }
 }

@@ -43,7 +43,7 @@ impl BufferPool {
         BufferPool {
             file,
             capacity,
-            inner: Mutex::new(Lru { map: HashMap::new(), tick: 0 }),
+            inner: Mutex::new_named(Lru { map: HashMap::new(), tick: 0 }, "storage.buffer_pool"),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),

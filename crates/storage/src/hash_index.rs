@@ -36,18 +36,19 @@ impl Bucket {
         Bucket { local_depth, entries: Vec::new(), overflow: NO_OVERFLOW }
     }
 
-    fn decode(page: &[u8]) -> Bucket {
-        let local_depth = u16::from_le_bytes([page[0], page[1]]);
-        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
-        let overflow = u64::from_le_bytes(page[8..16].try_into().expect("len"));
-        let mut entries = Vec::with_capacity(count);
+    fn decode(page: &[u8]) -> Result<Bucket, StorageError> {
+        let corrupt = || StorageError::BadHeader("truncated hash bucket page".into());
+        let local_depth = crate::bytes::read_u16_le(page, 0).ok_or_else(corrupt)?;
+        let count = crate::bytes::read_u16_le(page, 2).ok_or_else(corrupt)? as usize;
+        let overflow = crate::bytes::read_u64_le(page, 8).ok_or_else(corrupt)?;
+        let mut entries = Vec::with_capacity(count.min(BUCKET_CAPACITY));
         for i in 0..count.min(BUCKET_CAPACITY) {
             let o = BUCKET_HEADER + i * ENTRY_BYTES;
-            let k = u64::from_le_bytes(page[o..o + 8].try_into().expect("len"));
-            let v = u64::from_le_bytes(page[o + 8..o + 16].try_into().expect("len"));
+            let k = crate::bytes::read_u64_le(page, o).ok_or_else(corrupt)?;
+            let v = crate::bytes::read_u64_le(page, o + 8).ok_or_else(corrupt)?;
             entries.push((k, v));
         }
-        Bucket { local_depth, entries, overflow }
+        Ok(Bucket { local_depth, entries, overflow })
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -109,17 +110,22 @@ impl DiskHashIndex {
             return Err(StorageError::BadHeader("hash directory sidecar corrupt".into()));
         }
         let global_depth = bytes[8];
-        let len = u64::from_le_bytes(bytes[9..17].try_into().expect("len"));
+        if global_depth > 32 {
+            return Err(StorageError::BadHeader("hash directory depth out of range".into()));
+        }
+        let len = crate::bytes::read_u64_le(&bytes, 9)
+            .ok_or_else(|| StorageError::BadHeader("hash directory sidecar corrupt".into()))?;
         let want = 1usize << global_depth;
         let body = &bytes[17..];
         if body.len() < want * 8 {
             return Err(StorageError::BadHeader("hash directory truncated".into()));
         }
-        let directory = body
-            .chunks_exact(8)
-            .take(want)
-            .map(|c| PageId(u64::from_le_bytes(c.try_into().expect("len"))))
-            .collect();
+        let mut directory = Vec::with_capacity(want);
+        for slot in 0..want {
+            let raw = crate::bytes::read_u64_le(body, slot * 8)
+                .ok_or_else(|| StorageError::BadHeader("hash directory truncated".into()))?;
+            directory.push(PageId(raw));
+        }
         Ok(DiskHashIndex { file, directory, global_depth, dir_path, len })
     }
 
@@ -166,7 +172,7 @@ impl DiskHashIndex {
     }
 
     fn load(&self, page: PageId) -> Result<Bucket, StorageError> {
-        Ok(Bucket::decode(&self.file.read_page_vec(page)?))
+        Bucket::decode(&self.file.read_page_vec(page)?)
     }
 
     fn store(&self, page: PageId, bucket: &Bucket) -> Result<(), StorageError> {

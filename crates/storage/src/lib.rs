@@ -19,6 +19,7 @@
 //!   warehouse's ChangesetID index, §VI-B).
 
 mod buffer;
+pub mod bytes;
 mod hash_index;
 mod pagefile;
 mod stats;

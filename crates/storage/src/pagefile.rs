@@ -110,8 +110,9 @@ impl PageFile {
         if &header[0..8] != MAGIC {
             return Err(StorageError::BadHeader("wrong magic".into()));
         }
-        let page_size = u64::from_le_bytes(header[8..16].try_into().expect("slice len")) as usize;
-        let page_count = u64::from_le_bytes(header[16..24].try_into().expect("slice len"));
+        let corrupt = || StorageError::BadHeader("truncated header fields".into());
+        let page_size = crate::bytes::read_u64_le(&header, 8).ok_or_else(corrupt)? as usize;
+        let page_count = crate::bytes::read_u64_le(&header, 16).ok_or_else(corrupt)?;
         if page_size == 0 {
             return Err(StorageError::BadHeader("zero page size".into()));
         }

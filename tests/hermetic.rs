@@ -1,182 +1,21 @@
 //! Hermeticity guard: the workspace must build with no external crates.
 //!
-//! Walks every manifest (root + `crates/*/Cargo.toml`) and fails if any
-//! `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]` entry
-//! is not an in-repo path dependency. Registry (`foo = "1"`) and git
-//! dependencies are violations — they would break the offline tier-1 gate
-//! this PR establishes. Line-based on purpose: no TOML crate allowed either.
+//! The scanner itself lives in `rased_lint::hermetic` (shared with the
+//! `rased-lint` CI binary, which runs it as part of the full lint gate);
+//! this test is a thin delegate that keeps the guard inside plain
+//! `cargo test` too, so a registry or git dependency fails the suite even
+//! when `ci.sh` is bypassed.
 
-use std::collections::HashMap;
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// Section headers whose entries are dependency declarations.
-const DEP_SECTIONS: [&str; 4] =
-    ["dependencies", "dev-dependencies", "build-dependencies", "workspace.dependencies"];
-
-#[derive(Debug)]
-struct Dep {
-    manifest: PathBuf,
-    section: String,
-    name: String,
-    /// Everything to the right of the first `=` (or the dotted key suffix).
-    spec: String,
-}
-
-/// Pull `name = spec` dependency entries out of one manifest.
-fn deps_of(manifest: &Path) -> Vec<Dep> {
-    let text = fs::read_to_string(manifest)
-        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
-    let mut out = Vec::new();
-    let mut section: Option<String> = None;
-    for raw in text.lines() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if line.starts_with('[') {
-            let header = line.trim_matches(['[', ']']);
-            // `[dependencies.serde]`-style table headers count as an entry
-            // of the parent section.
-            if let Some((parent, name)) = header.split_once('.') {
-                if DEP_SECTIONS.contains(&parent) {
-                    out.push(Dep {
-                        manifest: manifest.to_path_buf(),
-                        section: parent.to_string(),
-                        name: name.to_string(),
-                        spec: String::from("<table>"),
-                    });
-                    section = Some(format!("{parent}.{name}"));
-                    continue;
-                }
-            }
-            section = DEP_SECTIONS.contains(&header).then(|| header.to_string());
-            continue;
-        }
-        let Some(current) = &section else { continue };
-        // Inside a `[dependencies.name]` table, `path = …` legitimizes the
-        // parent entry. (`workspace.dependencies` is itself a plain section,
-        // not such a table.)
-        if let Some((parent, name)) =
-            current.clone().split_once('.').filter(|(p, _)| DEP_SECTIONS.contains(p))
-        {
-            if line.starts_with("path") {
-                if let Some(d) = out
-                    .iter_mut()
-                    .find(|d| d.section == parent && d.name == name && d.manifest == manifest)
-                {
-                    d.spec = String::from("path");
-                }
-            }
-            continue;
-        }
-        let Some((key, spec)) = line.split_once('=') else { continue };
-        // `dettest.workspace = true` → name "dettest", spec "workspace=true".
-        let key = key.trim();
-        let (name, spec) = match key.split_once('.') {
-            Some((name, rest)) => (name, format!("{rest} = {}", spec.trim())),
-            None => (key, spec.trim().to_string()),
-        };
-        out.push(Dep {
-            manifest: manifest.to_path_buf(),
-            section: current.clone(),
-            name: name.to_string(),
-            spec,
-        });
-    }
-    out
-}
-
-fn repo_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-}
-
-/// `true` when a spec is an explicit in-repo path dependency.
-fn is_path_spec(spec: &str) -> bool {
-    spec == "path" || spec.contains("path =") || spec.contains("path=")
-}
+use rased_lint::config::Config;
+use rased_lint::hermetic;
+use std::path::Path;
 
 #[test]
 fn workspace_has_no_external_dependencies() {
-    let root = repo_root();
-    let mut manifests = vec![root.join("Cargo.toml")];
-    for entry in fs::read_dir(root.join("crates")).expect("crates/ exists") {
-        let dir = entry.expect("dir entry").path();
-        let m = dir.join("Cargo.toml");
-        if m.is_file() {
-            manifests.push(m);
-        }
-    }
-    assert!(manifests.len() > 10, "expected a full workspace, found {}", manifests.len());
-
-    // The root `[workspace.dependencies]` entries every `workspace = true`
-    // reference resolves through.
-    let workspace_deps: HashMap<String, String> = deps_of(&root.join("Cargo.toml"))
-        .into_iter()
-        .filter(|d| d.section == "workspace.dependencies")
-        .map(|d| (d.name, d.spec))
-        .collect();
-
-    let mut violations = Vec::new();
-    for manifest in &manifests {
-        for dep in deps_of(manifest) {
-            let resolved_spec = if dep.spec.contains("workspace = true")
-                || dep.spec.contains("workspace=true")
-            {
-                match workspace_deps.get(&dep.name) {
-                    Some(ws) => ws.clone(),
-                    None => {
-                        violations.push(format!(
-                            "{}: [{}] {} references a missing workspace dependency",
-                            dep.manifest.display(),
-                            dep.section,
-                            dep.name
-                        ));
-                        continue;
-                    }
-                }
-            } else {
-                dep.spec.clone()
-            };
-            if !is_path_spec(&resolved_spec) {
-                violations.push(format!(
-                    "{}: [{}] {} = {} is not an in-repo path dependency",
-                    dep.manifest.display(),
-                    dep.section,
-                    dep.name,
-                    resolved_spec
-                ));
-            }
-        }
-    }
-    assert!(
-        violations.is_empty(),
-        "external dependencies found — the workspace must stay hermetic:\n  {}",
-        violations.join("\n  ")
-    );
-}
-
-#[test]
-fn no_banned_crate_names_anywhere_in_manifests() {
-    // Belt and braces for the exact names this PR removed: even a commented
-    // resurrection attempt in a dependency position should be conspicuous.
-    let root = repo_root();
-    let mut manifests = vec![root.join("Cargo.toml")];
-    for entry in fs::read_dir(root.join("crates")).expect("crates/ exists") {
-        let m = entry.expect("dir entry").path().join("Cargo.toml");
-        if m.is_file() {
-            manifests.push(m);
-        }
-    }
-    for manifest in manifests {
-        for dep in deps_of(&manifest) {
-            for banned in ["proptest", "parking_lot", "criterion"] {
-                assert_ne!(
-                    dep.name, banned,
-                    "{} declares banned dependency `{banned}`",
-                    manifest.display()
-                );
-            }
-        }
-    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config = Config::load(root).expect("lint.toml parses");
+    let mut findings = Vec::new();
+    hermetic::scan(root, &config, &mut findings).expect("manifests readable");
+    let rendered: String = findings.iter().map(|f| format!("  {f}\n")).collect();
+    assert!(findings.is_empty(), "hermeticity violations:\n{rendered}");
 }
