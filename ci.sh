@@ -10,7 +10,7 @@ cd "$(dirname "$0")"
 # in lint.toml; a non-zero exit fails CI before any test runs.
 cargo run -p rased-lint --release --offline --locked -- --workspace
 
-cargo build --workspace --release --offline --locked --benches
+cargo build --workspace --release --offline --locked --all-targets
 cargo test --workspace -q --offline --locked
 
 # The HTTP serving-tier battery re-runs under an explicit wall-clock budget:
@@ -18,3 +18,9 @@ cargo test --workspace -q --offline --locked
 # as a timeout, not stall it forever.
 timeout 300 cargo test -q --offline --locked \
     --test http_parser --test http_api --test concurrency --test failure_injection
+
+# Parallel-executor gate: the dettest equivalence suite (parallel at every
+# thread count ≡ sequential ≡ record-scan oracle) and a smoke run of the
+# Fig. 11 scaling harness, including its single-flight stampede check.
+timeout 300 cargo test -q --offline --locked -p rased-query --test parallel_props
+BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig11_parallel_scaling

@@ -69,6 +69,13 @@ impl Harness {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
         Group { harness: self, name: name.into(), throughput: None, samples: 50 }
     }
+
+    /// The per-benchmark measurement budget (`BENCH_MEASURE_MS`), for
+    /// harness binaries that size their own workloads instead of using
+    /// [`Bencher::iter`].
+    pub fn measure(&self) -> Duration {
+        self.measure
+    }
 }
 
 /// A named group of related benchmarks (shares throughput declaration).

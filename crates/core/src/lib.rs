@@ -23,10 +23,12 @@
 //! println!("{} countries, {} updates", result.rows.len(), result.total_count());
 //! ```
 
+mod exec_config;
 mod ingest;
 mod server_config;
 mod system;
 
+pub use exec_config::ExecConfig;
 pub use ingest::IngestReport;
 pub use server_config::ServerConfig;
 pub use system::{Rased, RasedConfig, RasedError};

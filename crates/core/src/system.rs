@@ -92,6 +92,9 @@ pub struct RasedConfig {
     /// limits) consumed by the dashboard's HTTP server. Per-process tuning,
     /// not persisted by [`RasedConfig::save`].
     pub server: crate::ServerConfig,
+    /// Query-executor knobs (per-query worker threads). Per-process tuning,
+    /// not persisted by [`RasedConfig::save`].
+    pub exec: crate::ExecConfig,
 }
 
 impl RasedConfig {
@@ -110,6 +113,7 @@ impl RasedConfig {
             n_road_types: 40,
             zones: ZoneMap::none(),
             server: crate::ServerConfig::default(),
+            exec: crate::ExecConfig::default(),
         }
     }
 
@@ -288,6 +292,7 @@ impl Rased {
         QueryEngine::new(&self.index)
             .with_planner(self.config.planner)
             .with_network_sizes(&self.network_sizes)
+            .with_threads(self.config.exec.effective_threads())
     }
 
     /// Execute an analysis query (§IV-A).

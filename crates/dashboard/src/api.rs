@@ -187,6 +187,7 @@ pub fn result_to_json(system: &Rased, result: &QueryResult) -> String {
     j.key("empty_days").uint(result.stats.empty_days as u64);
     j.key("physical_reads").uint(result.stats.io.reads);
     j.key("modeled_io_micros").uint(result.stats.io.modeled.as_micros() as u64);
+    j.key("io_critical_micros").uint(result.stats.io_critical.as_micros() as u64);
     j.key("wall_micros").uint(result.stats.wall.as_micros() as u64);
     j.end_object();
     j.end_object();

@@ -6,8 +6,9 @@
 //! rased ingest   --data DIR --system DIR
 //! rased query    --system DIR --start YYYY-MM-DD --end YYYY-MM-DD [--group country,element,...]
 //!                [--countries US,DE] [--updates create,update] [--value percentage] [--chart bar|table|series]
+//!                [--threads N]
 //! rased serve    --system DIR [--addr 127.0.0.1:7878] [--workers N] [--queue N]
-//!                [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N]
+//!                [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]
 //! rased demo     --dir DIR  (generate + ingest + serve in one step)
 //! ```
 
@@ -59,9 +60,9 @@ fn print_usage() {
          \x20 generate --out DIR [--seed N] [--countries N] [--start D] [--end D] [--edits N]\n\
          \x20 ingest   --data DIR --system DIR\n\
          \x20 query    --system DIR --start D --end D [--group country,element,road,update,day,week,month,year]\n\
-         \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv]\n\
+         \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv] [--threads N]\n\
          \x20 serve    --system DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
-         \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N]\n\
+         \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]\n\
          \x20 demo     --dir DIR [--seed N]"
     );
 }
@@ -109,10 +110,21 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn open_or_create_system(dir: &str, dataset: Option<&Dataset>) -> Result<Rased, AnyError> {
+fn open_or_create_system(
+    dir: &str,
+    dataset: Option<&Dataset>,
+    flags: &HashMap<String, String>,
+) -> Result<Rased, AnyError> {
+    // `--threads N` sizes the parallel query executor (0 = all cores);
+    // per-process tuning, never persisted in the manifest.
+    let threads: Option<usize> = flags.get("threads").map(|s| s.parse()).transpose()?;
     let path = std::path::Path::new(dir);
     if path.join("rased.manifest").exists() {
-        Ok(Rased::open(RasedConfig::load(path)?)?)
+        let mut config = RasedConfig::load(path)?;
+        if let Some(t) = threads {
+            config.exec.threads = t;
+        }
+        Ok(Rased::open(config)?)
     } else {
         let mut config = RasedConfig::new(path);
         if let Some(ds) = dataset {
@@ -120,6 +132,9 @@ fn open_or_create_system(dir: &str, dataset: Option<&Dataset>) -> Result<Rased, 
                 ds.config.world.n_countries,
                 ds.config.sim.n_road_types,
             ));
+        }
+        if let Some(t) = threads {
+            config.exec.threads = t;
         }
         Ok(Rased::create(config)?)
     }
@@ -129,7 +144,7 @@ fn ingest(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let data = get(flags, "data")?;
     let system_dir = get(flags, "system")?;
     let dataset = Dataset::load_manifest(std::path::Path::new(data))?;
-    let mut system = open_or_create_system(system_dir, Some(&dataset))?;
+    let mut system = open_or_create_system(system_dir, Some(&dataset), flags)?;
     println!("ingesting {} ...", data);
     let report = system.ingest_dataset(&dataset)?;
     println!(
@@ -145,7 +160,7 @@ fn ingest(flags: &HashMap<String, String>) -> Result<(), AnyError> {
 }
 
 fn query(flags: &HashMap<String, String>) -> Result<(), AnyError> {
-    let system = open_or_create_system(get(flags, "system")?, None)?;
+    let system = open_or_create_system(get(flags, "system")?, None, flags)?;
     // Reuse the HTTP API's parameter vocabulary.
     let params: Vec<(String, String)> =
         flags.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
@@ -196,7 +211,7 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, AnyErr
 }
 
 fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
-    let system = open_or_create_system(get(flags, "system")?, None)?;
+    let system = open_or_create_system(get(flags, "system")?, None, flags)?;
     let addr = flags.get("addr").map(|s| s.as_str()).unwrap_or("127.0.0.1:7878");
     let config = server_config(flags)?;
     let server = DashboardServer::bind_with(Arc::new(system), addr, config)?;

@@ -16,14 +16,19 @@
 //!   exact failing case. `DETTEST_CASES` overrides the case count.
 //! * [`det_proptest!`] — the `proptest! {}`-shaped macro; bodies use plain
 //!   `assert!` / `assert_eq!`.
+//! * [`TempDir`] — an RAII temporary directory so unit tests stop leaking
+//!   `$TMPDIR` entries (integration tests have their own in
+//!   `tests/common`).
 
 mod macros;
 mod rng;
 mod runner;
 mod shrink;
 mod strategy;
+mod tempdir;
 
 pub use rng::Rng;
+pub use tempdir::TempDir;
 pub use runner::{check, Config};
 pub use shrink::Shrink;
 pub use strategy::{

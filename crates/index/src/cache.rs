@@ -5,11 +5,18 @@
 //! (α, β, γ, θ) summing to 1, the warm set is the most recent ⌊αN⌋ daily,
 //! ⌊βN⌋ weekly, ⌊γN⌋ monthly and ⌊θN⌋ yearly cubes. The ratios trade
 //! aggregation granularity against covered time span.
+//!
+//! Concurrency: like the storage-layer buffer pool, the cache is split
+//! into hash-picked shards — one named mutex per shard — so the parallel
+//! executor's workers don't serialize behind a single cache-wide lock, and
+//! the LRU ablation uses the O(1) recency list instead of a tick scan.
+//! Small caches (fewer than 8 slots) stay on one shard so their eviction
+//! order remains *globally* least-recently-used.
 
 use rased_cube::DataCube;
 use rased_storage::sync::Mutex;
+use rased_storage::LruCache;
 use rased_temporal::{Granularity, Period};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -59,28 +66,37 @@ impl CacheConfig {
     }
 }
 
+/// Most shards a cache will spread its slots over.
+const MAX_SHARDS: usize = 16;
+/// Minimum per-shard slot budget before another shard is worth having.
+const SLOTS_PER_SHARD: usize = 8;
+
 /// In-memory cube cache with hit/miss accounting.
 pub struct CubeCache {
     config: CacheConfig,
-    inner: Mutex<Inner>,
+    shards: Vec<CacheShard>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-struct Inner {
-    map: HashMap<Period, (Arc<DataCube>, u64)>,
-    tick: u64,
+struct CacheShard {
+    /// This shard's slice of the slot budget (enforced under LRU only; the
+    /// recency warm set is bounded by the quotas at `warm` time).
+    cap: usize,
+    cubes: Mutex<LruCache<Period, Arc<DataCube>>>,
 }
 
 impl CubeCache {
     /// Create an empty cache.
     pub fn new(config: CacheConfig) -> CubeCache {
-        CubeCache {
-            config,
-            inner: Mutex::new_named(Inner { map: HashMap::new(), tick: 0 }, "index.cube_cache"),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        let n = (config.slots / SLOTS_PER_SHARD).clamp(1, MAX_SHARDS);
+        let shards = (0..n)
+            .map(|i| CacheShard {
+                cap: config.slots / n + usize::from(i < config.slots % n),
+                cubes: Mutex::new_named(LruCache::new(), "index.cube_cache"),
+            })
+            .collect();
+        CubeCache { config, shards, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
     }
 
     /// The configured capacity in slots.
@@ -91,6 +107,26 @@ impl CubeCache {
     /// The active strategy.
     pub fn strategy(&self) -> CacheStrategy {
         self.config.strategy
+    }
+
+    /// Number of shards the slots are spread over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard pick: granularity and start date, multiplicative
+    /// mix. (Deliberately not `RandomState`: shard placement — and with it
+    /// eviction grouping — must be reproducible run to run.)
+    fn shard(&self, period: &Period) -> &CacheShard {
+        let date = period.start();
+        let raw = ((period.granularity() as u64) << 32)
+            ^ ((date.year() as u64) << 16)
+            ^ ((date.month() as u64) << 8)
+            ^ (date.day() as u64);
+        let mixed = raw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let i = ((mixed ^ (mixed >> 32)) as usize) % self.shards.len();
+        // lint: allow(slice_index, "i is reduced mod shards.len(), which new() keeps >= 1")
+        &self.shards[i]
     }
 
     /// How many slots the recency policy grants each granularity.
@@ -140,19 +176,20 @@ impl CubeCache {
         // error leaves the old set intact.
         let mut fresh: Vec<(Period, Arc<DataCube>)> = Vec::with_capacity(want.len());
         for p in &want {
-            let cached = { self.inner.lock().map.get(p).map(|(c, _)| Arc::clone(c)) };
+            let cached = { self.shard(p).cubes.lock().peek(p).map(Arc::clone) };
             let cube = match cached {
                 Some(c) => c,
                 None => load(*p)?,
             };
             fresh.push((*p, cube));
         }
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.tick += 1;
-        let tick = inner.tick;
+        // Swap shard by shard (one lock at a time — same-class locks must
+        // never be held together).
+        for shard in &self.shards {
+            shard.cubes.lock().clear();
+        }
         for (p, c) in fresh {
-            inner.map.insert(p, (c, tick));
+            self.shard(&p).cubes.lock().insert(p, c);
         }
         Ok(())
     }
@@ -160,15 +197,13 @@ impl CubeCache {
     /// Look up a cube, updating hit/miss counters. Under LRU the entry is
     /// touched.
     pub fn get(&self, period: Period) -> Option<Arc<DataCube>> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(&period) {
-            Some((cube, last)) => {
-                if matches!(self.config.strategy, CacheStrategy::Lru) {
-                    *last = tick;
-                }
-                let cube = Arc::clone(cube);
+        let touch = matches!(self.config.strategy, CacheStrategy::Lru);
+        let found = {
+            let mut cubes = self.shard(&period).cubes.lock();
+            if touch { cubes.get(&period).map(Arc::clone) } else { cubes.peek(&period).map(Arc::clone) }
+        };
+        match found {
+            Some(cube) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(cube)
             }
@@ -182,7 +217,7 @@ impl CubeCache {
     /// True when the period is cached (no counter update) — the level
     /// optimizer probes with this.
     pub fn contains(&self, period: Period) -> bool {
-        self.inner.lock().map.contains_key(&period)
+        self.shard(&period).cubes.lock().contains(&period)
     }
 
     /// Offer a cube read from disk. Admits only under LRU (the recency
@@ -191,14 +226,14 @@ impl CubeCache {
         if self.config.slots == 0 || !matches!(self.config.strategy, CacheStrategy::Lru) {
             return;
         }
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(period, (Arc::clone(cube), tick));
-        while inner.map.len() > self.config.slots {
-            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, last))| *last) {
-                inner.map.remove(&victim);
-            } else {
+        let shard = self.shard(&period);
+        if shard.cap == 0 {
+            return;
+        }
+        let mut cubes = shard.cubes.lock();
+        cubes.insert(period, Arc::clone(cube));
+        while cubes.len() > shard.cap {
+            if cubes.pop_lru().is_none() {
                 break;
             }
         }
@@ -206,12 +241,12 @@ impl CubeCache {
 
     /// Invalidate one period (after a monthly rebuild overwrites its cube).
     pub fn invalidate(&self, period: Period) {
-        self.inner.lock().map.remove(&period);
+        self.shard(&period).cubes.lock().remove(&period);
     }
 
     /// Number of cubes currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.cubes.lock().len()).sum()
     }
 
     /// True when nothing is cached.
@@ -290,6 +325,8 @@ mod tests {
     #[test]
     fn lru_admits_and_evicts() {
         let c = CubeCache::new(CacheConfig { slots: 2, strategy: CacheStrategy::Lru });
+        // Two slots stay on one shard: eviction is globally LRU.
+        assert_eq!(c.shard_count(), 1);
         let p1 = Period::Day(d("2021-01-01"));
         let p2 = Period::Day(d("2021-01-02"));
         let p3 = Period::Day(d("2021-01-03"));
@@ -300,6 +337,19 @@ mod tests {
         assert!(c.contains(p1));
         assert!(!c.contains(p2));
         assert!(c.contains(p3));
+    }
+
+    #[test]
+    fn sharded_lru_respects_total_slots() {
+        let c = CubeCache::new(CacheConfig { slots: 32, strategy: CacheStrategy::Lru });
+        assert!(c.shard_count() > 1);
+        for p in days(100) {
+            c.admit(p, &cube());
+        }
+        assert!(c.len() <= 32, "len {} exceeds slot budget", c.len());
+        // Whatever survived is still retrievable.
+        let alive = days(100).into_iter().filter(|p| c.contains(*p)).count();
+        assert_eq!(alive, c.len());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::cache::{CacheConfig, CubeCache};
 use crate::planner::LevelPlanner;
 use rased_cube::{CubeError, CubeSchema, DataCube};
 use rased_storage::sync::RwLock;
-use rased_storage::{IoCostModel, IoSnapshot, PageFile, PageId, StorageError};
+use rased_storage::{FlightGroup, IoCostModel, IoSnapshot, PageFile, PageId, StorageError};
 use rased_temporal::{Date, Granularity, Period};
 use std::collections::HashMap;
 use std::fmt;
@@ -94,6 +94,10 @@ pub struct TemporalIndex {
     file: Arc<PageFile>,
     catalog: RwLock<HashMap<Period, PageId>>,
     cache: CubeCache,
+    /// Coalesces concurrent cold fetches of the same period: one physical
+    /// read + deserialize, the rest share the `Arc` (see
+    /// `rased_storage::FlightGroup`).
+    flights: FlightGroup<Period, Arc<DataCube>>,
     catalog_path: PathBuf,
 }
 
@@ -128,6 +132,7 @@ impl TemporalIndex {
             file: Arc::new(file),
             catalog: RwLock::new_named(HashMap::new(), "index.catalog"),
             cache: CubeCache::new(cache),
+            flights: FlightGroup::new(4, "index.cube_flight_map", "index.cube_flight_slot"),
             catalog_path: dir.join("catalog.bin"),
         })
     }
@@ -150,6 +155,7 @@ impl TemporalIndex {
             file: Arc::new(file),
             catalog: RwLock::new_named(catalog, "index.catalog"),
             cache: CubeCache::new(cache),
+            flights: FlightGroup::new(4, "index.cube_flight_map", "index.cube_flight_slot"),
             catalog_path,
         })
     }
@@ -243,9 +249,15 @@ impl TemporalIndex {
         let Some(page) = ({ self.catalog.read().get(&period).copied() }) else {
             return Ok(None);
         };
-        let bytes = self.file.read_page_vec(page)?;
-        let cube = Arc::new(DataCube::from_bytes(self.schema, &bytes)?);
-        self.cache.admit(period, &cube); // no-op under the recency policy
+        // Cold fetch: coalesce concurrent misses of the same period into
+        // one physical read + deserialize. Followers share the leader's
+        // `Arc` but still count as `Disk` — each caller did miss the cache.
+        let cube = self.flights.run(period, || {
+            let bytes = self.file.read_page_vec(page)?;
+            let cube = Arc::new(DataCube::from_bytes(self.schema, &bytes)?);
+            self.cache.admit(period, &cube); // no-op under the recency policy
+            Ok::<_, IndexError>(cube)
+        })?;
         Ok(Some((cube, FetchOutcome::Disk)))
     }
 
@@ -297,27 +309,39 @@ impl TemporalIndex {
         Ok(report)
     }
 
-    /// Build one parent cube by summing its children. Children that are not
-    /// materialized are an error for week parents (a week closes only after
-    /// all seven daily cubes were ingested) but tolerated as all-zero for
-    /// months/years, where a child week may legitimately be absent when the
-    /// dataset starts mid-period.
+    /// Build one parent cube by summing its children.
     fn roll_up(&self, parent: Period, mut report: MaintenanceReport) -> Result<MaintenanceReport, IndexError> {
         let mut sum = DataCube::zeroed(self.schema);
+        report = self.sum_children(parent, &mut sum, report)?;
+        self.put(parent, &sum)?;
+        report.cubes_written += 1;
+        Ok(report)
+    }
+
+    /// Merge every materialized descendant of `parent` into `sum`. A
+    /// missing *day* means no data that day (ingestion invariant). A
+    /// missing coarser child does NOT mean its span is empty: its roll-up
+    /// only fires when its closing day is ingested, so a gap day at a
+    /// period boundary leaves the child unmaterialized while its days hold
+    /// data — recurse into those instead of assuming zero.
+    fn sum_children(
+        &self,
+        parent: Period,
+        sum: &mut DataCube,
+        mut report: MaintenanceReport,
+    ) -> Result<MaintenanceReport, IndexError> {
         for child in parent.children() {
             match self.fetch_uncached(child)? {
                 Some(cube) => {
                     report.cubes_read += 1;
                     sum.merge_from(&cube)?;
                 }
-                None => {
-                    // Missing daily/weekly child = no data in that span
-                    // (ingestion invariant); contributes zero.
+                None if child.granularity() != Granularity::Day => {
+                    report = self.sum_children(child, sum, report)?;
                 }
+                None => {} // no data that day
             }
         }
-        self.put(parent, &sum)?;
-        report.cubes_written += 1;
         Ok(report)
     }
 
@@ -563,6 +587,25 @@ mod tests {
         assert_eq!(last.cubes_read, 7);
         let week = idx.fetch(Period::Week(d("2021-06-06"))).unwrap().unwrap().0;
         assert_eq!(week.total(), 14);
+    }
+
+    #[test]
+    fn gap_on_week_closing_day_does_not_lose_data_in_month_roll_up() {
+        let idx = index("gapweek", 4);
+        // Feb 2021: weeks (Sun..Sat) fully inside are 02-07..13, 14..20,
+        // 21..27. Skip Saturday 02-27 — the 02-21 week's roll-up never
+        // fires, so the month roll-up (at 02-28) must fall back to that
+        // week's daily cubes instead of treating the span as empty.
+        let mut day = d("2021-02-01");
+        while day <= d("2021-02-28") {
+            if day != d("2021-02-27") {
+                idx.ingest_day(day, &day_cube(idx.schema(), &day.to_string(), 1)).unwrap();
+            }
+            day = day.succ();
+        }
+        assert!(!idx.has(Period::Week(d("2021-02-21"))), "gap day must leave the week unbuilt");
+        let month = idx.fetch(Period::Month(2021, 2)).unwrap().unwrap().0;
+        assert_eq!(month.total(), 27, "month must include the unrolled week's days");
     }
 
     #[test]

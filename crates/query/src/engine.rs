@@ -1,4 +1,15 @@
 //! [`QueryEngine`]: cube-based execution with level optimization + caching.
+//!
+//! Execution has two phases. *Planning* walks the date range and picks the
+//! coarsest materialized cubes (§VII-B); it is pure metadata work. *Fetch +
+//! aggregate* retrieves each planned cube and folds its selected cells into
+//! a `GroupKey → count` map. The second phase is embarrassingly parallel —
+//! cubes are disjoint and counts are commutative — so with
+//! [`QueryEngine::with_threads`] the planned cubes are strided across a
+//! bounded `thread::scope` worker pool, each worker aggregating into a
+//! private map; the maps are merged (order-independent addition) and rows
+//! sorted, making results byte-identical to the sequential path at any
+//! thread count.
 
 use crate::model::{
     AnalysisQuery, GroupDim, GroupKey, NetworkSizes, QueryResult, QueryStats, ResultRow, ValueMode,
@@ -6,6 +17,7 @@ use crate::model::{
 use rased_cube::DimSelection;
 use rased_index::{CubeSource, FetchOutcome, IndexError, LevelPlanner, PlannerKind, QueryPlan, TemporalIndex};
 use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
+use rased_storage::sync::Mutex;
 use rased_temporal::{DateRange, Period};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -40,12 +52,13 @@ pub struct QueryEngine<'a> {
     index: &'a TemporalIndex,
     planner: PlannerKind,
     sizes: Option<&'a NetworkSizes>,
+    threads: usize,
 }
 
 impl<'a> QueryEngine<'a> {
-    /// An engine over `index` using the exact DP planner.
+    /// An engine over `index` using the exact DP planner, sequential.
     pub fn new(index: &'a TemporalIndex) -> QueryEngine<'a> {
-        QueryEngine { index, planner: PlannerKind::ExactDp, sizes: None }
+        QueryEngine { index, planner: PlannerKind::ExactDp, sizes: None, threads: 1 }
     }
 
     /// Switch planning algorithm (the greedy variant exists for ablation).
@@ -60,6 +73,14 @@ impl<'a> QueryEngine<'a> {
         self
     }
 
+    /// Partition each query's fetch + aggregate work over `n` worker
+    /// threads (clamped to at least 1; 1 keeps execution on the calling
+    /// thread). Results are byte-identical at any setting.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Execute an analysis query.
     pub fn execute(&self, q: &AnalysisQuery) -> Result<QueryResult, QueryError> {
         let start = Instant::now();
@@ -67,7 +88,6 @@ impl<'a> QueryEngine<'a> {
 
         let selection = self.selection(q);
         let mut stats = QueryStats::default();
-        let mut groups: HashMap<GroupKey, u64> = HashMap::new();
 
         // A filter that selects no cell (e.g. only out-of-schema ids) can
         // never match; skip planning and cube fetches entirely.
@@ -76,10 +96,13 @@ impl<'a> QueryEngine<'a> {
             return Ok(QueryResult { rows: Vec::new(), stats });
         }
 
+        // Phase 1 (planning, pure metadata): collect every cube to fetch,
+        // tagged with the date group it lands in. Empty days are settled
+        // here so the worker phase only sees real fetches.
+        let mut items: Vec<(Option<Period>, Period)> = Vec::new();
         match q.date_granularity() {
             None => {
-                let plan = self.plan(q.range);
-                self.aggregate_plan(&plan, &selection, q, None, &mut groups, &mut stats)?;
+                self.collect_plan(q.range, None, &mut items, &mut stats);
             }
             Some(g) => {
                 // Date grouping: evaluate each period of granularity `g`
@@ -90,12 +113,20 @@ impl<'a> QueryEngine<'a> {
                     // The loop condition keeps p overlapping q.range, but a
                     // typed break beats a panic if Period arithmetic drifts.
                     let Some(sub) = p.range().intersect(q.range) else { break };
-                    let plan = self.plan(sub);
-                    self.aggregate_plan(&plan, &selection, q, Some(p), &mut groups, &mut stats)?;
+                    self.collect_plan(sub, Some(p), &mut items, &mut stats);
                     p = p.succ();
                 }
             }
         }
+
+        // Phase 2 (fetch + aggregate): sequential inline, or strided over
+        // the worker pool. Merging is commutative addition, so the final
+        // map is identical either way.
+        let groups = if self.threads <= 1 || items.len() <= 1 {
+            self.run_sequential(&items, &selection, q, &mut stats)?
+        } else {
+            self.run_parallel(&items, &selection, q, &mut stats)?
+        };
 
         let grand_total: u64 = groups.values().sum();
         let mut rows: Vec<ResultRow> = groups
@@ -140,51 +171,135 @@ impl<'a> QueryEngine<'a> {
         sel
     }
 
-    fn aggregate_plan(
+    /// Plan `range` and append its fetchable cubes to `items`; days the
+    /// planner proves empty are settled into `stats` immediately.
+    fn collect_plan(
         &self,
-        plan: &QueryPlan,
+        range: DateRange,
+        date_key: Option<Period>,
+        items: &mut Vec<(Option<Period>, Period)>,
+        stats: &mut QueryStats,
+    ) {
+        let plan = self.plan(range);
+        for planned in &plan.cubes {
+            if planned.source == CubeSource::Empty {
+                stats.empty_days += 1;
+            } else {
+                items.push((date_key, planned.period));
+            }
+        }
+    }
+
+    /// Fetch one planned cube and fold its selected cells into `groups`.
+    fn fetch_and_aggregate(
+        &self,
+        period: Period,
         selection: &DimSelection,
         q: &AnalysisQuery,
         date_key: Option<Period>,
         groups: &mut HashMap<GroupKey, u64>,
-        stats: &mut QueryStats,
-    ) -> Result<(), QueryError> {
-        for planned in &plan.cubes {
-            if planned.source == CubeSource::Empty {
-                stats.empty_days += 1;
-                continue;
+    ) -> Result<FetchOutcome, QueryError> {
+        let (cube, outcome) =
+            self.index.fetch(period)?.ok_or(QueryError::PlanRace(period))?;
+        cube.for_each_selected(selection, |et, c, r, u, v| {
+            let mut key = GroupKey { date: date_key, ..GroupKey::default() };
+            for dim in &q.group_by {
+                match dim {
+                    GroupDim::ElementType => {
+                        key.element_type = ElementType::from_index(et);
+                    }
+                    GroupDim::Country => key.country = Some(CountryId(c as u16)),
+                    GroupDim::RoadType => key.road_type = Some(RoadTypeId(r as u16)),
+                    GroupDim::UpdateType => {
+                        key.update_type = UpdateType::from_index(u);
+                    }
+                    GroupDim::Date(_) => {} // already in date_key
+                }
             }
-            let (cube, outcome) = self
-                .index
-                .fetch(planned.period)?
-                .ok_or(QueryError::PlanRace(planned.period))?;
-            match outcome {
+            *groups.entry(key).or_insert(0) += v;
+        });
+        Ok(outcome)
+    }
+
+    /// Sequential phase 2: one pass over the items on the calling thread.
+    fn run_sequential(
+        &self,
+        items: &[(Option<Period>, Period)],
+        selection: &DimSelection,
+        q: &AnalysisQuery,
+        stats: &mut QueryStats,
+    ) -> Result<HashMap<GroupKey, u64>, QueryError> {
+        let mut groups = HashMap::new();
+        for (date_key, period) in items {
+            match self.fetch_and_aggregate(*period, selection, q, *date_key, &mut groups)? {
                 FetchOutcome::Cache => stats.cubes_from_cache += 1,
                 FetchOutcome::Disk => stats.cubes_from_disk += 1,
             }
-            // Phase 2: in-memory aggregation within the cube.
-            cube.for_each_selected(selection, |et, c, r, u, v| {
-                let mut key = GroupKey { date: date_key, ..GroupKey::default() };
-                if date_key.is_none() {
-                    key.date = None;
-                }
-                for dim in &q.group_by {
-                    match dim {
-                        GroupDim::ElementType => {
-                            key.element_type = ElementType::from_index(et);
-                        }
-                        GroupDim::Country => key.country = Some(CountryId(c as u16)),
-                        GroupDim::RoadType => key.road_type = Some(RoadTypeId(r as u16)),
-                        GroupDim::UpdateType => {
-                            key.update_type = UpdateType::from_index(u);
-                        }
-                        GroupDim::Date(_) => {} // already in date_key
-                    }
-                }
-                *groups.entry(key).or_insert(0) += v;
-            });
         }
-        Ok(())
+        stats.io_critical = self.unit_io_cost() * stats.cubes_from_disk as u32;
+        Ok(groups)
+    }
+
+    /// Parallel phase 2: stride-partition the items over a bounded
+    /// `thread::scope` pool. Each worker aggregates into a private map;
+    /// workers' maps merge by commutative addition, so the result equals
+    /// the sequential map regardless of scheduling.
+    fn run_parallel(
+        &self,
+        items: &[(Option<Period>, Period)],
+        selection: &DimSelection,
+        q: &AnalysisQuery,
+        stats: &mut QueryStats,
+    ) -> Result<HashMap<GroupKey, u64>, QueryError> {
+        type WorkerOut = Result<(HashMap<GroupKey, u64>, usize, usize), QueryError>;
+        let workers = self.threads.min(items.len());
+        let merged: Mutex<Vec<(usize, WorkerOut)>> =
+            Mutex::new_named(Vec::with_capacity(workers), "query.exec_merge");
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let merged = &merged;
+                scope.spawn(move || {
+                    let mut groups: HashMap<GroupKey, u64> = HashMap::new();
+                    let (mut from_cache, mut from_disk) = (0usize, 0usize);
+                    let mut verdict: Result<(), QueryError> = Ok(());
+                    for (date_key, period) in items.iter().skip(w).step_by(workers) {
+                        match self.fetch_and_aggregate(*period, selection, q, *date_key, &mut groups)
+                        {
+                            Ok(FetchOutcome::Cache) => from_cache += 1,
+                            Ok(FetchOutcome::Disk) => from_disk += 1,
+                            Err(e) => {
+                                verdict = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    merged.lock().push((w, verdict.map(|()| (groups, from_cache, from_disk))));
+                });
+            }
+        });
+        let mut outputs = std::mem::take(&mut *merged.lock());
+        // Deterministic error selection: lowest worker index wins.
+        outputs.sort_by_key(|(w, _)| *w);
+        let mut groups: HashMap<GroupKey, u64> = HashMap::new();
+        let mut critical_fetches = 0usize;
+        for (_w, out) in outputs {
+            let (worker_groups, from_cache, from_disk) = out?;
+            stats.cubes_from_cache += from_cache;
+            stats.cubes_from_disk += from_disk;
+            critical_fetches = critical_fetches.max(from_disk);
+            for (key, count) in worker_groups {
+                *groups.entry(key).or_insert(0) += count;
+            }
+        }
+        stats.io_critical = self.unit_io_cost() * critical_fetches as u32;
+        Ok(groups)
+    }
+
+    /// The modeled cost of one cube-page read — the unit `io_critical` is
+    /// denominated in.
+    fn unit_io_cost(&self) -> std::time::Duration {
+        let file = self.index.file();
+        file.cost_model().cost(file.page_size() as u64)
     }
 }
 
@@ -219,24 +334,13 @@ pub(crate) fn percentage_value(
 mod tests {
     use super::*;
     use crate::naive::naive_execute;
+    use dettest::TempDir;
     use rased_cube::{CubeSchema, DataCube};
     use rased_index::CacheConfig;
     use rased_osm_model::{ChangesetId, UpdateRecord};
     use rased_storage::IoCostModel;
     use rased_temporal::Granularity;
     use rased_temporal::Date;
-    use std::path::PathBuf;
-
-    fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "rased-query-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&d);
-        std::fs::create_dir_all(&d).unwrap();
-        d
-    }
 
     fn d(s: &str) -> Date {
         s.parse().unwrap()
@@ -270,11 +374,14 @@ mod tests {
         out
     }
 
-    /// Ingest `records` into a fresh index, one daily cube per day.
-    fn build_index(tag: &str, records: &[UpdateRecord]) -> TemporalIndex {
+    /// Ingest `records` into a fresh index, one daily cube per day. The
+    /// returned [`TempDir`] must outlive the index (the catalog sidecar
+    /// lives inside it).
+    fn build_index(tag: &str, records: &[UpdateRecord]) -> (TempDir, TemporalIndex) {
+        let dir = TempDir::new(&format!("query-{tag}"));
         let schema = CubeSchema::tiny();
         let idx = TemporalIndex::create(
-            &tmpdir(tag),
+            dir.path(),
             schema,
             4,
             CacheConfig::disabled(),
@@ -291,16 +398,21 @@ mod tests {
             let cube = DataCube::from_records(schema, by_day[&day].iter().copied()).unwrap();
             idx.ingest_day(day, &cube).unwrap();
         }
-        idx
+        (dir, idx)
     }
 
     fn assert_matches_naive(tag: &str, q: AnalysisQuery) {
         let records = dataset();
-        let idx = build_index(tag, &records);
+        let (_dir, idx) = build_index(tag, &records);
         let engine = QueryEngine::new(&idx);
         let got = engine.execute(&q).unwrap();
         let want = naive_execute(&records, &q, None);
         assert_eq!(got.rows, want.rows, "query {q:?}");
+        // The parallel executor must agree byte-for-byte at any width.
+        for threads in [2, 4, 7] {
+            let par = QueryEngine::new(&idx).with_threads(threads).execute(&q).unwrap();
+            assert_eq!(par.rows, got.rows, "threads={threads} diverged for {q:?}");
+        }
     }
 
     #[test]
@@ -368,7 +480,7 @@ mod tests {
     #[test]
     fn percentage_with_sizes_matches_naive() {
         let records = dataset();
-        let idx = build_index("e8", &records);
+        let (_dir, idx) = build_index("e8", &records);
         let sizes = NetworkSizes::new(vec![1000, 2000, 4000, 8000]);
         let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
             .group(GroupDim::Country)
@@ -385,7 +497,7 @@ mod tests {
     #[test]
     fn empty_range_before_data_returns_no_rows() {
         let records = dataset();
-        let idx = build_index("e9", &records);
+        let (_dir, idx) = build_index("e9", &records);
         let q = AnalysisQuery::over(DateRange::new(d("2019-01-01"), d("2019-12-31")));
         let got = QueryEngine::new(&idx).execute(&q).unwrap();
         assert!(got.rows.is_empty());
@@ -396,7 +508,7 @@ mod tests {
     #[test]
     fn stats_count_disk_cubes() {
         let records = dataset();
-        let idx = build_index("e10", &records);
+        let (_dir, idx) = build_index("e10", &records);
         // Full 90-day window with a 4-level index rolled up: far fewer than
         // 90 cubes should be touched.
         let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")));
@@ -409,7 +521,7 @@ mod tests {
     #[test]
     fn empty_selection_short_circuits() {
         let records = dataset();
-        let idx = build_index("e12", &records);
+        let (_dir, idx) = build_index("e12", &records);
         // Country 99 is outside the tiny schema: nothing can match.
         let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
             .countries(vec![CountryId(99)]);
@@ -425,7 +537,7 @@ mod tests {
     #[test]
     fn greedy_planner_gives_same_answers() {
         let records = dataset();
-        let idx = build_index("e11", &records);
+        let (_dir, idx) = build_index("e11", &records);
         let q = AnalysisQuery::over(DateRange::new(d("2021-01-03"), d("2021-03-20")))
             .group(GroupDim::Country);
         let dp = QueryEngine::new(&idx).execute(&q).unwrap();

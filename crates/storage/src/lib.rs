@@ -12,20 +12,27 @@
 //!   cache hides the disk/memory asymmetry that Figures 7, 9 and 10 of the
 //!   paper measure; the model restores it reproducibly. Raw counters are
 //!   always reported too, so no result depends on trusting the model.
-//! * [`BufferPool`] — an LRU page cache with hit/miss accounting, used by
-//!   the warehouse and the row-scan baseline (the cube index has its own
-//!   level-aware cache per §VII-A);
+//! * [`BufferPool`] — a sharded LRU page cache with hit/miss accounting and
+//!   single-flight miss coalescing, used by the warehouse and the row-scan
+//!   baseline (the cube index has its own level-aware cache per §VII-A);
+//! * [`LruCache`] / [`FlightGroup`] — the concurrency-grade building
+//!   blocks behind both caches: an O(1) recency list and a
+//!   leader/follower in-flight-miss coalescer, reused by `rased-index`;
 //! * [`DiskHashIndex`] — a persistent extendible hash index (the
 //!   warehouse's ChangesetID index, §VI-B).
 
 mod buffer;
 pub mod bytes;
+mod flight;
 mod hash_index;
+mod lru;
 mod pagefile;
 mod stats;
 pub mod sync;
 
 pub use buffer::{BufferPool, PoolStats};
+pub use flight::FlightGroup;
 pub use hash_index::DiskHashIndex;
+pub use lru::LruCache;
 pub use pagefile::{PageFile, PageId, StorageError};
 pub use stats::{IoCostModel, IoStats, IoSnapshot};

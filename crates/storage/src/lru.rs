@@ -1,0 +1,329 @@
+//! [`LruCache`]: an O(1) least-recently-used map.
+//!
+//! The buffer pool and the cube cache both started life with a
+//! "tick + linear scan" eviction: every entry carried a last-use counter
+//! and eviction scanned the whole map for the minimum. That is O(n) per
+//! eviction and, worse, the scan runs under the cache's shard lock — under
+//! a parallel executor every evicting miss would serialize behind it.
+//!
+//! This is the classic replacement: a `HashMap<K, slot>` into a slab-backed
+//! doubly-linked recency list. `get`/`insert`/`remove`/`pop_lru` are all
+//! O(1). The slab (`Vec<Option<Node>>` plus a free list) keeps the list
+//! links as plain indices, so there is no unsafe pointer juggling; `NIL`
+//! (`usize::MAX`) terminates the list on both ends. All internal link
+//! updates go through `get`/`get_mut`, so a corrupted index degrades into a
+//! no-op rather than a panic — this crate is on the request path and is
+//! denied panic points outright.
+//!
+//! Capacity policy lives in the *caller* (the pool decides when to
+//! [`LruCache::pop_lru`]): the two call sites enforce different bounds
+//! (per-shard page budgets vs. cube-slot quotas) and count evictions in
+//! their own metrics.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// List terminator for both ends of the recency list.
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    /// Towards the most-recently-used end.
+    prev: usize,
+    /// Towards the least-recently-used end.
+    next: usize,
+}
+
+/// An unbounded LRU map with O(1) touch and eviction. See the module docs
+/// for why capacity is the caller's job.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    /// Most recently used, or `NIL` when empty.
+    head: usize,
+    /// Least recently used, or `NIL` when empty.
+    tail: usize,
+}
+
+impl<K: Copy + Eq + Hash, V> Default for LruCache<K, V> {
+    fn default() -> Self {
+        LruCache::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash, V> LruCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> LruCache<K, V> {
+        LruCache { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up and touch (the entry becomes most recently used).
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        self.nodes.get(idx)?.as_ref().map(|n| &n.value)
+    }
+
+    /// Look up without touching (recency order is unchanged).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.nodes.get(idx)?.as_ref().map(|n| &n.value)
+    }
+
+    /// True when the key is present (no recency update).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert or replace, touching the entry. Returns the previous value on
+    /// replacement.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.detach(idx);
+            self.attach_front(idx);
+            return self
+                .nodes
+                .get_mut(idx)
+                .and_then(|slot| slot.as_mut())
+                .map(|n| std::mem::replace(&mut n.value, value));
+        }
+        let idx = self.alloc(Node { key, value, prev: NIL, next: NIL });
+        self.attach_front(idx);
+        self.map.insert(key, idx);
+        None
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let node = self.nodes.get_mut(idx)?.take()?;
+        self.free.push(idx);
+        Some(node.value)
+    }
+
+    /// Evict and return the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        let idx = self.tail;
+        self.detach(idx);
+        let node = self.nodes.get_mut(idx)?.take()?;
+        self.free.push(idx);
+        self.map.remove(&node.key);
+        Some((node.key, node.value))
+    }
+
+    /// Drop every entry (slab storage is released too).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Visit every entry, most recently used first (no recency update).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let mut idx = self.head;
+        while let Some(node) = self.nodes.get(idx).and_then(|slot| slot.as_ref()) {
+            f(&node.key, &node.value);
+            idx = node.next;
+        }
+    }
+
+    /// Claim a slab slot for `node`, reusing the free list when possible.
+    fn alloc(&mut self, node: Node<K, V>) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                if let Some(slot) = self.nodes.get_mut(idx) {
+                    *slot = Some(node);
+                }
+                idx
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Unlink `idx` from the recency list. `get(NIL)` (and a vacated slot)
+    /// yield `None`, which doubles as the head/tail update path.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = match self.nodes.get(idx).and_then(|slot| slot.as_ref()) {
+            Some(n) => (n.prev, n.next),
+            None => return,
+        };
+        match self.nodes.get_mut(prev).and_then(|slot| slot.as_mut()) {
+            Some(p) => p.next = next,
+            None => self.head = next,
+        }
+        match self.nodes.get_mut(next).and_then(|slot| slot.as_mut()) {
+            Some(n) => n.prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    /// Link `idx` in as the most-recently-used entry.
+    fn attach_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        if let Some(n) = self.nodes.get_mut(idx).and_then(|slot| slot.as_mut()) {
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        match self.nodes.get_mut(old_head).and_then(|slot| slot.as_mut()) {
+            Some(h) => h.prev = idx,
+            None => self.tail = idx,
+        }
+        self.head = idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recency_order(c: &LruCache<u64, u64>) -> Vec<u64> {
+        let mut order = Vec::new();
+        c.for_each(|k, _| order.push(*k));
+        order
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = LruCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.insert(1, 10), None);
+        assert_eq!(c.insert(2, 20), None);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn get_touches_and_pop_evicts_coldest() {
+        let mut c = LruCache::new();
+        for k in [1u64, 2, 3] {
+            c.insert(k, k * 10);
+        }
+        // Order is 3, 2, 1 (most → least recent); touching 1 moves it up.
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(recency_order(&c), [1, 3, 2]);
+        assert_eq!(c.pop_lru(), Some((2, 20)));
+        assert_eq!(c.pop_lru(), Some((3, 30)));
+        assert_eq!(c.pop_lru(), Some((1, 10)));
+        assert_eq!(c.pop_lru(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_and_contains_do_not_touch() {
+        let mut c = LruCache::new();
+        c.insert(1u64, 10u64);
+        c.insert(2, 20);
+        assert_eq!(c.peek(&1), Some(&10));
+        assert!(c.contains(&1));
+        // 1 was not touched: it is still the LRU victim.
+        assert_eq!(c.pop_lru(), Some((1, 10)));
+    }
+
+    #[test]
+    fn insert_replaces_and_touches() {
+        let mut c = LruCache::new();
+        c.insert(1u64, 10u64);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), Some(10));
+        assert_eq!(recency_order(&c), [1, 2]);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_unlinks_middle_entry() {
+        let mut c = LruCache::new();
+        for k in [1u64, 2, 3] {
+            c.insert(k, k);
+        }
+        assert_eq!(c.remove(&2), Some(2));
+        assert_eq!(c.remove(&2), None);
+        assert_eq!(recency_order(&c), [3, 1]);
+        // Slab slot is reused by the next insert.
+        c.insert(4, 4);
+        assert_eq!(recency_order(&c), [4, 3, 1]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = LruCache::new();
+        for k in 0..10u64 {
+            c.insert(k, k);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.pop_lru(), None);
+        c.insert(7, 7);
+        assert_eq!(c.get(&7), Some(&7));
+    }
+
+    /// Exhaustive cross-check against a naive model over a scripted op mix.
+    #[test]
+    fn matches_naive_model_over_op_sequence() {
+        let mut c: LruCache<u64, u64> = LruCache::new();
+        // Model: Vec ordered most → least recent.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut state = 0x5eed_5eed_5eed_5eedu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..4000 {
+            let k = next() % 16;
+            match next() % 5 {
+                0 | 1 => {
+                    let v = next();
+                    let got = c.insert(k, v);
+                    let pos = model.iter().position(|(mk, _)| *mk == k);
+                    let want = pos.map(|i| model.remove(i).1);
+                    model.insert(0, (k, v));
+                    assert_eq!(got, want, "insert mismatch at step {step}");
+                }
+                2 => {
+                    let got = c.get(&k).copied();
+                    let pos = model.iter().position(|(mk, _)| *mk == k);
+                    let want = pos.map(|i| {
+                        let e = model.remove(i);
+                        model.insert(0, e);
+                        e.1
+                    });
+                    assert_eq!(got, want, "get mismatch at step {step}");
+                }
+                3 => {
+                    let got = c.remove(&k);
+                    let pos = model.iter().position(|(mk, _)| *mk == k);
+                    let want = pos.map(|i| model.remove(i).1);
+                    assert_eq!(got, want, "remove mismatch at step {step}");
+                }
+                _ => {
+                    let got = c.pop_lru();
+                    let want = model.pop();
+                    assert_eq!(got, want, "pop mismatch at step {step}");
+                }
+            }
+            assert_eq!(c.len(), model.len(), "len mismatch at step {step}");
+        }
+    }
+}

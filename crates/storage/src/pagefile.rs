@@ -231,20 +231,12 @@ impl PageFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn tmpdir() -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "rased-storage-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&d).unwrap();
-        d
-    }
+    use dettest::TempDir;
 
     #[test]
     fn create_write_read_roundtrip() {
-        let path = tmpdir().join("a.pg");
+        let dir = TempDir::new("pagefile");
+        let path = dir.file("a.pg");
         let pf = PageFile::create(&path, 128, IoCostModel::free()).unwrap();
         let p0 = pf.allocate().unwrap();
         let p1 = pf.allocate().unwrap();
@@ -259,7 +251,8 @@ mod tests {
 
     #[test]
     fn reopen_preserves_pages() {
-        let path = tmpdir().join("b.pg");
+        let dir = TempDir::new("pagefile");
+        let path = dir.file("b.pg");
         let data = vec![7u8; 64];
         {
             let pf = PageFile::create(&path, 64, IoCostModel::free()).unwrap();
@@ -275,21 +268,23 @@ mod tests {
 
     #[test]
     fn open_rejects_corrupt_header() {
-        let path = tmpdir().join("c.pg");
+        let dir = TempDir::new("pagefile");
+        let path = dir.file("c.pg");
         std::fs::write(&path, b"definitely not a page file").unwrap();
         match PageFile::open(&path, IoCostModel::free()) {
             Err(StorageError::BadHeader(_)) => {}
             other => panic!("expected BadHeader, got {other:?}"),
         }
         // Too-short file.
-        let path2 = tmpdir().join("d.pg");
+        let path2 = dir.file("d.pg");
         std::fs::write(&path2, b"x").unwrap();
         assert!(matches!(PageFile::open(&path2, IoCostModel::free()), Err(StorageError::BadHeader(_))));
     }
 
     #[test]
     fn bounds_and_size_checks() {
-        let path = tmpdir().join("e.pg");
+        let dir = TempDir::new("pagefile");
+        let path = dir.file("e.pg");
         let pf = PageFile::create(&path, 32, IoCostModel::free()).unwrap();
         pf.allocate().unwrap();
         assert!(matches!(
@@ -309,7 +304,8 @@ mod tests {
 
     #[test]
     fn stats_count_physical_io() {
-        let path = tmpdir().join("f.pg");
+        let dir = TempDir::new("pagefile");
+        let path = dir.file("f.pg");
         let model = IoCostModel { seek_micros: 100, bytes_per_sec: 0 };
         let pf = PageFile::create(&path, 16, model).unwrap();
         let base = pf.stats().snapshot();
@@ -325,7 +321,8 @@ mod tests {
 
     #[test]
     fn concurrent_appends_get_distinct_pages() {
-        let path = tmpdir().join("g.pg");
+        let dir = TempDir::new("pagefile");
+        let path = dir.file("g.pg");
         let pf = Arc::new(PageFile::create(&path, 8, IoCostModel::free()).unwrap());
         let mut handles = Vec::new();
         for t in 0..4u8 {
