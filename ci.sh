@@ -24,3 +24,11 @@ timeout 300 cargo test -q --offline --locked \
 # Fig. 11 scaling harness, including its single-flight stampede check.
 timeout 300 cargo test -q --offline --locked -p rased-query --test parallel_props
 BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig11_parallel_scaling
+
+# Streaming write-path gate: the crash-recovery replay fuzz (WAL truncated
+# at every byte boundary vs. a never-crashed oracle), epoch isolation under
+# a racing rebuild_month, and a smoke run of the Fig. 12 ingest-under-load
+# harness.
+timeout 300 cargo test -q --offline --locked -p rased-core --test crash_recovery
+timeout 300 cargo test -q --offline --locked -p rased-query --test epoch_isolation
+BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig12_ingest_under_load

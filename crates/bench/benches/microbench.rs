@@ -135,7 +135,7 @@ fn bench_warehouse(c: &mut Harness) {
     let dir = rased_bench::bench_dir("crit-wh");
     let w = Workload::years(1, 2_000, 0x05);
     let mut synth = RecordSynth::new(&w);
-    let mut warehouse =
+    let warehouse =
         Warehouse::create(&dir.join("wh.pg"), IoCostModel::free(), 1024).expect("create");
     let mut some_changeset = None;
     for day in w.range.days().take(30) {

@@ -59,12 +59,11 @@ impl<'a> MonthlyCrawler<'a> {
         let mut stats = CrawlStats::default();
         for (_, mut vs) in versions {
             vs.sort_by_key(|e| e.info().version.raw());
-            for i in 0..vs.len() {
-                let cur = &vs[i];
+            for (i, cur) in vs.iter().enumerate() {
                 if !period.contains(cur.info().date) {
                     continue; // before-image from an earlier month
                 }
-                let prev = if i > 0 { Some(&vs[i - 1]) } else { None };
+                let prev = i.checked_sub(1).and_then(|j| vs.get(j));
                 let update_type = classify(prev, cur);
                 match self.locate(cur, &metas) {
                     Ok((country, lat7, lon7)) => {

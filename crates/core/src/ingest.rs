@@ -31,7 +31,7 @@ impl Rased {
     /// day (building daily cubes and warehouse rows, §V/§VI-A), then the
     /// monthly crawler over every complete month (refining update types and
     /// rebuilding that month's cubes), and finally warm the cube cache.
-    pub fn ingest_dataset(&mut self, dataset: &Dataset) -> Result<IngestReport, RasedError> {
+    pub fn ingest_dataset(&self, dataset: &Dataset) -> Result<IngestReport, RasedError> {
         let atlas = dataset.atlas();
         let report = self.ingest_files(
             &atlas,
@@ -51,7 +51,7 @@ impl Rased {
     /// and warehouse appends stay sequential in date order, so results are
     /// bit-identical to a serial run.
     pub fn ingest_files(
-        &mut self,
+        &self,
         resolver: &(dyn CountryResolver + Sync),
         range: DateRange,
         diff_path: impl Fn(Date) -> std::path::PathBuf + Sync,
@@ -59,7 +59,6 @@ impl Rased {
         history_path: impl Fn(i32, u32) -> std::path::PathBuf,
     ) -> Result<IngestReport, RasedError> {
         let mut report = IngestReport::default();
-        let schema = self.config.schema;
 
         // --- daily pipeline ------------------------------------------------
         let days: Vec<Date> = range.days().collect();
@@ -86,21 +85,22 @@ impl Rased {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("crawler thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(RasedError::Io(std::io::Error::other(
+                                "crawler thread panicked",
+                            )))
+                        })
+                    })
+                    .collect()
             });
             // ...then ingest sequentially in date order.
             for (day, parsed) in chunk.iter().zip(parsed) {
                 let (records, stats) = parsed?;
                 accumulate(&mut report.daily, stats);
-                // Zones (§VI-A): cubes and network sizes credit containing
-                // zones too; the warehouse keeps only the original rows.
-                let expanded = self.config.zones.expand_all(&records);
-                let cube = DataCube::from_records(schema, &expanded)
-                    .map_err(rased_index::IndexError::from)?;
-                let maint = self.index.ingest_day(*day, &cube)?;
-                report.maintenance_ops += maint.total_ops();
-                self.warehouse.insert_batch(&records)?;
-                self.track_network(&expanded);
+                report.maintenance_ops += self.apply_day(*day, &records)?;
                 report.days += 1;
             }
         }
@@ -122,24 +122,54 @@ impl Rased {
             let crawler = MonthlyCrawler::new(resolver, &self.road_table);
             let (by_day, stats) = crawler.crawl(history, metas, y, m)?;
             accumulate(&mut report.monthly, stats);
-
-            let mut cubes: HashMap<Date, DataCube> = HashMap::new();
-            for (day, records) in &by_day {
-                let expanded = self.config.zones.expand_all(records);
-                cubes.insert(
-                    *day,
-                    DataCube::from_records(schema, &expanded)
-                        .map_err(rased_index::IndexError::from)?,
-                );
-            }
-            let maint = self.index.rebuild_month(y, m, &cubes)?;
-            report.maintenance_ops += maint.total_ops();
+            report.maintenance_ops += self.apply_month(y, m, &by_day)?;
             report.months += 1;
         }
 
         self.index.warm_cache()?;
         self.sync()?;
         Ok(report)
+    }
+
+    /// Publish one day: expand zones, build the daily cube, commit it (and
+    /// its roll-ups) as one unit, append the warehouse rows and update the
+    /// network counters. Returns the cube maintenance ops performed. Shared
+    /// by the batch path above and the streaming [`crate::IngestController`].
+    pub(crate) fn apply_day(
+        &self,
+        day: Date,
+        records: &[rased_osm_model::UpdateRecord],
+    ) -> Result<usize, RasedError> {
+        // Zones (§VI-A): cubes and network sizes credit containing
+        // zones too; the warehouse keeps only the original rows.
+        let expanded = self.config.zones.expand_all(records);
+        let cube = DataCube::from_records(self.config.schema, &expanded)
+            .map_err(rased_index::IndexError::from)?;
+        let maint = self.index.ingest_day(day, &cube)?;
+        self.warehouse.insert_batch(records)?;
+        self.track_network(&expanded);
+        Ok(maint.total_ops())
+    }
+
+    /// Publish one month's refinement: rebuild the month's daily cubes from
+    /// refined records and commit the rebuild as one unit.
+    pub(crate) fn apply_month(
+        &self,
+        y: i32,
+        m: u32,
+        by_day: &HashMap<Date, Vec<rased_osm_model::UpdateRecord>>,
+    ) -> Result<usize, RasedError> {
+        let mut cubes: HashMap<Date, DataCube> = HashMap::new();
+        for (day, records) in by_day {
+            let expanded = self.config.zones.expand_all(records);
+            cubes.insert(
+                *day,
+                DataCube::from_records(self.config.schema, &expanded)
+                    .map_err(rased_index::IndexError::from)?,
+            );
+        }
+        let maint = self.index.rebuild_month(y, m, &cubes)?;
+        Ok(maint.total_ops())
     }
 }
 
@@ -192,7 +222,7 @@ mod tests {
     #[test]
     fn end_to_end_counts_match_ground_truth() {
         let dataset = small_dataset("e2e");
-        let mut rased = system_for("e2e", &dataset);
+        let rased = system_for("e2e", &dataset);
         let report = rased.ingest_dataset(&dataset).unwrap();
         assert_eq!(report.days, 59);
         assert_eq!(report.months, 2, "Jan + Feb are complete months");
@@ -218,7 +248,7 @@ mod tests {
     #[test]
     fn warehouse_holds_every_update() {
         let dataset = small_dataset("wh");
-        let mut rased = system_for("wh", &dataset);
+        let rased = system_for("wh", &dataset);
         rased.ingest_dataset(&dataset).unwrap();
         assert_eq!(rased.warehouse().row_count() as usize, dataset.truth.len());
 
@@ -231,7 +261,7 @@ mod tests {
     #[test]
     fn sample_region_returns_located_updates() {
         let dataset = small_dataset("sample");
-        let mut rased = system_for("sample", &dataset);
+        let rased = system_for("sample", &dataset);
         rased.ingest_dataset(&dataset).unwrap();
         let atlas = dataset.atlas();
         let zone = &atlas.countries()[0];
@@ -247,7 +277,7 @@ mod tests {
     fn query_scoped_sampling_respects_filters() {
         use rased_osm_model::ElementType;
         let dataset = small_dataset("scoped");
-        let mut rased = system_for("scoped", &dataset);
+        let rased = system_for("scoped", &dataset);
         rased.ingest_dataset(&dataset).unwrap();
         let q = AnalysisQuery::over(dataset.config.range)
             .elements(vec![ElementType::Node])
@@ -280,7 +310,7 @@ mod tests {
         let config = RasedConfig::new(&dir).with_schema(schema);
         let q = AnalysisQuery::over(dataset.config.range).group(GroupDim::Country).percentage();
         let before = {
-            let mut rased = Rased::create(config.clone()).unwrap();
+            let rased = Rased::create(config.clone()).unwrap();
             rased.ingest_dataset(&dataset).unwrap();
             rased.query(&q).unwrap()
         };

@@ -15,7 +15,7 @@
 //! // Generate a synthetic OSM dataset, build RASED over it, query it.
 //! let data = std::path::Path::new("/tmp/rased-demo");
 //! let dataset = Dataset::generate(&data.join("osm"), DatasetConfig::small(7)).unwrap();
-//! let mut rased = Rased::create(RasedConfig::new(data.join("system"))).unwrap();
+//! let rased = Rased::create(RasedConfig::new(data.join("system"))).unwrap();
 //! rased.ingest_dataset(&dataset).unwrap();
 //!
 //! let q = AnalysisQuery::over(dataset.config.range).group(GroupDim::Country);
@@ -25,11 +25,15 @@
 
 mod exec_config;
 mod ingest;
+mod ingest_controller;
 mod server_config;
 mod system;
 
 pub use exec_config::ExecConfig;
 pub use ingest::IngestReport;
+pub use ingest_controller::{
+    IngestController, IngestPhase, IngestStatus, QueueFull, DEFAULT_QUEUE_CAPACITY,
+};
 pub use server_config::ServerConfig;
 pub use system::{Rased, RasedConfig, RasedError};
 

@@ -5,6 +5,7 @@ use rased_geo::BBox;
 use rased_index::{CacheConfig, IndexError, PlannerKind, TemporalIndex};
 use rased_osm_model::{ChangesetId, CountryTable, RoadTypeTable, UpdateRecord, ZoneMap};
 use rased_query::{AnalysisQuery, NetworkSizes, QueryEngine, QueryError, QueryResult};
+use rased_storage::sync::RwLock;
 use rased_storage::IoCostModel;
 use rased_warehouse::{Warehouse, WarehouseError};
 use std::fmt;
@@ -184,16 +185,28 @@ fn bad_manifest<E: std::fmt::Display>(e: E) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad manifest value: {e}"))
 }
 
+/// Live-element bookkeeping feeding the percentage denominators.
+#[derive(Debug, Default)]
+pub(crate) struct NetworkState {
+    /// Running per-country live-element counts.
+    live_counts: Vec<i64>,
+    sizes: NetworkSizes,
+}
+
 /// The assembled RASED backend.
+///
+/// Every operation takes `&self`: the streaming ingest path (one writer
+/// thread inside [`crate::IngestController`]) runs concurrently with
+/// serving, so mutable state lives behind interior locks — the index and
+/// warehouse bring their own, and the network-size counters sit in one
+/// [`RwLock`] here.
 pub struct Rased {
     pub(crate) config: RasedConfig,
     pub(crate) index: TemporalIndex,
     pub(crate) warehouse: Warehouse,
     pub(crate) country_table: CountryTable,
     pub(crate) road_table: RoadTypeTable,
-    pub(crate) network_sizes: NetworkSizes,
-    /// Running per-country live-element counts feeding `network_sizes`.
-    pub(crate) live_counts: Vec<i64>,
+    pub(crate) network: RwLock<NetworkState>,
 }
 
 impl fmt::Debug for Rased {
@@ -239,7 +252,7 @@ impl Rased {
             config.io_model,
             config.warehouse_pool_pages,
         )?;
-        let mut system = Self::assemble(config, index, warehouse);
+        let system = Self::assemble(config, index, warehouse);
         system.recount_network_sizes()?;
         system.index.warm_cache()?;
         Ok(system)
@@ -249,8 +262,13 @@ impl Rased {
         Rased {
             country_table: CountryTable::with_cardinality(config.n_countries),
             road_table: RoadTypeTable::with_cardinality(config.n_road_types),
-            network_sizes: NetworkSizes::default(),
-            live_counts: vec![0; config.n_countries],
+            network: RwLock::new_named(
+                NetworkState {
+                    live_counts: vec![0; config.n_countries],
+                    sizes: NetworkSizes::default(),
+                },
+                "core.network",
+            ),
             config,
             index,
             warehouse,
@@ -282,16 +300,19 @@ impl Rased {
         &self.road_table
     }
 
-    /// Per-country network sizes (percentage denominators).
-    pub fn network_sizes(&self) -> &NetworkSizes {
-        &self.network_sizes
+    /// Per-country network sizes (percentage denominators). A point-in-time
+    /// copy: concurrent ingest keeps updating the live counts.
+    pub fn network_sizes(&self) -> NetworkSizes {
+        self.network.read().sizes.clone()
     }
 
-    /// A query engine bound to this system.
+    /// A query engine bound to this system. The engine owns a copy of the
+    /// network sizes taken now, so a query's percentage denominators cannot
+    /// shift mid-execution under concurrent ingest.
     pub fn engine(&self) -> QueryEngine<'_> {
         QueryEngine::new(&self.index)
             .with_planner(self.config.planner)
-            .with_network_sizes(&self.network_sizes)
+            .with_network_sizes(self.network_sizes())
             .with_threads(self.config.exec.effective_threads())
     }
 
@@ -331,44 +352,41 @@ impl Rased {
     }
 
     /// Track live-element deltas for the percentage denominators.
-    pub(crate) fn track_network(&mut self, records: &[UpdateRecord]) {
+    pub(crate) fn track_network(&self, records: &[UpdateRecord]) {
         use rased_osm_model::UpdateType;
+        let mut net = self.network.write();
         for r in records {
-            let Some(slot) = self.live_counts.get_mut(r.country.index()) else { continue };
+            let Some(slot) = net.live_counts.get_mut(r.country.index()) else { continue };
             match r.update_type {
                 UpdateType::Create => *slot += 1,
                 UpdateType::Delete => *slot -= 1,
                 _ => {}
             }
         }
-        self.network_sizes =
-            NetworkSizes::new(self.live_counts.iter().map(|&c| c.max(0) as u64).collect());
+        net.sizes = NetworkSizes::new(net.live_counts.iter().map(|&c| c.max(0) as u64).collect());
     }
 
     /// Recompute network sizes from the warehouse (used on reopen).
-    fn recount_network_sizes(&mut self) -> Result<(), RasedError> {
+    fn recount_network_sizes(&self) -> Result<(), RasedError> {
         use rased_osm_model::UpdateType;
         let mut counts = vec![0i64; self.config.n_countries];
-        self.warehouse
-            .heap()
-            .scan(|_, r| {
-                if let Some(slot) = counts.get_mut(r.country.index()) {
-                    match r.update_type {
-                        UpdateType::Create => *slot += 1,
-                        UpdateType::Delete => *slot -= 1,
-                        _ => {}
-                    }
+        self.warehouse.scan(|_, r| {
+            if let Some(slot) = counts.get_mut(r.country.index()) {
+                match r.update_type {
+                    UpdateType::Create => *slot += 1,
+                    UpdateType::Delete => *slot -= 1,
+                    _ => {}
                 }
-            })
-            .map_err(WarehouseError::from)?;
-        self.live_counts = counts;
-        self.network_sizes =
-            NetworkSizes::new(self.live_counts.iter().map(|&c| c.max(0) as u64).collect());
+            }
+        })?;
+        let mut net = self.network.write();
+        net.sizes = NetworkSizes::new(counts.iter().map(|&c| c.max(0) as u64).collect());
+        net.live_counts = counts;
         Ok(())
     }
 
-    /// Persist everything (index catalog + warehouse tail).
-    pub fn sync(&mut self) -> Result<(), RasedError> {
+    /// Persist everything (index catalog checkpoint + warehouse tail).
+    pub fn sync(&self) -> Result<(), RasedError> {
         self.index.sync()?;
         self.warehouse.flush()?;
         Ok(())

@@ -3,21 +3,23 @@
 //!
 //! ```text
 //! rased generate --out DIR [--seed N] [--countries N] [--start YYYY-MM-DD] [--end YYYY-MM-DD] [--edits N]
-//! rased ingest   --data DIR --system DIR
+//! rased ingest   --data DIR --system DIR [--verbose]
 //! rased query    --system DIR --start YYYY-MM-DD --end YYYY-MM-DD [--group country,element,...]
 //!                [--countries US,DE] [--updates create,update] [--value percentage] [--chart bar|table|series]
 //!                [--threads N]
 //! rased serve    --system DIR [--addr 127.0.0.1:7878] [--workers N] [--queue N]
 //!                [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]
+//!                [--follow DATA_DIR]
 //! rased demo     --dir DIR  (generate + ingest + serve in one step)
 //! ```
 
-use rased_core::{CubeSchema, Rased, RasedConfig, ServerConfig};
+use rased_core::{CubeSchema, IngestController, IngestPhase, Rased, RasedConfig, ServerConfig};
 use rased_dashboard::{charts, parse_analysis_query, DashboardServer};
 use rased_osm_gen::{Dataset, DatasetConfig};
 use rased_temporal::{Date, DateRange};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn main() -> ExitCode {
@@ -58,15 +60,19 @@ fn print_usage() {
         "rased — scalable monitoring of OSM road-network updates (ICDE 2022 reproduction)\n\n\
          commands:\n\
          \x20 generate --out DIR [--seed N] [--countries N] [--start D] [--end D] [--edits N]\n\
-         \x20 ingest   --data DIR --system DIR\n\
+         \x20 ingest   --data DIR --system DIR [--verbose]\n\
          \x20 query    --system DIR --start D --end D [--group country,element,road,update,day,week,month,year]\n\
          \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv] [--threads N]\n\
          \x20 serve    --system DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
-         \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]\n\
+         \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N] [--follow DATA_DIR]\n\
          \x20 demo     --dir DIR [--seed N]"
     );
 }
 
+/// Parse `--key value` pairs and bare `--switch`es. A flag followed by
+/// another flag (or by nothing) is a valueless switch and stores `""` —
+/// so `--verbose` and a bare `--follow` parse instead of demanding a
+/// value they don't have.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, AnyError> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -74,9 +80,16 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, AnyError> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                flags.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+            _ => {
+                flags.insert(key.to_string(), String::new());
+                i += 1;
+            }
+        }
     }
     Ok(flags)
 }
@@ -144,7 +157,7 @@ fn ingest(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let data = get(flags, "data")?;
     let system_dir = get(flags, "system")?;
     let dataset = Dataset::load_manifest(std::path::Path::new(data))?;
-    let mut system = open_or_create_system(system_dir, Some(&dataset), flags)?;
+    let system = open_or_create_system(system_dir, Some(&dataset), flags)?;
     println!("ingesting {} ...", data);
     let report = system.ingest_dataset(&dataset)?;
     println!(
@@ -156,6 +169,14 @@ fn ingest(flags: &HashMap<String, String>) -> Result<(), AnyError> {
         report.monthly.emitted,
         report.maintenance_ops,
     );
+    if flags.contains_key("verbose") {
+        for (name, cs) in [("daily", &report.daily), ("monthly", &report.monthly)] {
+            println!(
+                "  {name} skips: {} not-road, {} no-changeset-bbox, {} no-country",
+                cs.skipped_not_road, cs.skipped_no_changeset, cs.skipped_no_country,
+            );
+        }
+    }
     Ok(())
 }
 
@@ -211,10 +232,15 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, AnyErr
 }
 
 fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
-    let system = open_or_create_system(get(flags, "system")?, None, flags)?;
+    let system = Arc::new(open_or_create_system(get(flags, "system")?, None, flags)?);
     let addr = flags.get("addr").map(|s| s.as_str()).unwrap_or("127.0.0.1:7878");
     let config = server_config(flags)?;
-    let server = DashboardServer::bind_with(Arc::new(system), addr, config)?;
+
+    // Serving always carries the streaming write path: POST /api/ingest
+    // enqueues onto this controller while queries keep running.
+    let ingest = Arc::new(IngestController::start(Arc::clone(&system))?);
+    let server = DashboardServer::bind_with(Arc::clone(&system), addr, config)?
+        .with_ingest(Arc::clone(&ingest));
     let addr = server.addr()?;
     println!(
         "RASED dashboard listening on http://{addr} ({} workers, queue depth {})",
@@ -222,7 +248,45 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
         server.config().queue_depth,
     );
     println!("serving-tier telemetry at http://{addr}/api/metrics");
-    server.serve()?;
+
+    // `--follow DATA_DIR` (or a bare `--follow` with `--data DIR`): tail the
+    // generator's output — whenever the writer goes idle, re-enqueue the
+    // directory. The controller skips already-published days, so each pass
+    // only picks up what appeared since.
+    let follow_dir = match flags.get("follow") {
+        Some(v) if !v.is_empty() => Some(v.clone()),
+        Some(_) => Some(get(flags, "data")?.to_string()),
+        None => None,
+    };
+    let stop_follow = Arc::new(AtomicBool::new(false));
+    let follower = follow_dir.map(|dir| {
+        println!("following {dir} for new days");
+        let ctl = Arc::clone(&ingest);
+        let stop = Arc::clone(&stop_follow);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let s = ctl.status();
+                if s.phase == IngestPhase::Idle && s.queued == 0 {
+                    // Full queue just means a pass is already pending.
+                    let _ = ctl.enqueue(std::path::PathBuf::from(&dir));
+                }
+                for _ in 0..20 {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+        })
+    });
+
+    let served = server.serve();
+    stop_follow.store(true, Ordering::Release);
+    if let Some(h) = follower {
+        let _ = h.join();
+    }
+    ingest.shutdown();
+    served?;
     let m = server.metrics();
     println!(
         "shut down: {} connections ({} rejected busy, {} timeouts), {} requests",

@@ -23,17 +23,21 @@ pub enum Endpoint {
     Analysis,
     Sample,
     Metrics,
+    Ingest,
+    IngestStatus,
     Other,
 }
 
 impl Endpoint {
     /// All tracked endpoints, in serialization order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Root,
         Endpoint::Meta,
         Endpoint::Analysis,
         Endpoint::Sample,
         Endpoint::Metrics,
+        Endpoint::Ingest,
+        Endpoint::IngestStatus,
         Endpoint::Other,
     ];
 
@@ -45,6 +49,8 @@ impl Endpoint {
             "/api/analysis" => Endpoint::Analysis,
             "/api/sample" => Endpoint::Sample,
             "/api/metrics" => Endpoint::Metrics,
+            "/api/ingest" => Endpoint::Ingest,
+            "/api/ingest/status" => Endpoint::IngestStatus,
             _ => Endpoint::Other,
         }
     }
@@ -57,6 +63,8 @@ impl Endpoint {
             Endpoint::Analysis => "/api/analysis",
             Endpoint::Sample => "/api/sample",
             Endpoint::Metrics => "/api/metrics",
+            Endpoint::Ingest => "/api/ingest",
+            Endpoint::IngestStatus => "/api/ingest/status",
             Endpoint::Other => "other",
         }
     }
@@ -80,7 +88,7 @@ pub struct ServerMetrics {
     /// Requests answered, by status class (index 0 = 1xx … 4 = 5xx).
     status_classes: [AtomicU64; 5],
     /// Requests answered, by endpoint (indexed like [`Endpoint::ALL`]).
-    endpoints: [AtomicU64; 6],
+    endpoints: [AtomicU64; 8],
     /// Latency histogram counts; last slot is the overflow bucket.
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_MICROS.len() + 1],
     /// Sum of request latencies in µs (mean = total / requests).
@@ -123,7 +131,7 @@ impl ServerMetrics {
     pub fn record_request(&self, endpoint: Endpoint, status: u16, latency: Duration) {
         let class = (status / 100).clamp(1, 5) as usize - 1;
         self.status_classes[class].fetch_add(1, Relaxed);
-        let ei = Endpoint::ALL.iter().position(|e| *e == endpoint).unwrap_or(5);
+        let ei = Endpoint::ALL.iter().position(|e| *e == endpoint).unwrap_or(Endpoint::ALL.len() - 1);
         self.endpoints[ei].fetch_add(1, Relaxed);
         let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let bi = LATENCY_BUCKETS_MICROS
@@ -196,6 +204,14 @@ impl ServerMetrics {
     pub fn to_json(&self) -> String {
         let mut j = Json::new();
         j.begin_object();
+        self.write_sections(&mut j);
+        j.end_object();
+        j.finish()
+    }
+
+    /// Write the metrics keys into an already-open JSON object — the server
+    /// composes this with a write-path `ingest` section at `/api/metrics`.
+    pub fn write_sections(&self, j: &mut Json) {
         j.key("connections").begin_object();
         j.kv_uint("accepted", self.accepted());
         j.kv_uint("active", self.active());
@@ -238,8 +254,6 @@ impl ServerMetrics {
         j.key("sync").begin_object();
         j.kv_uint("poison_recoveries", rased_storage::sync::poison_recoveries_total());
         j.end_object();
-        j.end_object();
-        j.finish()
     }
 }
 

@@ -8,7 +8,14 @@
 //! * `GET /api/sample?min_lat=&min_lon=&max_lat=&max_lon=&limit=` — sample
 //!   updates in a region (§IV-B); add `start`/`end` and any analysis
 //!   filters to scope the sample to a query;
-//! * `GET /api/metrics` — serving-tier telemetry ([`ServerMetrics`]).
+//! * `GET /api/metrics` — serving-tier telemetry ([`ServerMetrics`]) plus
+//!   write-path counters (catalog epoch, published units, cache
+//!   invalidations, crawler skip statistics);
+//! * `POST /api/ingest?dir=PATH` — enqueue a data directory for streaming
+//!   ingestion (`202` + queue depth; `503` when the bounded queue is full
+//!   or no ingest controller is attached);
+//! * `GET /api/ingest/status` — the streaming writer's phase, progress and
+//!   last error.
 //!
 //! Architecture: a bounded worker pool (default one worker per core) drains
 //! a bounded queue of accepted connections. When the queue is full, new
@@ -26,7 +33,7 @@ use crate::api::{parse_analysis_query, parse_query_string, result_to_json};
 use crate::http::{read_request, write_response, HttpError, Limits, Request};
 use crate::json::Json;
 use crate::metrics::{Endpoint, ServerMetrics};
-use rased_core::{Rased, ServerConfig};
+use rased_core::{IngestController, Rased, ServerConfig};
 use rased_geo::BBox;
 use std::borrow::Cow;
 use std::collections::VecDeque;
@@ -44,6 +51,7 @@ pub struct DashboardServer {
     stop: Arc<AtomicBool>,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    ingest: Option<Arc<IngestController>>,
 }
 
 /// Requests [`DashboardServer::serve`] to shut down gracefully.
@@ -161,7 +169,15 @@ impl DashboardServer {
             stop: Arc::new(AtomicBool::new(false)),
             config,
             metrics: Arc::new(ServerMetrics::new()),
+            ingest: None,
         })
+    }
+
+    /// Attach a streaming ingest controller; enables `POST /api/ingest` and
+    /// `GET /api/ingest/status`. Without one, both answer `503`.
+    pub fn with_ingest(mut self, ingest: Arc<IngestController>) -> DashboardServer {
+        self.ingest = Some(ingest);
+        self
     }
 
     /// The bound address.
@@ -331,16 +347,23 @@ impl DashboardServer {
 
     /// Dispatch one well-formed request to its endpoint.
     fn route(&self, req: &Request) -> (u16, &'static str, Cow<'static, str>) {
+        let (path, query) = req.path_and_query();
+        // The write path is the one non-GET surface; everything else keeps
+        // the blanket 405.
+        if req.method == "POST" && path == "/api/ingest" {
+            return self.ingest_enqueue(req, query);
+        }
         if req.method != "GET" {
             return (405, "text/plain", Cow::from("method not allowed"));
         }
-        let (path, query) = req.path_and_query();
         let params = parse_query_string(query);
         let system = &self.system;
         match path {
             "/" | "/index.html" => (200, "text/html; charset=utf-8", Cow::from(DASHBOARD_HTML)),
             "/api/meta" => (200, "application/json", Cow::from(meta_json(system))),
-            "/api/metrics" => (200, "application/json", Cow::from(self.metrics.to_json())),
+            "/api/metrics" => (200, "application/json", Cow::from(self.metrics_json())),
+            "/api/ingest" => (405, "text/plain", Cow::from("use POST to enqueue a directory")),
+            "/api/ingest/status" => self.ingest_status(),
             "/api/analysis" => match parse_analysis_query(system, &params) {
                 Ok(q) => match system.query(&q) {
                     Ok(result) => {
@@ -370,6 +393,119 @@ impl DashboardServer {
             },
             _ => (404, "text/plain", Cow::from("not found")),
         }
+    }
+
+    /// `POST /api/ingest`: enqueue a data directory for streaming
+    /// ingestion. The directory comes from the `dir` query parameter or the
+    /// request body (plain text). `202` on success; `503` + `Retry-After`
+    /// when the bounded queue pushes back.
+    fn ingest_enqueue(&self, req: &Request, query: &str) -> (u16, &'static str, Cow<'static, str>) {
+        let Some(ctl) = &self.ingest else {
+            return (503, "text/plain", Cow::from("ingest is not enabled on this server"));
+        };
+        let params = parse_query_string(query);
+        let dir = params
+            .iter()
+            .find(|(k, _)| k == "dir")
+            .map(|(_, v)| v.clone())
+            .or_else(|| {
+                let body = String::from_utf8_lossy(&req.body);
+                let trimmed = body.trim();
+                if trimmed.is_empty() {
+                    None
+                } else {
+                    Some(trimmed.to_string())
+                }
+            });
+        let Some(dir) = dir else {
+            return (
+                400,
+                "text/plain",
+                Cow::from("missing data directory (`dir` query parameter or request body)"),
+            );
+        };
+        match ctl.enqueue(std::path::PathBuf::from(dir)) {
+            Ok(depth) => {
+                let mut j = Json::new();
+                j.begin_object();
+                j.kv_string("status", "queued");
+                j.kv_uint("queue_depth", depth as u64);
+                j.end_object();
+                (202, "application/json", Cow::from(j.finish()))
+            }
+            Err(_) => (503, "text/plain", Cow::from("ingest queue is full, retry shortly")),
+        }
+    }
+
+    /// `GET /api/ingest/status`: the streaming writer's state machine.
+    fn ingest_status(&self) -> (u16, &'static str, Cow<'static, str>) {
+        let Some(ctl) = &self.ingest else {
+            return (503, "text/plain", Cow::from("ingest is not enabled on this server"));
+        };
+        let s = ctl.status();
+        let mut j = Json::new();
+        j.begin_object();
+        j.kv_string("phase", s.phase.as_str());
+        j.kv_uint("queued", s.queued as u64);
+        match &s.current {
+            Some(dir) => j.kv_string("current", dir),
+            None => j.key("current").null(),
+        };
+        j.kv_uint("days_published", s.days_published);
+        j.kv_uint("months_published", s.months_published);
+        j.kv_uint("jobs_done", s.jobs_done);
+        j.kv_uint("retries", s.retries);
+        match &s.last_error {
+            Some(e) => j.kv_string("last_error", e),
+            None => j.key("last_error").null(),
+        };
+        j.kv_uint("epoch", self.system.index().epoch());
+        j.end_object();
+        (200, "application/json", Cow::from(j.finish()))
+    }
+
+    /// The `/api/metrics` document: serving-tier counters plus the write
+    /// path — catalog epoch, publish/invalidation counts, and the crawler
+    /// skip statistics when a streaming controller is attached.
+    fn metrics_json(&self) -> String {
+        let mut j = Json::new();
+        j.begin_object();
+        self.metrics.write_sections(&mut j);
+        j.key("ingest").begin_object();
+        let index = self.system.index();
+        j.kv_uint("epoch", index.epoch());
+        j.kv_uint("published_units", index.published_units());
+        j.kv_uint("invalidations", index.invalidations());
+        match &self.ingest {
+            Some(ctl) => {
+                let s = ctl.status();
+                j.kv_string("phase", s.phase.as_str());
+                j.kv_uint("queued", s.queued as u64);
+                j.kv_uint("days_published", s.days_published);
+                j.kv_uint("months_published", s.months_published);
+                j.kv_uint("retries", s.retries);
+                match &s.last_error {
+                    Some(e) => j.kv_string("last_error", e),
+                    None => j.key("last_error").null(),
+                };
+                j.key("crawl").begin_object();
+                for (name, cs) in [("daily", &s.daily), ("monthly", &s.monthly)] {
+                    j.key(name).begin_object();
+                    j.kv_uint("emitted", cs.emitted);
+                    j.kv_uint("skipped_not_road", cs.skipped_not_road);
+                    j.kv_uint("skipped_no_changeset", cs.skipped_no_changeset);
+                    j.kv_uint("skipped_no_country", cs.skipped_no_country);
+                    j.end_object();
+                }
+                j.end_object();
+            }
+            None => {
+                j.key("phase").null();
+            }
+        }
+        j.end_object();
+        j.end_object();
+        j.finish()
     }
 }
 

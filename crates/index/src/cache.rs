@@ -12,10 +12,18 @@
 //! the LRU ablation uses the O(1) recency list instead of a tick scan.
 //! Small caches (fewer than 8 slots) stay on one shard so their eviction
 //! order remains *globally* least-recently-used.
+//!
+//! Versioning: the store is copy-on-write — republishing a period binds it
+//! to a fresh page, never rewriting the old one — so every cached cube is
+//! tagged with the [`PageId`] it was read from. A reader pinned to a
+//! catalog snapshot asks for (period, page) and only a tag-exact entry
+//! hits; page ids grow monotonically, so a smaller tag is provably stale
+//! (dropped on sight) while a larger tag belongs to a newer epoch (kept
+//! for current readers, a miss for the old snapshot).
 
 use rased_cube::DataCube;
 use rased_storage::sync::Mutex;
-use rased_storage::LruCache;
+use rased_storage::{LruCache, PageId};
 use rased_temporal::{Granularity, Period};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -83,7 +91,7 @@ struct CacheShard {
     /// This shard's slice of the slot budget (enforced under LRU only; the
     /// recency warm set is bounded by the quotas at `warm` time).
     cap: usize,
-    cubes: Mutex<LruCache<Period, Arc<DataCube>>>,
+    cubes: Mutex<LruCache<Period, (PageId, Arc<DataCube>)>>,
 }
 
 impl CubeCache {
@@ -148,59 +156,78 @@ impl CubeCache {
     }
 
     /// Replace the warm set per the recency policy: for each level, the
-    /// most recent `quota` periods from `available` (all catalogued periods
-    /// of that level, any order).
+    /// most recent `quota` periods from `available` (every catalogued
+    /// period of that level with its current page binding, any order).
     ///
-    /// `load` fetches a cube from disk; it is only called for periods not
-    /// already cached. Under [`CacheStrategy::Lru`] warming is a no-op.
+    /// `load` fetches a cube from disk; it is only called for (period,
+    /// page) pairs not already cached at that exact version. Under
+    /// [`CacheStrategy::Lru`] warming is a no-op.
     pub fn warm<E>(
         &self,
-        available: &[Period],
-        mut load: impl FnMut(Period) -> Result<Arc<DataCube>, E>,
+        available: &[(Period, PageId)],
+        mut load: impl FnMut(Period, PageId) -> Result<Arc<DataCube>, E>,
     ) -> Result<(), E> {
         if matches!(self.config.strategy, CacheStrategy::Lru) {
             return Ok(());
         }
         let quota = self.level_quota();
-        let mut want: Vec<Period> = Vec::new();
+        let mut want: Vec<(Period, PageId)> = Vec::new();
         for (level, &q) in Granularity::ALL.iter().zip(quota.iter()) {
             if q == 0 {
                 continue;
             }
-            let mut of_level: Vec<Period> =
-                available.iter().copied().filter(|p| p.granularity() == *level).collect();
-            of_level.sort_unstable_by_key(|p| std::cmp::Reverse(p.start()));
+            let mut of_level: Vec<(Period, PageId)> =
+                available.iter().copied().filter(|(p, _)| p.granularity() == *level).collect();
+            of_level.sort_unstable_by_key(|(p, _)| std::cmp::Reverse(p.start()));
             want.extend(of_level.into_iter().take(q));
         }
         // Load missing cubes before swapping in the new warm set, so a load
         // error leaves the old set intact.
-        let mut fresh: Vec<(Period, Arc<DataCube>)> = Vec::with_capacity(want.len());
-        for p in &want {
-            let cached = { self.shard(p).cubes.lock().peek(p).map(Arc::clone) };
+        let mut fresh: Vec<(Period, PageId, Arc<DataCube>)> = Vec::with_capacity(want.len());
+        for &(p, page) in &want {
+            let cached = {
+                let cubes = self.shard(&p).cubes.lock();
+                cubes.peek(&p).filter(|(tag, _)| *tag == page).map(|(_, c)| Arc::clone(c))
+            };
             let cube = match cached {
                 Some(c) => c,
-                None => load(*p)?,
+                None => load(p, page)?,
             };
-            fresh.push((*p, cube));
+            fresh.push((p, page, cube));
         }
         // Swap shard by shard (one lock at a time — same-class locks must
         // never be held together).
         for shard in &self.shards {
             shard.cubes.lock().clear();
         }
-        for (p, c) in fresh {
-            self.shard(&p).cubes.lock().insert(p, c);
+        for (p, page, c) in fresh {
+            self.shard(&p).cubes.lock().insert(p, (page, c));
         }
         Ok(())
     }
 
-    /// Look up a cube, updating hit/miss counters. Under LRU the entry is
-    /// touched.
-    pub fn get(&self, period: Period) -> Option<Arc<DataCube>> {
+    /// Look up the cube for `period` *at page version `current`*, updating
+    /// hit/miss counters. Under LRU a hit touches the entry.
+    ///
+    /// A cached entry with a smaller tag predates `current` and can never
+    /// be valid again (pages are never rewritten): it is dropped. A larger
+    /// tag means a newer version was published after the caller pinned its
+    /// snapshot — the entry stays (it serves current readers) but this
+    /// caller misses and reads its own version from disk.
+    pub fn get(&self, period: Period, current: PageId) -> Option<Arc<DataCube>> {
         let touch = matches!(self.config.strategy, CacheStrategy::Lru);
         let found = {
             let mut cubes = self.shard(&period).cubes.lock();
-            if touch { cubes.get(&period).map(Arc::clone) } else { cubes.peek(&period).map(Arc::clone) }
+            match if touch { cubes.get(&period).map(|e| e.clone()) } else { cubes.peek(&period).cloned() } {
+                Some((tag, cube)) if tag == current => Some(cube),
+                Some((tag, _)) => {
+                    if tag < current {
+                        cubes.remove(&period);
+                    }
+                    None
+                }
+                None => None,
+            }
         };
         match found {
             Some(cube) => {
@@ -214,15 +241,18 @@ impl CubeCache {
         }
     }
 
-    /// True when the period is cached (no counter update) — the level
-    /// optimizer probes with this.
+    /// True when the period is cached at any version (no counter update) —
+    /// the level optimizer probes with this. Planning is advisory: a
+    /// version mismatch at fetch time costs one extra read, never
+    /// correctness.
     pub fn contains(&self, period: Period) -> bool {
         self.shard(&period).cubes.lock().contains(&period)
     }
 
-    /// Offer a cube read from disk. Admits only under LRU (the recency
-    /// policy's warm set is fixed between `warm` calls).
-    pub fn admit(&self, period: Period, cube: &Arc<DataCube>) {
+    /// Offer a cube read from disk at page version `page`. Admits only
+    /// under LRU (the recency policy's warm set is fixed between `warm`
+    /// calls), and never replaces a newer version already cached.
+    pub fn admit(&self, period: Period, page: PageId, cube: &Arc<DataCube>) {
         if self.config.slots == 0 || !matches!(self.config.strategy, CacheStrategy::Lru) {
             return;
         }
@@ -231,7 +261,10 @@ impl CubeCache {
             return;
         }
         let mut cubes = shard.cubes.lock();
-        cubes.insert(period, Arc::clone(cube));
+        if cubes.peek(&period).is_some_and(|(tag, _)| *tag > page) {
+            return; // an old-snapshot reader must not clobber the fresh copy
+        }
+        cubes.insert(period, (page, Arc::clone(cube)));
         while cubes.len() > shard.cap {
             if cubes.pop_lru().is_none() {
                 break;
@@ -239,9 +272,21 @@ impl CubeCache {
         }
     }
 
-    /// Invalidate one period (after a monthly rebuild overwrites its cube).
+    /// Invalidate one period unconditionally (any cached version).
     pub fn invalidate(&self, period: Period) {
         self.shard(&period).cubes.lock().remove(&period);
+    }
+
+    /// Surgical invalidation on publish: drop the cached cube for `period`
+    /// unless it is already the copy for `current` (the page just
+    /// published). Returns true when a stale entry was removed.
+    pub fn invalidate_stale(&self, period: Period, current: PageId) -> bool {
+        let mut cubes = self.shard(&period).cubes.lock();
+        if cubes.peek(&period).is_some_and(|(tag, _)| *tag != current) {
+            cubes.remove(&period);
+            return true;
+        }
+        false
     }
 
     /// Number of cubes currently cached.
@@ -274,8 +319,10 @@ mod tests {
         Arc::new(DataCube::zeroed(CubeSchema::tiny()))
     }
 
-    fn days(n: i64) -> Vec<Period> {
-        (0..n).map(|i| Period::Day(d("2021-01-01").add_days(i as i32))).collect()
+    const P0: PageId = PageId(0);
+
+    fn days(n: i64) -> Vec<(Period, PageId)> {
+        (0..n).map(|i| (Period::Day(d("2021-01-01").add_days(i as i32)), PageId(i as u64))).collect()
     }
 
     #[test]
@@ -294,11 +341,11 @@ mod tests {
             strategy: CacheStrategy::Recency { alpha: 0.5, beta: 0.5, gamma: 0.0, theta: 0.0 },
         });
         let mut avail = days(10);
-        avail.push(Period::Week(d("2021-01-03")));
-        avail.push(Period::Week(d("2021-01-10")));
-        avail.push(Period::Week(d("2021-01-17")));
+        avail.push((Period::Week(d("2021-01-03")), PageId(20)));
+        avail.push((Period::Week(d("2021-01-10")), PageId(21)));
+        avail.push((Period::Week(d("2021-01-17")), PageId(22)));
         let mut loads = 0;
-        c.warm(&avail, |_| -> Result<_, ()> {
+        c.warm(&avail, |_, _| -> Result<_, ()> {
             loads += 1;
             Ok(cube())
         })
@@ -316,8 +363,8 @@ mod tests {
     #[test]
     fn recency_reads_do_not_admit() {
         let c = CubeCache::new(CacheConfig { slots: 4, strategy: CacheStrategy::paper_default() });
-        assert!(c.get(Period::Day(d("2021-06-01"))).is_none());
-        c.admit(Period::Day(d("2021-06-01")), &cube());
+        assert!(c.get(Period::Day(d("2021-06-01")), P0).is_none());
+        c.admit(Period::Day(d("2021-06-01")), P0, &cube());
         assert!(c.is_empty(), "recency cache must not admit on read");
         assert_eq!(c.counters(), (0, 1));
     }
@@ -330,10 +377,10 @@ mod tests {
         let p1 = Period::Day(d("2021-01-01"));
         let p2 = Period::Day(d("2021-01-02"));
         let p3 = Period::Day(d("2021-01-03"));
-        c.admit(p1, &cube());
-        c.admit(p2, &cube());
-        assert!(c.get(p1).is_some()); // touch p1
-        c.admit(p3, &cube()); // evicts p2
+        c.admit(p1, P0, &cube());
+        c.admit(p2, PageId(1), &cube());
+        assert!(c.get(p1, P0).is_some()); // touch p1
+        c.admit(p3, PageId(2), &cube()); // evicts p2
         assert!(c.contains(p1));
         assert!(!c.contains(p2));
         assert!(c.contains(p3));
@@ -343,19 +390,19 @@ mod tests {
     fn sharded_lru_respects_total_slots() {
         let c = CubeCache::new(CacheConfig { slots: 32, strategy: CacheStrategy::Lru });
         assert!(c.shard_count() > 1);
-        for p in days(100) {
-            c.admit(p, &cube());
+        for (p, page) in days(100) {
+            c.admit(p, page, &cube());
         }
         assert!(c.len() <= 32, "len {} exceeds slot budget", c.len());
         // Whatever survived is still retrievable.
-        let alive = days(100).into_iter().filter(|p| c.contains(*p)).count();
+        let alive = days(100).into_iter().filter(|(p, _)| c.contains(*p)).count();
         assert_eq!(alive, c.len());
     }
 
     #[test]
     fn zero_slot_cache_stays_empty() {
         let c = CubeCache::new(CacheConfig { slots: 0, strategy: CacheStrategy::Lru });
-        c.admit(Period::Day(d("2021-01-01")), &cube());
+        c.admit(Period::Day(d("2021-01-01")), P0, &cube());
         assert!(c.is_empty());
     }
 
@@ -363,20 +410,58 @@ mod tests {
     fn invalidate_removes_entry() {
         let c = CubeCache::new(CacheConfig { slots: 4, strategy: CacheStrategy::Lru });
         let p = Period::Month(2021, 3);
-        c.admit(p, &cube());
+        c.admit(p, P0, &cube());
         assert!(c.contains(p));
         c.invalidate(p);
         assert!(!c.contains(p));
     }
 
     #[test]
+    fn version_tags_gate_hits() {
+        let c = CubeCache::new(CacheConfig { slots: 4, strategy: CacheStrategy::Lru });
+        let p = Period::Day(d("2021-01-01"));
+        c.admit(p, PageId(3), &cube());
+        // Exact version hits.
+        assert!(c.get(p, PageId(3)).is_some());
+        // A reader whose snapshot binds a *newer* page sees the cached copy
+        // as provably stale: dropped, miss.
+        assert!(c.get(p, PageId(7)).is_none());
+        assert!(!c.contains(p), "older-tagged entry must be evicted on sight");
+        // A newer cached copy survives an old-snapshot reader's miss.
+        c.admit(p, PageId(7), &cube());
+        assert!(c.get(p, PageId(3)).is_none());
+        assert!(c.contains(p), "newer entry must be kept for current readers");
+    }
+
+    #[test]
+    fn admit_never_downgrades_a_newer_entry() {
+        let c = CubeCache::new(CacheConfig { slots: 4, strategy: CacheStrategy::Lru });
+        let p = Period::Day(d("2021-01-01"));
+        c.admit(p, PageId(9), &cube());
+        c.admit(p, PageId(2), &cube()); // late old-snapshot reader
+        assert!(c.get(p, PageId(9)).is_some(), "stale admit must not clobber");
+    }
+
+    #[test]
+    fn invalidate_stale_spares_the_current_version() {
+        let c = CubeCache::new(CacheConfig { slots: 4, strategy: CacheStrategy::Lru });
+        let p = Period::Day(d("2021-01-01"));
+        c.admit(p, PageId(4), &cube());
+        assert!(!c.invalidate_stale(p, PageId(4)), "current copy must survive");
+        assert!(c.contains(p));
+        assert!(c.invalidate_stale(p, PageId(8)));
+        assert!(!c.contains(p));
+        assert!(!c.invalidate_stale(p, PageId(8)), "no entry, nothing removed");
+    }
+
+    #[test]
     fn counters_track_hits_and_misses() {
         let c = CubeCache::new(CacheConfig { slots: 2, strategy: CacheStrategy::Lru });
         let p = Period::Day(d("2021-01-01"));
-        assert!(c.get(p).is_none());
-        c.admit(p, &cube());
-        assert!(c.get(p).is_some());
-        assert!(c.get(Period::Day(d("2021-01-02"))).is_none());
+        assert!(c.get(p, P0).is_none());
+        c.admit(p, P0, &cube());
+        assert!(c.get(p, P0).is_some());
+        assert!(c.get(Period::Day(d("2021-01-02")), P0).is_none());
         assert_eq!(c.counters(), (1, 2));
         // `contains` must not perturb the counters.
         let _ = c.contains(p);
@@ -386,9 +471,9 @@ mod tests {
     #[test]
     fn warm_error_leaves_cache_unchanged() {
         let c = CubeCache::new(CacheConfig { slots: 2, strategy: CacheStrategy::paper_default() });
-        c.warm(&days(2), |_| -> Result<_, ()> { Ok(cube()) }).unwrap();
+        c.warm(&days(2), |_, _| -> Result<_, ()> { Ok(cube()) }).unwrap();
         assert_eq!(c.len(), 2);
-        let r = c.warm(&days(4), |p| {
+        let r = c.warm(&days(4), |p, _| {
             if p == Period::Day(d("2021-01-04")) {
                 Err("boom")
             } else {

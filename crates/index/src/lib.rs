@@ -19,7 +19,10 @@
 mod cache;
 mod planner;
 mod store;
+mod wal;
 
 pub use cache::{CacheConfig, CacheStrategy, CubeCache};
 pub use planner::{CubeSource, LevelPlanner, PlannedCube, PlannerKind, QueryPlan};
-pub use store::{with_planner, FetchOutcome, IndexError, MaintenanceReport, TemporalIndex};
+pub use store::{
+    with_planner, CatalogVersion, FetchOutcome, IndexError, MaintenanceReport, TemporalIndex,
+};

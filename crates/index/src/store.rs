@@ -1,14 +1,40 @@
 //! [`TemporalIndex`]: the cube store and its maintenance procedures (§VI-A).
+//!
+//! ## Write path: append-then-commit
+//!
+//! The store is copy-on-write and epoch-versioned so streaming ingest can
+//! run concurrently with serving:
+//!
+//! * Every write unit (`put`, `ingest_day`, `rebuild_month`) *stages* its
+//!   cubes as freshly appended pages — published pages are never rewritten.
+//!   Until the unit commits, those pages are unreachable orphans.
+//! * Commit is one atomic step: sync the page file, append a checksummed
+//!   record of the unit's `Period → PageId` bindings to the WAL
+//!   (`wal.log`), then swap in a new [`CatalogVersion`] with a bumped
+//!   epoch. Readers that pinned the previous version keep resolving the
+//!   old pages; a crash between stage and commit loses nothing but orphan
+//!   pages.
+//! * `open()` loads the last catalog checkpoint (`catalog.bin`) and
+//!   replays the WAL, discarding a torn or corrupt tail — an interrupted
+//!   unit is rolled back wholesale, never half-applied.
+//! * `sync()` checkpoints the catalog (write-temp + atomic rename) and
+//!   resets the WAL.
+//!
+//! Publishing surgically invalidates exactly the replaced periods in the
+//! cube cache (version-tagged; see [`CubeCache`]) and cancels in-flight
+//! single-flight fetches keyed by the dead pages.
 
 use crate::cache::{CacheConfig, CubeCache};
 use crate::planner::LevelPlanner;
+use crate::wal;
 use rased_cube::{CubeError, CubeSchema, DataCube};
-use rased_storage::sync::RwLock;
+use rased_storage::sync::{Mutex, RwLock};
 use rased_storage::{FlightGroup, IoCostModel, IoSnapshot, PageFile, PageId, StorageError};
 use rased_temporal::{Date, Granularity, Period};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Index-level error.
@@ -86,19 +112,99 @@ impl MaintenanceReport {
     }
 }
 
-/// The hierarchical temporal index: one disk page per cube, a period → page
-/// catalog, a cube cache, and the maintenance procedures.
+/// One immutable published version of the period → page catalog.
+///
+/// Readers clone the `Arc` once ([`TemporalIndex::snapshot`]) and resolve
+/// every page through it for the whole plan + execute of a query, so they
+/// can never observe a half-published unit: a concurrent commit swaps in a
+/// *new* version and never mutates this one.
+#[derive(Debug)]
+pub struct CatalogVersion {
+    epoch: u64,
+    map: HashMap<Period, PageId>,
+}
+
+impl CatalogVersion {
+    /// The publish counter this version was installed at. Monotonically
+    /// increasing within a process; reset (to the replayed-unit count) on
+    /// open.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The page holding `period`'s cube in this version.
+    pub fn page(&self, period: Period) -> Option<PageId> {
+        self.map.get(&period).copied()
+    }
+
+    /// True when `period` is materialized in this version.
+    pub fn contains(&self, period: Period) -> bool {
+        self.map.contains_key(&period)
+    }
+
+    /// Number of materialized cubes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no cube is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Every catalogued period (unordered).
+    pub fn periods(&self) -> Vec<Period> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Every (period, page) binding (unordered).
+    pub fn entries(&self) -> Vec<(Period, PageId)> {
+        self.map.iter().map(|(p, g)| (*p, *g)).collect()
+    }
+}
+
+/// WAL record kinds — provenance only; replay applies the bindings
+/// regardless of which operation produced them.
+const UNIT_PUT: u8 = 0;
+const UNIT_DAY: u8 = 1;
+const UNIT_MONTH: u8 = 2;
+
+/// An uncommitted write unit: pages already appended (copy-on-write), the
+/// catalog bindings they will install, none of it visible to readers.
+struct WriteUnit {
+    kind: u8,
+    a: i32,
+    b: u32,
+    delta: Vec<(Period, PageId)>,
+    staged: HashMap<Period, PageId>,
+}
+
+impl WriteUnit {
+    fn new(kind: u8, a: i32, b: u32) -> WriteUnit {
+        WriteUnit { kind, a, b, delta: Vec::new(), staged: HashMap::new() }
+    }
+}
+
+/// The hierarchical temporal index: one disk page per cube, an
+/// epoch-versioned period → page catalog, a cube cache, and the
+/// maintenance procedures.
 pub struct TemporalIndex {
     schema: CubeSchema,
     levels: u8,
     file: Arc<PageFile>,
-    catalog: RwLock<HashMap<Period, PageId>>,
+    catalog: RwLock<Arc<CatalogVersion>>,
+    /// Serializes commits so WAL order equals publish order: held across
+    /// the record append *and* the catalog swap.
+    wal: Mutex<wal::Wal>,
     cache: CubeCache,
-    /// Coalesces concurrent cold fetches of the same period: one physical
-    /// read + deserialize, the rest share the `Arc` (see
-    /// `rased_storage::FlightGroup`).
-    flights: FlightGroup<Period, Arc<DataCube>>,
+    /// Coalesces concurrent cold fetches of the same page: one physical
+    /// read + deserialize, the rest share the `Arc`. Keyed by page (not
+    /// period) — two epochs of the same period are different pages and
+    /// must never coalesce.
+    flights: FlightGroup<u64, Arc<DataCube>>,
     catalog_path: PathBuf,
+    published_units: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl fmt::Debug for TemporalIndex {
@@ -107,6 +213,7 @@ impl fmt::Debug for TemporalIndex {
             .field("schema", &self.schema)
             .field("levels", &self.levels)
             .field("cubes", &self.catalog.read().len())
+            .field("epoch", &self.catalog.read().epoch())
             .finish_non_exhaustive()
     }
 }
@@ -126,18 +233,33 @@ impl TemporalIndex {
         assert!((1..=4).contains(&levels), "levels must be 1..=4");
         std::fs::create_dir_all(dir).map_err(StorageError::from)?;
         let file = PageFile::create(&dir.join("cubes.pg"), schema.cube_bytes(), model)?;
+        let catalog_path = dir.join("catalog.bin");
+        // Write the empty checkpoint and an empty WAL up front: a process
+        // killed right after create must reopen as a valid empty index.
+        save_catalog(&catalog_path, &HashMap::new())?;
+        let mut log = wal::Wal::open_append(&dir.join("wal.log")).map_err(StorageError::from)?;
+        log.reset().map_err(StorageError::from)?;
         Ok(TemporalIndex {
             schema,
             levels,
             file: Arc::new(file),
-            catalog: RwLock::new_named(HashMap::new(), "index.catalog"),
+            catalog: RwLock::new_named(
+                Arc::new(CatalogVersion { epoch: 0, map: HashMap::new() }),
+                "index.catalog",
+            ),
+            wal: Mutex::new_named(log, "index.wal"),
             cache: CubeCache::new(cache),
             flights: FlightGroup::new(4, "index.cube_flight_map", "index.cube_flight_slot"),
-            catalog_path: dir.join("catalog.bin"),
+            catalog_path,
+            published_units: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         })
     }
 
-    /// Reopen an index created earlier (loads the catalog sidecar).
+    /// Reopen an index created earlier: load the catalog checkpoint, then
+    /// replay committed WAL units on top. A torn or corrupt WAL tail — a
+    /// crash mid-commit — is truncated away; pages staged by uncommitted
+    /// units are unreachable orphans and simply never referenced.
     pub fn open(
         dir: &Path,
         schema: CubeSchema,
@@ -148,15 +270,45 @@ impl TemporalIndex {
         assert!((1..=4).contains(&levels), "levels must be 1..=4");
         let file = PageFile::open(&dir.join("cubes.pg"), model)?;
         let catalog_path = dir.join("catalog.bin");
-        let catalog = load_catalog(&catalog_path)?;
+        let mut map = load_catalog(&catalog_path)?;
+
+        let wal_path = dir.join("wal.log");
+        let (records, total_len) = wal::replay(&wal_path).map_err(StorageError::from)?;
+        let page_count = file.page_count();
+        let mut applied: u64 = 0;
+        let mut good_end: u64 = 0;
+        for rec in records {
+            // A record that fails to decode — or that points past the
+            // allocation watermark — marks the end of trustworthy history.
+            let Ok(entries) = decode_unit(&rec.payload) else { break };
+            if entries.iter().any(|(_, page)| page.0 >= page_count) {
+                break;
+            }
+            for (p, page) in entries {
+                map.insert(p, page);
+            }
+            applied += 1;
+            good_end = rec.end_offset;
+        }
+        if good_end < total_len {
+            wal::truncate(&wal_path, good_end).map_err(StorageError::from)?;
+        }
+        let log = wal::Wal::open_append(&wal_path).map_err(StorageError::from)?;
+
         Ok(TemporalIndex {
             schema,
             levels,
             file: Arc::new(file),
-            catalog: RwLock::new_named(catalog, "index.catalog"),
+            catalog: RwLock::new_named(
+                Arc::new(CatalogVersion { epoch: applied, map }),
+                "index.catalog",
+            ),
+            wal: Mutex::new_named(log, "index.wal"),
             cache: CubeCache::new(cache),
             flights: FlightGroup::new(4, "index.cube_flight_map", "index.cube_flight_slot"),
             catalog_path,
+            published_units: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         })
     }
 
@@ -180,14 +332,36 @@ impl TemporalIndex {
         &self.file
     }
 
+    /// Pin the current catalog version. Everything resolved through the
+    /// returned snapshot — planning and fetching alike — observes one
+    /// consistent epoch, no matter how many units publish meanwhile.
+    pub fn snapshot(&self) -> Arc<CatalogVersion> {
+        Arc::clone(&self.catalog.read())
+    }
+
+    /// The current epoch (bumped once per published unit).
+    pub fn epoch(&self) -> u64 {
+        self.catalog.read().epoch()
+    }
+
+    /// Units published since this handle was opened.
+    pub fn published_units(&self) -> u64 {
+        self.published_units.load(Ordering::Relaxed)
+    }
+
+    /// Stale cache entries surgically invalidated by publishes.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
     /// True when a cube for `period` is materialized.
     pub fn has(&self, period: Period) -> bool {
-        self.catalog.read().contains_key(&period)
+        self.catalog.read().contains(period)
     }
 
     /// Every catalogued period (unordered).
     pub fn periods(&self) -> Vec<Period> {
-        self.catalog.read().keys().copied().collect()
+        self.catalog.read().periods()
     }
 
     /// Number of materialized cubes.
@@ -203,8 +377,8 @@ impl TemporalIndex {
 
     /// The date range covered by daily cubes, if any data is present.
     pub fn coverage(&self) -> Option<(Date, Date)> {
-        let catalog = self.catalog.read();
-        let mut days = catalog.keys().filter_map(|p| match p {
+        let snap = self.snapshot();
+        let mut days = snap.map.keys().filter_map(|p| match p {
             Period::Day(d) => Some(*d),
             _ => None,
         });
@@ -221,41 +395,93 @@ impl TemporalIndex {
         Ok(())
     }
 
-    /// Write (or overwrite) the cube for `period`.
-    pub fn put(&self, period: Period, cube: &DataCube) -> Result<(), IndexError> {
+    /// Append `cube` as a staged page and record the binding in `unit`.
+    /// Nothing becomes visible until the unit commits.
+    fn stage(&self, unit: &mut WriteUnit, period: Period, cube: &DataCube) -> Result<(), IndexError> {
         self.check_level(period)?;
         let bytes = pad_to_page(cube.to_bytes(), self.file.page_size());
-        let existing = { self.catalog.read().get(&period).copied() };
-        match existing {
-            Some(page) => {
-                self.file.write_page(page, &bytes)?;
-                // The cached copy (if any) is now stale.
-                self.cache.invalidate(period);
-            }
-            None => {
-                let page = self.file.append_page(&bytes)?;
-                self.catalog.write().insert(period, page);
-            }
-        }
+        let page = self.file.append_page(&bytes)?;
+        unit.delta.push((period, page));
+        unit.staged.insert(period, page);
         Ok(())
     }
 
-    /// Fetch the cube for `period`, consulting the cache first. Returns the
-    /// cube and where it came from, or `None` when not materialized.
-    pub fn fetch(&self, period: Period) -> Result<Option<(Arc<DataCube>, FetchOutcome)>, IndexError> {
-        if let Some(cube) = self.cache.get(period) {
-            return Ok(Some((cube, FetchOutcome::Cache)));
+    /// Publish a unit: durable pages → WAL record → catalog swap. The WAL
+    /// mutex is held across the append *and* the swap so log order equals
+    /// publish order; the catalog write lock nests inside it (upward in
+    /// rank). Invalidation runs after both locks drop.
+    fn commit_unit(&self, unit: WriteUnit) -> Result<(), IndexError> {
+        if unit.delta.is_empty() {
+            return Ok(());
         }
-        let Some(page) = ({ self.catalog.read().get(&period).copied() }) else {
+        // Every page a WAL record references must be durable before the
+        // record that publishes it.
+        self.file.sync()?;
+        let payload = encode_unit(&unit);
+        let mut stale: Vec<(Period, PageId, PageId)> = Vec::new();
+        {
+            let mut log = self.wal.lock();
+            log.append(&payload).map_err(StorageError::from)?;
+            let mut cat = self.catalog.write();
+            let mut map = cat.map.clone();
+            for &(p, page) in &unit.delta {
+                if let Some(old) = map.insert(p, page) {
+                    if old != page {
+                        stale.push((p, page, old));
+                    }
+                }
+            }
+            *cat = Arc::new(CatalogVersion { epoch: cat.epoch + 1, map });
+        }
+        for (period, new_page, old_page) in stale {
+            // Drop the superseded cached cube (tag-checked so a copy of the
+            // new version is spared) and cancel any in-flight read of the
+            // dead page so a stalled miss can't resurrect it.
+            self.cache.invalidate_stale(period, new_page);
+            self.flights.cancel(&old_page.0);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.published_units.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write (or supersede) the cube for `period` as a single atomic unit.
+    pub fn put(&self, period: Period, cube: &DataCube) -> Result<(), IndexError> {
+        let mut unit = WriteUnit::new(UNIT_PUT, 0, 0);
+        self.stage(&mut unit, period, cube)?;
+        self.commit_unit(unit)
+    }
+
+    /// Fetch the cube for `period` at the current epoch. Convenience over
+    /// [`TemporalIndex::fetch_at`] for callers without a pinned snapshot.
+    pub fn fetch(&self, period: Period) -> Result<Option<(Arc<DataCube>, FetchOutcome)>, IndexError> {
+        let snap = self.snapshot();
+        self.fetch_at(&snap, period)
+    }
+
+    /// Fetch the cube for `period` as bound by `snap`, consulting the
+    /// version-tagged cache first. Returns the cube and where it came
+    /// from, or `None` when not materialized in that version.
+    pub fn fetch_at(
+        &self,
+        snap: &CatalogVersion,
+        period: Period,
+    ) -> Result<Option<(Arc<DataCube>, FetchOutcome)>, IndexError> {
+        let Some(page) = snap.page(period) else {
             return Ok(None);
         };
-        // Cold fetch: coalesce concurrent misses of the same period into
+        if let Some(cube) = self.cache.get(period, page) {
+            return Ok(Some((cube, FetchOutcome::Cache)));
+        }
+        // Cold fetch: coalesce concurrent misses of the same *page* into
         // one physical read + deserialize. Followers share the leader's
         // `Arc` but still count as `Disk` — each caller did miss the cache.
-        let cube = self.flights.run(period, || {
+        // Pages are immutable once published, so a retry after a publish-
+        // driven cancellation always reads correct bytes.
+        let cube = self.flights.run(page.0, || {
             let bytes = self.file.read_page_vec(page)?;
             let cube = Arc::new(DataCube::from_bytes(self.schema, &bytes)?);
-            self.cache.admit(period, &cube); // no-op under the recency policy
+            self.cache.admit(period, page, &cube); // no-op under the recency policy
             Ok::<_, IndexError>(cube)
         })?;
         Ok(Some((cube, FetchOutcome::Disk)))
@@ -264,16 +490,36 @@ impl TemporalIndex {
     /// Fetch bypassing and not touching the cache (used by maintenance and
     /// cache warming itself).
     pub fn fetch_uncached(&self, period: Period) -> Result<Option<Arc<DataCube>>, IndexError> {
-        let Some(page) = ({ self.catalog.read().get(&period).copied() }) else {
+        let Some(page) = self.snapshot().page(period) else {
             return Ok(None);
         };
+        self.read_cube(page).map(Some)
+    }
+
+    fn read_cube(&self, page: PageId) -> Result<Arc<DataCube>, IndexError> {
         let bytes = self.file.read_page_vec(page)?;
-        Ok(Some(Arc::new(DataCube::from_bytes(self.schema, &bytes)?)))
+        Ok(Arc::new(DataCube::from_bytes(self.schema, &bytes)?))
+    }
+
+    /// Resolve `period` for roll-up building: the unit's own staged pages
+    /// shadow the committed catalog, so a roll-up aggregates the very data
+    /// its unit is publishing.
+    fn fetch_for_build(
+        &self,
+        unit: &WriteUnit,
+        period: Period,
+    ) -> Result<Option<Arc<DataCube>>, IndexError> {
+        let page = unit.staged.get(&period).copied().or_else(|| self.catalog.read().page(period));
+        match page {
+            Some(page) => self.read_cube(page).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Daily maintenance (§VI-A): store `cube` as the daily cube for `day`,
     /// then build the parent weekly / monthly / yearly cubes whenever `day`
-    /// closes such a period.
+    /// closes such a period. The day *and* its roll-ups publish together
+    /// as one atomic unit — readers see all of them or none.
     ///
     /// On a plain day this costs exactly 1 cube write. At a week boundary
     /// the weekly cube is built by reading the 7 daily children (≤ 8 ops);
@@ -283,61 +529,71 @@ impl TemporalIndex {
     pub fn ingest_day(&self, day: Date, cube: &DataCube) -> Result<MaintenanceReport, IndexError> {
         let io_before = self.file.stats().snapshot();
         let mut report = MaintenanceReport::default();
+        let mut unit = WriteUnit::new(UNIT_DAY, day.days(), 0);
 
-        self.put(Period::Day(day), cube)?;
+        self.stage(&mut unit, Period::Day(day), cube)?;
         report.cubes_written += 1;
         report.ops_by_level[0] += 1;
 
         // Week closes on Saturday (weeks start Sunday).
         if self.levels >= 2 && day.succ().is_week_start() {
             let before = report.total_ops();
-            report = self.roll_up(Period::week_of(day), report)?;
+            report = self.roll_up(&mut unit, Period::week_of(day), report)?;
             report.ops_by_level[1] += report.total_ops() - before;
         }
         if self.levels >= 3 && day == day.month_end() {
             let before = report.total_ops();
-            report = self.roll_up(Period::month_of(day), report)?;
+            report = self.roll_up(&mut unit, Period::month_of(day), report)?;
             report.ops_by_level[2] += report.total_ops() - before;
         }
         if self.levels >= 4 && day == day.year_end() {
             let before = report.total_ops();
-            report = self.roll_up(Period::year_of(day), report)?;
+            report = self.roll_up(&mut unit, Period::year_of(day), report)?;
             report.ops_by_level[3] += report.total_ops() - before;
         }
 
+        self.commit_unit(unit)?;
         report.io = self.file.stats().snapshot().since(&io_before);
         Ok(report)
     }
 
-    /// Build one parent cube by summing its children.
-    fn roll_up(&self, parent: Period, mut report: MaintenanceReport) -> Result<MaintenanceReport, IndexError> {
+    /// Build one parent cube by summing its children and stage it into the
+    /// unit.
+    fn roll_up(
+        &self,
+        unit: &mut WriteUnit,
+        parent: Period,
+        mut report: MaintenanceReport,
+    ) -> Result<MaintenanceReport, IndexError> {
         let mut sum = DataCube::zeroed(self.schema);
-        report = self.sum_children(parent, &mut sum, report)?;
-        self.put(parent, &sum)?;
+        report = self.sum_children(unit, parent, &mut sum, report)?;
+        self.stage(unit, parent, &sum)?;
         report.cubes_written += 1;
         Ok(report)
     }
 
-    /// Merge every materialized descendant of `parent` into `sum`. A
-    /// missing *day* means no data that day (ingestion invariant). A
-    /// missing coarser child does NOT mean its span is empty: its roll-up
-    /// only fires when its closing day is ingested, so a gap day at a
-    /// period boundary leaves the child unmaterialized while its days hold
-    /// data — recurse into those instead of assuming zero.
+    /// Merge every materialized descendant of `parent` into `sum` (staged
+    /// pages of the current unit shadow committed ones). A missing *day*
+    /// means no data that day (ingestion invariant). A missing coarser
+    /// child does NOT mean its span is empty: its roll-up only fires when
+    /// its closing day is ingested, so a gap day at a period boundary
+    /// leaves the child unmaterialized while its days hold data — recurse
+    /// into those instead of assuming zero.
     fn sum_children(
         &self,
+        unit: &WriteUnit,
         parent: Period,
         sum: &mut DataCube,
         mut report: MaintenanceReport,
     ) -> Result<MaintenanceReport, IndexError> {
         for child in parent.children() {
-            match self.fetch_uncached(child)? {
+            match self.fetch_for_build(unit, child)? {
                 Some(cube) => {
                     report.cubes_read += 1;
                     sum.merge_from(&cube)?;
                 }
                 None if child.granularity() != Granularity::Day => {
-                    report = self.sum_children(child, sum, report)?;
+                    report = self.sum_children(unit, child, sum, report)?;
                 }
                 None => {} // no data that day
             }
@@ -348,7 +604,8 @@ impl TemporalIndex {
     /// Monthly rebuild (§VI-A): the monthly crawler re-derives that month's
     /// daily cubes with refined update types; replace them, clear any stale
     /// `Unclassified` counts, and rebuild every ancestor cube that covers
-    /// the month.
+    /// the month — all published as one atomic unit, so a concurrent query
+    /// never sees refined days blended with stale roll-ups.
     ///
     /// `daily` maps each day of the month to its re-classified cube; days
     /// absent from the map keep no cube (no data).
@@ -361,10 +618,11 @@ impl TemporalIndex {
         let io_before = self.file.stats().snapshot();
         let mut report = MaintenanceReport::default();
         let month_period = Period::Month(year, month);
+        let mut unit = WriteUnit::new(UNIT_MONTH, year, month);
 
         for (day, cube) in daily {
             debug_assert!(month_period.contains(*day), "{day} outside {month_period}");
-            self.put(Period::Day(*day), cube)?;
+            self.stage(&mut unit, Period::Day(*day), cube)?;
             report.cubes_written += 1;
         }
 
@@ -379,38 +637,43 @@ impl TemporalIndex {
             let mut week = Period::week_of(month_period.start());
             while week.start() <= month_period.end() {
                 if week.within(month_period.range()) || self.has(week) {
-                    report = self.roll_up(week, report)?;
+                    report = self.roll_up(&mut unit, week, report)?;
                 }
                 week = week.succ();
             }
         }
         if self.levels >= 3 {
-            report = self.roll_up(month_period, report)?;
+            report = self.roll_up(&mut unit, month_period, report)?;
         }
         // Refresh the year cube if it was already materialized.
         if self.levels >= 4 && self.has(Period::Year(year)) {
-            report = self.roll_up(Period::Year(year), report)?;
+            report = self.roll_up(&mut unit, Period::Year(year), report)?;
         }
         // An adjacent month's cube also aggregates the straddling weeks'
         // days — but only through its *day* children, which were not
         // touched, so it stays consistent.
 
+        self.commit_unit(unit)?;
         report.io = self.file.stats().snapshot().since(&io_before);
         Ok(report)
     }
 
     /// Re-warm the cache per the recency policy from the current catalog.
     pub fn warm_cache(&self) -> Result<(), IndexError> {
-        let periods = self.periods();
-        self.cache.warm(&periods, |p| {
-            self.fetch_uncached(p)?.ok_or(IndexError::MissingChild { parent: p, child: p })
-        })
+        let snap = self.snapshot();
+        self.cache.warm(&snap.entries(), |_, page| self.read_cube(page))
     }
 
-    /// Persist the period → page catalog sidecar.
+    /// Checkpoint the catalog sidecar (write-temp + atomic rename) and
+    /// reset the WAL. Serialized against commits via the WAL mutex so no
+    /// published unit can fall between the checkpoint and the reset.
     pub fn sync(&self) -> Result<(), IndexError> {
         self.file.sync()?;
-        save_catalog(&self.catalog_path, &self.catalog.read())
+        let mut log = self.wal.lock();
+        let snap = Arc::clone(&self.catalog.read());
+        save_catalog(&self.catalog_path, &snap.map)?;
+        log.reset().map_err(StorageError::from)?;
+        Ok(())
     }
 }
 
@@ -420,7 +683,8 @@ impl TemporalIndex {
 /// site (the planner borrows its probes, so it cannot be returned from a
 /// method that owns them).
 pub fn with_planner<T>(index: &TemporalIndex, f: impl FnOnce(&LevelPlanner<'_>) -> T) -> T {
-    let exists = |p: Period| index.has(p);
+    let snap = index.snapshot();
+    let exists = |p: Period| snap.contains(p);
     let cached = |p: Period| index.cache().contains(p);
     let planner = LevelPlanner::new(index.levels(), &exists, &cached);
     f(&planner)
@@ -430,6 +694,42 @@ fn pad_to_page(mut bytes: Vec<u8>, page_size: usize) -> Vec<u8> {
     debug_assert!(bytes.len() <= page_size, "cube larger than page");
     bytes.resize(page_size, 0);
     bytes
+}
+
+// --- WAL unit payloads -----------------------------------------------------
+// Payload: kind u8 | a i32 | b u32 | entry count u32, then per entry the
+// same 17-byte layout as the catalog sidecar:
+//   granularity u8 | a i32 | b u32 | page u64
+
+fn encode_unit(unit: &WriteUnit) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + unit.delta.len() * 17);
+    out.push(unit.kind);
+    out.extend_from_slice(&unit.a.to_le_bytes());
+    out.extend_from_slice(&unit.b.to_le_bytes());
+    out.extend_from_slice(&(unit.delta.len() as u32).to_le_bytes());
+    for &(p, page) in &unit.delta {
+        let (g, a, b) = encode_period(p);
+        out.push(g);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&page.0.to_le_bytes());
+    }
+    out
+}
+
+fn decode_unit(payload: &[u8]) -> Result<Vec<(Period, PageId)>, IndexError> {
+    let bad = |m: &str| IndexError::BadCatalog(format!("wal record: {m}"));
+    let n = rased_storage::bytes::read_u32_le(payload, 9).ok_or_else(|| bad("short header"))? as usize;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for i in 0..n {
+        let off = 13 + i * 17;
+        let g = *payload.get(off).ok_or_else(|| bad("truncated entries"))?;
+        let a = rased_storage::bytes::read_u32_le(payload, off + 1).ok_or_else(|| bad("truncated entries"))? as i32;
+        let b = rased_storage::bytes::read_u32_le(payload, off + 5).ok_or_else(|| bad("truncated entries"))?;
+        let page = rased_storage::bytes::read_u64_le(payload, off + 9).ok_or_else(|| bad("truncated entries"))?;
+        entries.push((decode_period(g, a, b)?, PageId(page)));
+    }
+    Ok(entries)
 }
 
 // --- catalog sidecar -------------------------------------------------------
@@ -470,18 +770,28 @@ fn save_catalog(path: &Path, catalog: &HashMap<Period, PageId>) -> Result<(), In
         out.extend_from_slice(&b.to_le_bytes());
         out.extend_from_slice(&page.0.to_le_bytes());
     }
-    std::fs::write(path, out).map_err(StorageError::from)?;
+    // Write-temp + rename: the checkpoint is replaced atomically, so a
+    // crash mid-save can never leave a half-written catalog.bin.
+    let tmp = path.with_extension("bin.tmp");
+    (|| {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })()
+    .map_err(StorageError::from)?;
     Ok(())
 }
 
 fn load_catalog(path: &Path) -> Result<HashMap<Period, PageId>, IndexError> {
     let bytes = std::fs::read(path).map_err(StorageError::from)?;
-    if bytes.len() < 16 || &bytes[..8] != CATALOG_MAGIC {
+    if bytes.len() < 16 || !bytes.starts_with(CATALOG_MAGIC) {
         return Err(IndexError::BadCatalog("missing or corrupt header".into()));
     }
     let truncated = || IndexError::BadCatalog("truncated entries".into());
     let count = rased_storage::bytes::read_u64_le(&bytes, 8).ok_or_else(truncated)? as usize;
-    let body = &bytes[16..];
+    let body = bytes.get(16..).ok_or_else(truncated)?;
     if count.checked_mul(17).is_none_or(|need| body.len() < need) {
         return Err(truncated());
     }
@@ -824,5 +1134,102 @@ mod tests {
             TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free()),
             Err(IndexError::BadCatalog(_))
         ));
+    }
+
+    #[test]
+    fn reopen_replays_unsynced_units() {
+        // Publication must survive on the WAL alone: no sync() before the
+        // handle is dropped (simulating a crash after commits).
+        let dir = tmpdir("replay");
+        let schema = CubeSchema::tiny();
+        {
+            let idx =
+                TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap();
+            for i in 0..10 {
+                let day = d("2021-01-03").add_days(i);
+                idx.ingest_day(day, &day_cube(schema, &day.to_string(), 2)).unwrap();
+            }
+        }
+        let idx =
+            TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+        assert_eq!(idx.coverage(), Some((d("2021-01-03"), d("2021-01-12"))));
+        assert!(idx.has(Period::Week(d("2021-01-03"))));
+        assert_eq!(idx.fetch(Period::Week(d("2021-01-03"))).unwrap().unwrap().0.total(), 14);
+        assert_eq!(idx.epoch(), 10, "epoch resumes at the replayed unit count");
+    }
+
+    #[test]
+    fn torn_wal_tail_is_discarded_on_open() {
+        let dir = tmpdir("torn");
+        let schema = CubeSchema::tiny();
+        {
+            let idx =
+                TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap();
+            idx.put(Period::Day(d("2021-01-01")), &day_cube(schema, "2021-01-01", 1)).unwrap();
+            idx.put(Period::Day(d("2021-01-02")), &day_cube(schema, "2021-01-02", 2)).unwrap();
+        }
+        // Tear the second unit's record mid-payload.
+        let wal_path = dir.join("wal.log");
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let idx =
+            TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+        assert!(idx.has(Period::Day(d("2021-01-01"))));
+        assert!(!idx.has(Period::Day(d("2021-01-02"))), "torn unit must be rolled back");
+        // The tail was truncated: a second reopen sees the same state.
+        drop(idx);
+        let idx =
+            TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+        assert_eq!(idx.cube_count(), 1);
+    }
+
+    #[test]
+    fn orphan_staged_pages_are_ignored_on_reopen() {
+        let dir = tmpdir("orphan");
+        let schema = CubeSchema::tiny();
+        {
+            let idx =
+                TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap();
+            idx.put(Period::Day(d("2021-01-01")), &day_cube(schema, "2021-01-01", 1)).unwrap();
+            // A staged-but-never-committed page (crash between stage and
+            // commit): appended to the file, absent from WAL and catalog.
+            let page_size = idx.file().page_size();
+            idx.file().append_page(&vec![0u8; page_size]).unwrap();
+            idx.file().sync().unwrap();
+        }
+        let idx =
+            TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+        assert_eq!(idx.cube_count(), 1, "orphan page must not become a cube");
+        assert_eq!(idx.fetch(Period::Day(d("2021-01-01"))).unwrap().unwrap().0.total(), 1);
+    }
+
+    #[test]
+    fn snapshot_pins_pre_publish_version() {
+        let idx = index("snap", 4);
+        let p = Period::Day(d("2021-01-01"));
+        idx.put(p, &day_cube(idx.schema(), "2021-01-01", 3)).unwrap();
+        let snap = idx.snapshot();
+        idx.put(p, &day_cube(idx.schema(), "2021-01-01", 8)).unwrap();
+        let old = idx.fetch_at(&snap, p).unwrap().unwrap().0;
+        assert_eq!(old.total(), 3, "pinned snapshot must keep seeing its version");
+        let new = idx.fetch(p).unwrap().unwrap().0;
+        assert_eq!(new.total(), 8);
+        assert!(idx.epoch() > snap.epoch());
+    }
+
+    #[test]
+    fn publish_counts_units_and_invalidations() {
+        let idx = index("counters", 4);
+        let p = Period::Day(d("2021-01-01"));
+        idx.put(p, &day_cube(idx.schema(), "2021-01-01", 1)).unwrap();
+        assert_eq!((idx.published_units(), idx.invalidations()), (1, 0));
+        idx.put(p, &day_cube(idx.schema(), "2021-01-01", 2)).unwrap();
+        assert_eq!(idx.published_units(), 2);
+        assert_eq!(idx.invalidations(), 1, "one replaced binding, one invalidation");
     }
 }

@@ -6,6 +6,7 @@
 use dettest::{det_proptest, vec_of};
 use rased_cube::{CubeSchema, DataCube};
 use rased_index::{CacheConfig, CacheStrategy, CubeCache};
+use rased_storage::PageId;
 use rased_temporal::{Date, Granularity, Period};
 use std::sync::Arc;
 
@@ -14,24 +15,25 @@ fn cube() -> Arc<DataCube> {
 }
 
 /// Distinct periods per level, most recent last: `counts[i]` periods of
-/// `Granularity::ALL[i]`, anchored in 2021.
-fn catalog(counts: [usize; 4]) -> Vec<Period> {
-    let mut avail = Vec::new();
+/// `Granularity::ALL[i]`, anchored in 2021. Each period gets a distinct
+/// page binding, as the copy-on-write catalog guarantees.
+fn catalog(counts: [usize; 4]) -> Vec<(Period, PageId)> {
+    let mut periods = Vec::new();
     let day0 = Date::new(2021, 6, 1).expect("valid");
     for i in 0..counts[0] {
-        avail.push(Period::Day(day0.add_days(i as i32)));
+        periods.push(Period::Day(day0.add_days(i as i32)));
     }
     let week0 = Date::new(2021, 1, 3).expect("valid"); // a Sunday
     for i in 0..counts[1] {
-        avail.push(Period::Week(week0.add_days(7 * i as i32)));
+        periods.push(Period::Week(week0.add_days(7 * i as i32)));
     }
     for i in 0..counts[2] {
-        avail.push(Period::Month(2018 + (i / 12) as i32, (i % 12) as u32 + 1));
+        periods.push(Period::Month(2018 + (i / 12) as i32, (i % 12) as u32 + 1));
     }
     for i in 0..counts[3] {
-        avail.push(Period::Year(2005 + i as i32));
+        periods.push(Period::Year(2005 + i as i32));
     }
-    avail
+    periods.into_iter().enumerate().map(|(i, p)| (p, PageId(i as u64))).collect()
 }
 
 /// Warm a fresh recency cache over `catalog(counts)` and check every quota
@@ -50,7 +52,7 @@ fn check_warm_respects_quotas(
     let avail = catalog(counts);
     let mut loads = 0usize;
     cache
-        .warm(&avail, |_| -> Result<_, ()> {
+        .warm(&avail, |_, _| -> Result<_, ()> {
             loads += 1;
             Ok(cube())
         })
@@ -60,7 +62,7 @@ fn check_warm_respects_quotas(
     let mut cached_per_level = [0usize; 4];
     for (i, &level) in Granularity::ALL.iter().enumerate() {
         let mut of_level: Vec<Period> =
-            avail.iter().copied().filter(|p| p.granularity() == level).collect();
+            avail.iter().map(|(p, _)| *p).filter(|p| p.granularity() == level).collect();
         of_level.sort_unstable_by_key(|p| std::cmp::Reverse(p.start()));
         let expect = quota[i].min(of_level.len());
         // Exactly the `expect` most recent periods of this level are warm.
@@ -107,10 +109,10 @@ det_proptest! {
             strategy: CacheStrategy::paper_default(),
         });
         let avail = catalog([c0, c1, c2, c3]);
-        cache.warm(&avail, |_| -> Result<_, ()> { Ok(cube()) }).unwrap();
+        cache.warm(&avail, |_, _| -> Result<_, ()> { Ok(cube()) }).unwrap();
         let len = cache.len();
         let mut reloads = 0usize;
-        cache.warm(&avail, |_| -> Result<_, ()> { reloads += 1; Ok(cube()) }).unwrap();
+        cache.warm(&avail, |_, _| -> Result<_, ()> { reloads += 1; Ok(cube()) }).unwrap();
         assert_eq!(reloads, 0, "rewarming an unchanged catalog must reuse every cube");
         assert_eq!(cache.len(), len);
     }
@@ -123,7 +125,7 @@ det_proptest! {
         let cache = CubeCache::new(CacheConfig { slots, strategy: CacheStrategy::Lru });
         let day0 = Date::new(2021, 1, 1).expect("valid");
         for off in ops {
-            cache.admit(Period::Day(day0.add_days(off)), &cube());
+            cache.admit(Period::Day(day0.add_days(off)), PageId(off as u64), &cube());
             assert!(cache.len() <= slots, "LRU overflowed its {slots} slots");
         }
     }

@@ -15,7 +15,10 @@ use crate::model::{
     AnalysisQuery, GroupDim, GroupKey, NetworkSizes, QueryResult, QueryStats, ResultRow, ValueMode,
 };
 use rased_cube::DimSelection;
-use rased_index::{CubeSource, FetchOutcome, IndexError, LevelPlanner, PlannerKind, QueryPlan, TemporalIndex};
+use rased_index::{
+    CatalogVersion, CubeSource, FetchOutcome, IndexError, LevelPlanner, PlannerKind, QueryPlan,
+    TemporalIndex,
+};
 use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
 use rased_storage::sync::Mutex;
 use rased_temporal::{DateRange, Period};
@@ -51,7 +54,7 @@ impl From<IndexError> for QueryError {
 pub struct QueryEngine<'a> {
     index: &'a TemporalIndex,
     planner: PlannerKind,
-    sizes: Option<&'a NetworkSizes>,
+    sizes: Option<NetworkSizes>,
     threads: usize,
 }
 
@@ -67,8 +70,10 @@ impl<'a> QueryEngine<'a> {
         self
     }
 
-    /// Provide per-country network sizes for percentage queries.
-    pub fn with_network_sizes(mut self, sizes: &'a NetworkSizes) -> Self {
+    /// Provide per-country network sizes for percentage queries. Owned (a
+    /// point-in-time copy): the live system recounts sizes during ingest,
+    /// and a query must not observe them shifting mid-execution.
+    pub fn with_network_sizes(mut self, sizes: NetworkSizes) -> Self {
         self.sizes = Some(sizes);
         self
     }
@@ -86,8 +91,13 @@ impl<'a> QueryEngine<'a> {
         let start = Instant::now();
         let io_before = self.index.file().stats().snapshot();
 
+        // Pin the catalog epoch for the whole plan + execute: concurrent
+        // publishes swap in new versions but never mutate this one, so the
+        // query sees one consistent state — never a half-published day or
+        // a blend of two epochs.
+        let snap = self.index.snapshot();
         let selection = self.selection(q);
-        let mut stats = QueryStats::default();
+        let mut stats = QueryStats { epoch: snap.epoch(), ..QueryStats::default() };
 
         // A filter that selects no cell (e.g. only out-of-schema ids) can
         // never match; skip planning and cube fetches entirely.
@@ -102,7 +112,7 @@ impl<'a> QueryEngine<'a> {
         let mut items: Vec<(Option<Period>, Period)> = Vec::new();
         match q.date_granularity() {
             None => {
-                self.collect_plan(q.range, None, &mut items, &mut stats);
+                self.collect_plan(&snap, q.range, None, &mut items, &mut stats);
             }
             Some(g) => {
                 // Date grouping: evaluate each period of granularity `g`
@@ -113,7 +123,7 @@ impl<'a> QueryEngine<'a> {
                     // The loop condition keeps p overlapping q.range, but a
                     // typed break beats a panic if Period arithmetic drifts.
                     let Some(sub) = p.range().intersect(q.range) else { break };
-                    self.collect_plan(sub, Some(p), &mut items, &mut stats);
+                    self.collect_plan(&snap, sub, Some(p), &mut items, &mut stats);
                     p = p.succ();
                 }
             }
@@ -123,9 +133,9 @@ impl<'a> QueryEngine<'a> {
         // the worker pool. Merging is commutative addition, so the final
         // map is identical either way.
         let groups = if self.threads <= 1 || items.len() <= 1 {
-            self.run_sequential(&items, &selection, q, &mut stats)?
+            self.run_sequential(&snap, &items, &selection, q, &mut stats)?
         } else {
-            self.run_parallel(&items, &selection, q, &mut stats)?
+            self.run_parallel(&snap, &items, &selection, q, &mut stats)?
         };
 
         let grand_total: u64 = groups.values().sum();
@@ -136,7 +146,9 @@ impl<'a> QueryEngine<'a> {
                 count,
                 value: match q.value {
                     ValueMode::Count => count as f64,
-                    ValueMode::Percentage => percentage_value(count, &key, self.sizes, grand_total),
+                    ValueMode::Percentage => {
+                        percentage_value(count, &key, self.sizes.as_ref(), grand_total)
+                    }
                 },
             })
             .collect();
@@ -147,8 +159,8 @@ impl<'a> QueryEngine<'a> {
         Ok(QueryResult { rows, stats })
     }
 
-    fn plan(&self, range: DateRange) -> QueryPlan {
-        let exists = |p: Period| self.index.has(p);
+    fn plan(&self, snap: &CatalogVersion, range: DateRange) -> QueryPlan {
+        let exists = |p: Period| snap.contains(p);
         let cached = |p: Period| self.index.cache().contains(p);
         let planner = LevelPlanner::new(self.index.levels(), &exists, &cached);
         planner.plan(range, self.planner)
@@ -175,12 +187,13 @@ impl<'a> QueryEngine<'a> {
     /// planner proves empty are settled into `stats` immediately.
     fn collect_plan(
         &self,
+        snap: &CatalogVersion,
         range: DateRange,
         date_key: Option<Period>,
         items: &mut Vec<(Option<Period>, Period)>,
         stats: &mut QueryStats,
     ) {
-        let plan = self.plan(range);
+        let plan = self.plan(snap, range);
         for planned in &plan.cubes {
             if planned.source == CubeSource::Empty {
                 stats.empty_days += 1;
@@ -193,6 +206,7 @@ impl<'a> QueryEngine<'a> {
     /// Fetch one planned cube and fold its selected cells into `groups`.
     fn fetch_and_aggregate(
         &self,
+        snap: &CatalogVersion,
         period: Period,
         selection: &DimSelection,
         q: &AnalysisQuery,
@@ -200,7 +214,7 @@ impl<'a> QueryEngine<'a> {
         groups: &mut HashMap<GroupKey, u64>,
     ) -> Result<FetchOutcome, QueryError> {
         let (cube, outcome) =
-            self.index.fetch(period)?.ok_or(QueryError::PlanRace(period))?;
+            self.index.fetch_at(snap, period)?.ok_or(QueryError::PlanRace(period))?;
         cube.for_each_selected(selection, |et, c, r, u, v| {
             let mut key = GroupKey { date: date_key, ..GroupKey::default() };
             for dim in &q.group_by {
@@ -224,6 +238,7 @@ impl<'a> QueryEngine<'a> {
     /// Sequential phase 2: one pass over the items on the calling thread.
     fn run_sequential(
         &self,
+        snap: &CatalogVersion,
         items: &[(Option<Period>, Period)],
         selection: &DimSelection,
         q: &AnalysisQuery,
@@ -231,7 +246,7 @@ impl<'a> QueryEngine<'a> {
     ) -> Result<HashMap<GroupKey, u64>, QueryError> {
         let mut groups = HashMap::new();
         for (date_key, period) in items {
-            match self.fetch_and_aggregate(*period, selection, q, *date_key, &mut groups)? {
+            match self.fetch_and_aggregate(snap, *period, selection, q, *date_key, &mut groups)? {
                 FetchOutcome::Cache => stats.cubes_from_cache += 1,
                 FetchOutcome::Disk => stats.cubes_from_disk += 1,
             }
@@ -246,6 +261,7 @@ impl<'a> QueryEngine<'a> {
     /// the sequential map regardless of scheduling.
     fn run_parallel(
         &self,
+        snap: &CatalogVersion,
         items: &[(Option<Period>, Period)],
         selection: &DimSelection,
         q: &AnalysisQuery,
@@ -263,7 +279,8 @@ impl<'a> QueryEngine<'a> {
                     let (mut from_cache, mut from_disk) = (0usize, 0usize);
                     let mut verdict: Result<(), QueryError> = Ok(());
                     for (date_key, period) in items.iter().skip(w).step_by(workers) {
-                        match self.fetch_and_aggregate(*period, selection, q, *date_key, &mut groups)
+                        match self
+                            .fetch_and_aggregate(snap, *period, selection, q, *date_key, &mut groups)
                         {
                             Ok(FetchOutcome::Cache) => from_cache += 1,
                             Ok(FetchOutcome::Disk) => from_disk += 1,
@@ -485,7 +502,7 @@ mod tests {
         let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
             .group(GroupDim::Country)
             .percentage();
-        let engine = QueryEngine::new(&idx).with_network_sizes(&sizes);
+        let engine = QueryEngine::new(&idx).with_network_sizes(sizes.clone());
         let got = engine.execute(&q).unwrap();
         let want = naive_execute(&records, &q, Some(&sizes));
         assert_eq!(got.rows, want.rows);

@@ -158,6 +158,9 @@ pub struct QueryStats {
     pub io: IoSnapshot,
     /// Wall-clock execution time (planning + fetch + aggregate).
     pub wall: Duration,
+    /// Catalog epoch the query was pinned to for its whole plan + execute.
+    /// Results reflect exactly the publishes committed up to this epoch.
+    pub epoch: u64,
     /// Modeled I/O latency on the *critical path*: with a parallel
     /// executor, disk fetches on different workers overlap, so the modeled
     /// response time charges only the worker with the most disk fetches

@@ -144,7 +144,7 @@ fn check_equivalence(seed: u64, span: u64, n_countries: usize, n_road_types: usi
     let want = naive_execute(&records, &q, sizes.as_ref());
     let mut engine = QueryEngine::new(&idx);
     if let Some(s) = &sizes {
-        engine = engine.with_network_sizes(s);
+        engine = engine.with_network_sizes(s.clone());
     }
     let seq = engine.execute(&q).expect("sequential execute");
     assert_eq!(seq.rows, want.rows, "sequential != oracle for {q:?} (seed {seed})");
@@ -153,7 +153,7 @@ fn check_equivalence(seed: u64, span: u64, n_countries: usize, n_road_types: usi
     for threads in [1usize, 2, 4, 7] {
         let mut engine = QueryEngine::new(&idx).with_threads(threads);
         if let Some(s) = &sizes {
-            engine = engine.with_network_sizes(s);
+            engine = engine.with_network_sizes(s.clone());
         }
         let par = engine.execute(&q).expect("parallel execute");
         assert_eq!(

@@ -161,6 +161,17 @@ impl BufferPool {
         self.shard(page.0).pages.lock().contains(&page.0)
     }
 
+    /// Surgically drop one page: the cached copy (if any) is removed and an
+    /// in-flight miss for the page is cancelled so its followers re-resolve
+    /// rather than adopt a read of superseded bytes. Used by the write path
+    /// when a publish rewrites a page. Returns true when a cached copy was
+    /// actually evicted.
+    pub fn invalidate(&self, page: PageId) -> bool {
+        let removed = self.shard(page.0).pages.lock().remove(&page.0).is_some();
+        self.flights.cancel(&page.0);
+        removed
+    }
+
     /// Drop every cached page.
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -305,6 +316,21 @@ mod tests {
         assert_eq!(pool.len(), 1);
         pool.clear();
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn invalidate_drops_cached_copy_and_forces_reread() {
+        let (_dir, pool, pf) = pool(4);
+        pool.read(PageId(2)).unwrap();
+        assert!(pool.contains(PageId(2)));
+        // Rewrite the page behind the pool's back, then invalidate.
+        pf.write_page(PageId(2), &[0xAB; 8]).unwrap();
+        assert!(pool.invalidate(PageId(2)), "cached copy was evicted");
+        assert!(!pool.contains(PageId(2)));
+        // Next read faults the fresh bytes in.
+        assert_eq!(**pool.read(PageId(2)).unwrap(), vec![0xAB; 8]);
+        // Invalidating an uncached page reports false and is harmless.
+        assert!(!pool.invalidate(PageId(7)));
     }
 
     #[test]

@@ -87,6 +87,38 @@ impl<K: Copy + Eq + Hash, V: Clone> FlightGroup<K, V> {
         &self.shards[i]
     }
 
+    /// Cancel the in-flight computation for `key`, if any: the slot is
+    /// deregistered and marked `Failed`, so followers wake up and *retry*
+    /// from scratch (re-resolving the key first — which is the point: the
+    /// caller cancels because the key's backing data was just replaced, and
+    /// a retry observes the replacement). The leader, if one is mid-compute,
+    /// still returns its own result to its own caller; its later attempt to
+    /// deregister is a no-op because the slot it owns is no longer in the
+    /// map. Returns true when a flight was actually cancelled.
+    ///
+    /// Lock discipline matches `run`: the map lock is released before the
+    /// slot lock is taken.
+    pub fn cancel(&self, key: &K) -> bool {
+        let flight = {
+            let shard = self.shard(key);
+            let mut map = shard.lock();
+            map.remove(key)
+        };
+        match flight {
+            Some(f) => {
+                {
+                    let mut state = f.state.lock();
+                    if matches!(*state, FlightState::Pending) {
+                        *state = FlightState::Failed;
+                    }
+                }
+                f.arrived.notify_all();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Compute (or wait for) the value for `key`.
     ///
     /// Exactly one concurrent caller per key runs `compute` at a time; the
@@ -157,7 +189,10 @@ impl<K: Copy + Eq + Hash, V: Clone> LeaderGuard<'_, K, V> {
     }
 
     /// Store the verdict, wake the followers, deregister the slot. Never
-    /// holds two locks at once.
+    /// holds two locks at once. Deregistration only removes the map entry if
+    /// it is still *this* flight: a `cancel` may already have removed it and
+    /// a fresh flight for the same key may have been registered since —
+    /// removing that one would strand its followers.
     fn finish(&self, verdict: FlightState<V>) {
         {
             let mut state = self.flight.state.lock();
@@ -165,7 +200,10 @@ impl<K: Copy + Eq + Hash, V: Clone> LeaderGuard<'_, K, V> {
         }
         self.flight.arrived.notify_all();
         let shard = self.group.shard(&self.key);
-        shard.lock().remove(&self.key);
+        let mut map = shard.lock();
+        if map.get(&self.key).is_some_and(|f| Arc::ptr_eq(f, self.flight)) {
+            map.remove(&self.key);
+        }
     }
 }
 
@@ -300,6 +338,102 @@ mod tests {
         assert!(results.iter().all(|r| !matches!(r, Ok(v) if *v != 77)));
         let n = attempts.load(Ordering::SeqCst);
         assert!(n >= 2, "a retry must have happened, saw {n} attempts");
+        assert_eq!(g.in_flight(), 0);
+    }
+
+    #[test]
+    fn cancel_of_idle_key_is_a_noop() {
+        let g: FlightGroup<u64, u64> = FlightGroup::new(4, "flight.cancel_map", "flight.cancel_slot");
+        assert!(!g.cancel(&42));
+    }
+
+    #[test]
+    fn cancel_wakes_followers_into_a_retry() {
+        let g: Arc<FlightGroup<u64, u64>> =
+            Arc::new(FlightGroup::new(1, "flight.cxl_map", "flight.cxl_slot"));
+        // Three-way rendezvous: leader (inside its compute), follower, and
+        // the main thread all meet before the timing-sensitive part starts.
+        let barrier = Arc::new(Barrier::new(3));
+
+        // Leader enters the flight, rendezvouses, then sleeps long enough
+        // for the cancel to land mid-compute.
+        let leader = {
+            let (g, barrier) = (Arc::clone(&g), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                g.run(3, || {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                    Ok::<_, ()>(1)
+                })
+            })
+        };
+        let follower = {
+            let (g, barrier) = (Arc::clone(&g), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Give the leader time to register before we join.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                g.run(3, || Ok::<_, ()>(2))
+            })
+        };
+        barrier.wait();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(g.cancel(&3), "a flight was in progress");
+
+        // The leader's own caller still gets the leader's value; the
+        // follower was woken by the cancel and retried, computing the fresh
+        // value itself (or joined the leader before the cancel landed —
+        // either way it terminates with a value).
+        assert_eq!(leader.join().unwrap(), Ok(1));
+        let f = follower.join().unwrap().unwrap();
+        assert!(f == 1 || f == 2, "follower saw {f}");
+        assert_eq!(g.in_flight(), 0, "no slot leaks after cancel + finish");
+    }
+
+    #[test]
+    fn cancelled_leader_does_not_deregister_successor_flight() {
+        let g: Arc<FlightGroup<u64, u64>> =
+            Arc::new(FlightGroup::new(1, "flight.succ_map", "flight.succ_slot"));
+        let barrier = Arc::new(Barrier::new(2));
+
+        let old_leader = {
+            let (g, barrier) = (Arc::clone(&g), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                g.run(8, || {
+                    barrier.wait();
+                    // Stay in flight until the main thread has cancelled us
+                    // and registered a successor flight.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    Ok::<_, ()>(10)
+                })
+            })
+        };
+        barrier.wait();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(g.cancel(&8));
+
+        // Register a successor flight for the same key and hold it open
+        // past the old leader's finish. If the old leader's deregistration
+        // were unconditional it would remove *this* flight from the map.
+        let done = Arc::new(AtomicU64::new(0));
+        let successor = {
+            let (g, done) = (Arc::clone(&g), Arc::clone(&done));
+            std::thread::spawn(move || {
+                g.run(8, || {
+                    std::thread::sleep(std::time::Duration::from_millis(80));
+                    done.fetch_add(1, Ordering::SeqCst);
+                    Ok::<_, ()>(20)
+                })
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(g.in_flight(), 1, "successor flight registered");
+        assert_eq!(old_leader.join().unwrap(), Ok(10));
+        // Old leader finished (and would have deregistered); the successor
+        // slot must still be in the map so late arrivals coalesce onto it.
+        assert_eq!(g.in_flight(), 1, "successor flight survived the old leader's finish");
+        assert_eq!(successor.join().unwrap(), Ok(20));
+        assert_eq!(done.load(Ordering::SeqCst), 1);
         assert_eq!(g.in_flight(), 0);
     }
 

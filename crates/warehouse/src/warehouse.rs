@@ -3,6 +3,7 @@
 use crate::heap::{HeapFile, RowId};
 use rased_geo::{BBox, GridIndex, Point};
 use rased_osm_model::{ChangesetId, UpdateRecord};
+use rased_storage::sync::{Mutex, RwLock};
 use rased_storage::{DiskHashIndex, IoCostModel, StorageError};
 use std::fmt;
 use std::path::Path;
@@ -38,15 +39,26 @@ impl From<StorageError> for WarehouseError {
 /// spatial grid is memory-resident and rebuilt with one heap scan on open
 /// (its cells are position-derived, so persistence would only save that
 /// single scan).
+///
+/// All methods take `&self`: the streaming write path appends rows while
+/// sample queries run. Each component sits behind its own lock, and
+/// [`Warehouse::insert`] takes them one at a time — a concurrent reader can
+/// briefly see a row in the heap that the indexes don't reference yet
+/// (sampling is best-effort by contract), but never a dangling index entry.
+/// Lock order where nesting is unavoidable: `spatial` before `heap`
+/// ([`Warehouse::sample_region_filtered`] resolves rows while walking grid
+/// cells); ranks live in `lint.toml`.
 pub struct Warehouse {
-    heap: HeapFile,
-    by_changeset: DiskHashIndex,
-    spatial: GridIndex<RowId>,
+    heap: Mutex<HeapFile>,
+    by_changeset: Mutex<DiskHashIndex>,
+    spatial: RwLock<GridIndex<RowId>>,
 }
 
 impl fmt::Debug for Warehouse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Warehouse").field("rows", &self.heap.row_count()).finish_non_exhaustive()
+        f.debug_struct("Warehouse")
+            .field("rows", &self.heap.lock().row_count())
+            .finish_non_exhaustive()
     }
 }
 
@@ -55,9 +67,12 @@ impl Warehouse {
     /// for the changeset hash index).
     pub fn create(path: &Path, model: IoCostModel, pool_pages: usize) -> Result<Warehouse, WarehouseError> {
         Ok(Warehouse {
-            heap: HeapFile::create(path, model, pool_pages)?,
-            by_changeset: DiskHashIndex::create(&path.with_extension("hx"), model)?,
-            spatial: GridIndex::world_default(),
+            heap: Mutex::new_named(HeapFile::create(path, model, pool_pages)?, "warehouse.heap"),
+            by_changeset: Mutex::new_named(
+                DiskHashIndex::create(&path.with_extension("hx"), model)?,
+                "warehouse.by_changeset",
+            ),
+            spatial: RwLock::new_named(GridIndex::world_default(), "warehouse.spatial"),
         })
     }
 
@@ -70,54 +85,86 @@ impl Warehouse {
         heap.scan(|rid, rec| {
             spatial.insert(Point::new(rec.lat7, rec.lon7), rid);
         })?;
-        Ok(Warehouse { heap, by_changeset, spatial })
+        Ok(Warehouse {
+            heap: Mutex::new_named(heap, "warehouse.heap"),
+            by_changeset: Mutex::new_named(by_changeset, "warehouse.by_changeset"),
+            spatial: RwLock::new_named(spatial, "warehouse.spatial"),
+        })
     }
 
     /// Number of rows.
     pub fn row_count(&self) -> u64 {
-        self.heap.row_count()
+        self.heap.lock().row_count()
     }
 
-    /// The underlying heap (the baseline scans this directly).
-    pub fn heap(&self) -> &HeapFile {
-        &self.heap
+    /// Visit every row in append order (the row-scan access path; also how
+    /// the system recounts network sizes on reopen). Holds the heap lock for
+    /// the whole scan — appends wait, readers of the indexes do not.
+    pub fn scan(&self, visit: impl FnMut(RowId, &UpdateRecord)) -> Result<(), WarehouseError> {
+        Ok(self.heap.lock().scan(visit)?)
     }
 
-    /// Insert one update record.
-    pub fn insert(&mut self, record: &UpdateRecord) -> Result<RowId, WarehouseError> {
-        let rid = self.heap.append(record)?;
-        self.by_changeset.insert(record.changeset.raw(), rid.0)?;
-        self.spatial.insert(Point::new(record.lat7, record.lon7), rid);
+    /// Insert one update record. Each lock is taken and released in turn —
+    /// never nested, so the write path cannot rank against the read paths.
+    pub fn insert(&self, record: &UpdateRecord) -> Result<RowId, WarehouseError> {
+        let rid = {
+            let mut heap = self.heap.lock();
+            heap.append(record)?
+        };
+        {
+            let mut by_changeset = self.by_changeset.lock();
+            by_changeset.insert(record.changeset.raw(), rid.0)?;
+        }
+        self.spatial.write().insert(Point::new(record.lat7, record.lon7), rid);
         Ok(rid)
     }
 
-    /// Bulk insert.
+    /// Bulk insert. One heap-lock acquisition for the rows, then the
+    /// indexes; a reader interleaving with the batch sees a prefix.
     pub fn insert_batch<'a>(
-        &mut self,
+        &self,
         records: impl IntoIterator<Item = &'a UpdateRecord>,
     ) -> Result<u64, WarehouseError> {
         let mut n = 0u64;
-        for r in records {
-            self.insert(r)?;
-            n += 1;
+        let mut rids = Vec::new();
+        {
+            let mut heap = self.heap.lock();
+            for r in records {
+                rids.push((heap.append(r)?, r.changeset.raw(), Point::new(r.lat7, r.lon7)));
+                n += 1;
+            }
+        }
+        {
+            let mut by_changeset = self.by_changeset.lock();
+            for &(rid, cs, _) in &rids {
+                by_changeset.insert(cs, rid.0)?;
+            }
+        }
+        let mut spatial = self.spatial.write();
+        for &(rid, _, p) in &rids {
+            spatial.insert(p, rid);
         }
         Ok(n)
     }
 
     /// Persist buffered rows and the changeset index directory.
-    pub fn flush(&mut self) -> Result<(), WarehouseError> {
-        self.heap.flush()?;
-        self.by_changeset.sync()?;
+    pub fn flush(&self) -> Result<(), WarehouseError> {
+        self.heap.lock().flush()?;
+        self.by_changeset.lock().sync()?;
         Ok(())
     }
 
     /// All updates of one changeset (hash-index lookup; §IV-B uses this to
     /// hand a sample off to a changeset viewer).
     pub fn by_changeset(&self, id: ChangesetId) -> Result<Vec<UpdateRecord>, WarehouseError> {
-        let rids = self.by_changeset.get(id.raw())?;
+        let rids = {
+            let by_changeset = self.by_changeset.lock();
+            by_changeset.get(id.raw())?
+        };
         let mut out = Vec::with_capacity(rids.len());
+        let heap = self.heap.lock();
         for rid in rids {
-            if let Some(rec) = self.heap.get(RowId(rid))? {
+            if let Some(rec) = heap.get(RowId(rid))? {
                 out.push(rec);
             }
         }
@@ -127,10 +174,11 @@ impl Warehouse {
     /// Up to `limit` updates inside a region (spatial-index lookup) — the
     /// sample-update query with its default N = 100.
     pub fn sample_region(&self, bbox: &BBox, limit: usize) -> Result<Vec<UpdateRecord>, WarehouseError> {
-        let rids = self.spatial.sample(bbox, limit);
+        let rids = self.spatial.read().sample(bbox, limit);
         let mut out = Vec::with_capacity(rids.len());
+        let heap = self.heap.lock();
         for rid in rids {
-            if let Some(rec) = self.heap.get(rid)? {
+            if let Some(rec) = heap.get(rid)? {
                 out.push(rec);
             }
         }
@@ -147,11 +195,16 @@ impl Warehouse {
     ) -> Result<Vec<UpdateRecord>, WarehouseError> {
         let mut out = Vec::new();
         let mut err: Option<StorageError> = None;
-        self.spatial.query(bbox, &mut |_, rid| {
+        // Nested acquisition: grid cells are walked under the spatial read
+        // guard while rows resolve through the heap — "warehouse:spatial"
+        // ranks below "warehouse:heap" for exactly this path.
+        let spatial = self.spatial.read();
+        let heap = self.heap.lock();
+        spatial.query(bbox, &mut |_, rid| {
             if out.len() >= limit || err.is_some() {
                 return;
             }
-            match self.heap.get(*rid) {
+            match heap.get(*rid) {
                 Ok(Some(rec)) if pred(&rec) => out.push(rec),
                 Ok(_) => {}
                 Err(e) => err = Some(e),
@@ -193,7 +246,7 @@ mod tests {
     }
 
     fn filled(tag: &str, n: u64) -> Warehouse {
-        let mut w = Warehouse::create(&tmppath(tag), IoCostModel::free(), 16).unwrap();
+        let w = Warehouse::create(&tmppath(tag), IoCostModel::free(), 16).unwrap();
         for i in 0..n {
             let lat = (i as i32 % 1_000) * 100_000; // 0°..~10° in 0.01° steps
             let lon = (i as i32 % 500) * 200_000;
@@ -241,7 +294,7 @@ mod tests {
     fn reopen_rebuilds_indexes() {
         let path = tmppath("reopen");
         {
-            let mut w = Warehouse::create(&path, IoCostModel::free(), 16).unwrap();
+            let w = Warehouse::create(&path, IoCostModel::free(), 16).unwrap();
             for i in 0..100 {
                 w.insert(&rec(i, 10_000_000 + i as i32, 20_000_000)).unwrap();
             }

@@ -34,7 +34,7 @@ pub fn build_demo_system(tag: &str, seed: u64) -> DemoSystem {
 
     let schema =
         CubeSchema::new(dataset.config.world.n_countries, dataset.config.sim.n_road_types);
-    let mut rased =
+    let rased =
         Rased::create(RasedConfig::new(dir.join("system")).with_schema(schema)).expect("create system");
 
     eprintln!("[demo] ingesting through the daily + monthly crawlers...");

@@ -170,7 +170,7 @@ fn demo_system(tag: &str) -> (TempDir, Arc<Rased>) {
     cfg.seed_nodes_per_country = 8;
     let ds = Dataset::generate(&dir.join("osm"), cfg).unwrap();
     let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
-    let mut system =
+    let system =
         Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
     system.ingest_dataset(&ds).unwrap();
     (dir, Arc::new(system))

@@ -109,7 +109,7 @@ fn ingest_with_missing_files_fails_cleanly() {
     std::fs::remove_file(ds.paths.diff(Date::new(2021, 1, 5).unwrap())).unwrap();
 
     let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
-    let mut system =
+    let system =
         Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
     let err = system.ingest_dataset(&ds).unwrap_err();
     assert!(err.to_string().contains("I/O"), "{err}");

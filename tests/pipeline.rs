@@ -103,7 +103,7 @@ fn random_query_battery_matches_oracle() {
     let (_dir, ds) = dataset("battery", 41);
     let sys_dir = tmpdir("battery-sys");
     let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
-    let mut system =
+    let system =
         Rased::create(RasedConfig::new(sys_dir.path()).with_schema(schema)).unwrap();
     system.ingest_dataset(&ds).unwrap();
 
@@ -154,14 +154,14 @@ fn flat_and_hierarchical_indexes_agree() {
     let schema = CubeSchema::new(ds.config.world.n_countries, ds.config.sim.n_road_types);
 
     let full_dir = tmpdir("fvh-full");
-    let mut full =
+    let full =
         Rased::create(RasedConfig::new(full_dir.path()).with_schema(schema)).unwrap();
     full.ingest_dataset(&ds).unwrap();
 
     let flat_dir = tmpdir("fvh-flat");
     let mut flat_config = RasedConfig::new(flat_dir.path()).with_schema(schema);
     flat_config.levels = 1;
-    let mut flat = Rased::create(flat_config).unwrap();
+    let flat = Rased::create(flat_config).unwrap();
     flat.ingest_dataset(&ds).unwrap();
 
     let q = AnalysisQuery::over(ds.config.range).group(GroupDim::Country).group(GroupDim::UpdateType);

@@ -25,7 +25,7 @@ fn zone_counts_are_member_sums() {
     let mut config = RasedConfig::new(dir.join("sys")).with_continent_zones();
     config.n_road_types = ds.config.sim.n_road_types;
     config = config.with_continent_zones(); // re-derive schema with road types set
-    let mut system = Rased::create(config).unwrap();
+    let system = Rased::create(config).unwrap();
     system.ingest_dataset(&ds).unwrap();
 
     let q = AnalysisQuery::over(ds.config.range).group(GroupDim::Country);
@@ -99,7 +99,7 @@ fn zones_disabled_by_default() {
         ds.config.world.n_countries,
         ds.config.sim.n_road_types,
     );
-    let mut system =
+    let system =
         Rased::create(RasedConfig::new(dir.join("sys")).with_schema(schema)).unwrap();
     system.ingest_dataset(&ds).unwrap();
     let result = system
