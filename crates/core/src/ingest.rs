@@ -131,10 +131,18 @@ impl Rased {
         Ok(report)
     }
 
-    /// Publish one day: expand zones, build the daily cube, commit it (and
-    /// its roll-ups) as one unit, append the warehouse rows and update the
-    /// network counters. Returns the cube maintenance ops performed. Shared
-    /// by the batch path above and the streaming [`crate::IngestController`].
+    /// Publish one day: expand zones, build the daily cube, append + flush
+    /// the warehouse rows, then commit the cube (and its roll-ups) as one
+    /// unit carrying the flushed row count as its durable watermark.
+    /// Returns the cube maintenance ops performed. Shared by the batch
+    /// path above and the streaming [`crate::IngestController`].
+    ///
+    /// Ordering is the crash-safety contract: warehouse rows become
+    /// durable *before* the cube unit that implies them, so a day present
+    /// in the index always has its sample rows — which is what lets the
+    /// streaming resume check skip already-indexed days. If the cube
+    /// commit fails after the rows went in, they are truncated back out
+    /// so a retry (or re-enqueue) cannot double-insert them.
     pub(crate) fn apply_day(
         &self,
         day: Date,
@@ -145,10 +153,28 @@ impl Rased {
         let expanded = self.config.zones.expand_all(records);
         let cube = DataCube::from_records(self.config.schema, &expanded)
             .map_err(rased_index::IndexError::from)?;
-        let maint = self.index.ingest_day(day, &cube)?;
-        self.warehouse.insert_batch(records)?;
-        self.track_network(&expanded);
-        Ok(maint.total_ops())
+        let base = self.warehouse.row_count();
+        let published = self
+            .warehouse
+            .insert_batch(records)
+            .map_err(RasedError::from)
+            .and_then(|_| Ok(self.warehouse.flush()?))
+            .and_then(|()| {
+                Ok(self.index.ingest_day_marked(day, &cube, self.warehouse.row_count())?)
+            });
+        match published {
+            Ok(maint) => {
+                self.track_network(&expanded);
+                Ok(maint.total_ops())
+            }
+            Err(e) => {
+                // Roll the partial day back; if even that fails the
+                // reopen-time trim to the durable watermark (still `base`)
+                // repairs it.
+                let _ = self.warehouse.truncate_rows(base);
+                Err(e)
+            }
+        }
     }
 
     /// Publish one month's refinement: rebuild the month's daily cubes from

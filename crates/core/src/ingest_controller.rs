@@ -263,7 +263,12 @@ fn ingest_job(
             return Ok(());
         }
         if sys.index().has(Period::Day(day)) {
-            // Resumable: published by a prior run or recovered from the WAL.
+            // Resumable: published by a prior run or recovered from the
+            // WAL. Skipping on index presence alone is sound because
+            // `apply_day` flushes the warehouse *before* committing the
+            // cube unit (and `Rased::open` trims any rows past the last
+            // committed watermark), so an indexed day always has its
+            // sample rows too.
             continue;
         }
         if !dataset.paths.diff(day).exists() {
@@ -277,7 +282,9 @@ fn ingest_job(
         inner.set_phase(IngestPhase::Publishing);
         // The publish itself is not retried: `apply_day` commits the cube
         // unit atomically, and a failure after the commit must not publish
-        // the day twice. The WAL makes "retry by re-enqueueing" safe.
+        // the day twice. A failure *before* the commit rolls the day's
+        // warehouse rows back out, so the WAL makes "retry by
+        // re-enqueueing" safe in either half.
         sys.apply_day(day, &records)?;
         inner.with_status(|s| s.days_published += 1);
     }

@@ -252,6 +252,14 @@ impl Rased {
             config.io_model,
             config.warehouse_pool_pages,
         )?;
+        // Crash repair: every committed day unit records the warehouse row
+        // count it flushed first, so rows beyond the last committed
+        // watermark belong to a day whose cube never published. Trim them —
+        // the day is absent from the index, so the streaming resume path
+        // will re-crawl and re-insert it without duplicating rows.
+        if let Some(mark) = index.durable_mark() {
+            warehouse.truncate_rows(mark)?;
+        }
         let system = Self::assemble(config, index, warehouse);
         system.recount_network_sizes()?;
         system.index.warm_cache()?;

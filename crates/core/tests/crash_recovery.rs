@@ -156,6 +156,106 @@ fn truncation_at_every_byte_boundary_recovers_a_committed_prefix() {
     check_crash_recovery(0xC4A5_85AF_E57E_ED01, 10, None);
 }
 
+/// Index–warehouse coupling under crashes: drive the `apply_day` protocol
+/// (warehouse rows flushed, then the cube unit committed with the row
+/// count as its durable watermark), truncate the WAL at every byte, and
+/// require the *warehouse* to recover in lockstep with the index — the
+/// rows of exactly the surviving day prefix, nothing more. Then replay
+/// the missing days the way the streaming resume path would and require
+/// the result to equal a never-crashed run: no lost rows, no duplicates.
+#[test]
+fn warehouse_recovers_in_lockstep_with_the_index() {
+    let schema = CubeSchema::tiny();
+    let start = Date::new(2021, 1, 3).expect("date");
+    // Distinct changeset ranges per day so a row's provenance is checkable:
+    // day i uses changesets 1000·(i+1) .. 1000·(i+1)+len.
+    let days: Vec<(Date, Vec<UpdateRecord>)> = (0..6u64)
+        .map(|i| {
+            let date = start.add_days(i as i32);
+            let recs: Vec<UpdateRecord> = (0..(2 + i))
+                .map(|j| UpdateRecord {
+                    element_type: ElementType::Way,
+                    update_type: UpdateType::Create,
+                    country: CountryId((j % 2) as u16),
+                    road_type: RoadTypeId(0),
+                    date,
+                    lat7: (i as i32) * 1_000_000,
+                    lon7: (j as i32) * 1_000_000,
+                    changeset: ChangesetId(1_000 * (i + 1) + j),
+                })
+                .collect();
+            (date, recs)
+        })
+        .collect();
+    let prefix_rows = |k: usize| days[..k].iter().map(|(_, r)| r.len() as u64).sum::<u64>();
+
+    // The apply_day publish protocol, via public APIs so the crash can be
+    // simulated between any two file writes (no sync(): WAL-only state).
+    let publish = |sys: &Rased, day: Date, recs: &[UpdateRecord]| {
+        let cube = DataCube::from_records(schema, recs).expect("cube");
+        sys.warehouse().insert_batch(recs).expect("insert");
+        sys.warehouse().flush().expect("flush");
+        sys.index()
+            .ingest_day_marked(day, &cube, sys.warehouse().row_count())
+            .expect("commit");
+    };
+
+    let full = TempDir::new("crash-wh-full");
+    {
+        let sys = fresh_system(full.path(), schema);
+        for (day, recs) in &days {
+            publish(&sys, *day, recs);
+        }
+    }
+    let wal = std::fs::read(full.path().join("index").join("wal.log")).expect("read wal");
+
+    for t in 0..=wal.len() {
+        let scratch = TempDir::new("crash-wh-cut");
+        copy_dir(full.path(), scratch.path());
+        let wal_path = scratch.path().join("index").join("wal.log");
+        let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(t as u64).unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+
+        let sys = Rased::open(RasedConfig::load(scratch.path()).expect("load"))
+            .unwrap_or_else(|e| panic!("open must survive truncation at byte {t}: {e}"));
+        let k = (0..days.len())
+            .take_while(|&i| sys.index().has(Period::Day(days[i].0)))
+            .count();
+        assert_eq!(
+            sys.warehouse().row_count(),
+            prefix_rows(k),
+            "cut at byte {t}: warehouse rows must match the surviving {k}-day prefix"
+        );
+        for (i, (_, recs)) in days.iter().enumerate() {
+            let got = sys.by_changeset(recs[0].changeset).expect("by_changeset");
+            if i < k {
+                assert_eq!(got.len(), 1, "cut at byte {t}: surviving day {i} lost its rows");
+            } else {
+                assert!(got.is_empty(), "cut at byte {t}: dropped day {i} left rows behind");
+            }
+        }
+
+        // Resume exactly like the streaming path: skip indexed days,
+        // re-publish the rest. The end state must equal a never-crashed
+        // run — same row count, no duplicated changesets.
+        for (day, recs) in &days {
+            if !sys.index().has(Period::Day(*day)) {
+                publish(&sys, *day, recs);
+            }
+        }
+        assert_eq!(sys.warehouse().row_count(), prefix_rows(days.len()), "cut at byte {t}");
+        for (_, recs) in &days {
+            assert_eq!(
+                sys.by_changeset(recs[0].changeset).expect("by_changeset").len(),
+                1,
+                "cut at byte {t}: resume must not duplicate rows"
+            );
+        }
+    }
+}
+
 det_proptest! {
     #![det_config(cases = 6)]
 

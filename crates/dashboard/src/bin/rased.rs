@@ -236,19 +236,6 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let addr = flags.get("addr").map(|s| s.as_str()).unwrap_or("127.0.0.1:7878");
     let config = server_config(flags)?;
 
-    // Serving always carries the streaming write path: POST /api/ingest
-    // enqueues onto this controller while queries keep running.
-    let ingest = Arc::new(IngestController::start(Arc::clone(&system))?);
-    let server = DashboardServer::bind_with(Arc::clone(&system), addr, config)?
-        .with_ingest(Arc::clone(&ingest));
-    let addr = server.addr()?;
-    println!(
-        "RASED dashboard listening on http://{addr} ({} workers, queue depth {})",
-        server.config().effective_workers(),
-        server.config().queue_depth,
-    );
-    println!("serving-tier telemetry at http://{addr}/api/metrics");
-
     // `--follow DATA_DIR` (or a bare `--follow` with `--data DIR`): tail the
     // generator's output — whenever the writer goes idle, re-enqueue the
     // directory. The controller skips already-published days, so each pass
@@ -258,6 +245,27 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
         Some(_) => Some(get(flags, "data")?.to_string()),
         None => None,
     };
+    // The followed directory (or `--data`) doubles as the ingest root:
+    // POST /api/ingest only accepts directories that resolve under it.
+    // Without either flag there is no root and HTTP enqueueing is refused.
+    let ingest_root = follow_dir.clone().or_else(|| flags.get("data").cloned());
+
+    // Serving always carries the streaming write path: POST /api/ingest
+    // enqueues onto this controller while queries keep running.
+    let ingest = Arc::new(IngestController::start(Arc::clone(&system))?);
+    let server = DashboardServer::bind_with(Arc::clone(&system), addr, config)?
+        .with_ingest(Arc::clone(&ingest), ingest_root.clone().map(std::path::PathBuf::from));
+    let addr = server.addr()?;
+    println!(
+        "RASED dashboard listening on http://{addr} ({} workers, queue depth {})",
+        server.config().effective_workers(),
+        server.config().queue_depth,
+    );
+    println!("serving-tier telemetry at http://{addr}/api/metrics");
+    match &ingest_root {
+        Some(root) => println!("POST /api/ingest confined to {root}"),
+        None => println!("POST /api/ingest disabled (pass --data or --follow to set a root)"),
+    }
     let stop_follow = Arc::new(AtomicBool::new(false));
     let follower = follow_dir.map(|dir| {
         println!("following {dir} for new days");

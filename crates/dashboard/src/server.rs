@@ -12,8 +12,9 @@
 //!   write-path counters (catalog epoch, published units, cache
 //!   invalidations, crawler skip statistics);
 //! * `POST /api/ingest?dir=PATH` — enqueue a data directory for streaming
-//!   ingestion (`202` + queue depth; `503` when the bounded queue is full
-//!   or no ingest controller is attached);
+//!   ingestion; `PATH` must resolve under the configured ingest root
+//!   (`202` + queue depth; `400`/`403` on bad or out-of-root paths; `503`
+//!   when the bounded queue is full or no ingest controller is attached);
 //! * `GET /api/ingest/status` — the streaming writer's phase, progress and
 //!   last error.
 //!
@@ -52,6 +53,7 @@ pub struct DashboardServer {
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
     ingest: Option<Arc<IngestController>>,
+    ingest_root: Option<std::path::PathBuf>,
 }
 
 /// Requests [`DashboardServer::serve`] to shut down gracefully.
@@ -170,13 +172,25 @@ impl DashboardServer {
             config,
             metrics: Arc::new(ServerMetrics::new()),
             ingest: None,
+            ingest_root: None,
         })
     }
 
     /// Attach a streaming ingest controller; enables `POST /api/ingest` and
     /// `GET /api/ingest/status`. Without one, both answer `503`.
-    pub fn with_ingest(mut self, ingest: Arc<IngestController>) -> DashboardServer {
+    ///
+    /// `data_root` confines the write surface: enqueued directories must
+    /// resolve (symlinks included) to somewhere under it, and relative
+    /// requests are interpreted against it. With no root, `POST` is
+    /// refused outright — status stays readable, but a network client
+    /// cannot point the crawler at arbitrary host paths.
+    pub fn with_ingest(
+        mut self,
+        ingest: Arc<IngestController>,
+        data_root: Option<std::path::PathBuf>,
+    ) -> DashboardServer {
         self.ingest = Some(ingest);
+        self.ingest_root = data_root;
         self
     }
 
@@ -397,8 +411,10 @@ impl DashboardServer {
 
     /// `POST /api/ingest`: enqueue a data directory for streaming
     /// ingestion. The directory comes from the `dir` query parameter or the
-    /// request body (plain text). `202` on success; `503` + `Retry-After`
-    /// when the bounded queue pushes back.
+    /// request body (plain text), and must resolve under the configured
+    /// ingest root (see [`DashboardServer::with_ingest`]) — `403` outside
+    /// it or when no root is configured, `400` when it does not exist.
+    /// `202` on success; `503` when the bounded queue pushes back.
     fn ingest_enqueue(&self, req: &Request, query: &str) -> (u16, &'static str, Cow<'static, str>) {
         let Some(ctl) = &self.ingest else {
             return (503, "text/plain", Cow::from("ingest is not enabled on this server"));
@@ -424,7 +440,31 @@ impl DashboardServer {
                 Cow::from("missing data directory (`dir` query parameter or request body)"),
             );
         };
-        match ctl.enqueue(std::path::PathBuf::from(dir)) {
+        let Some(root) = &self.ingest_root else {
+            return (
+                403,
+                "text/plain",
+                Cow::from("no ingest root configured; enqueueing over HTTP is disabled"),
+            );
+        };
+        // Canonicalize both sides so `..` segments and symlinks cannot
+        // escape the root, then require the request to stay inside it.
+        let Ok(root) = root.canonicalize() else {
+            return (503, "text/plain", Cow::from("ingest root is not accessible"));
+        };
+        let requested = std::path::PathBuf::from(dir);
+        let requested = if requested.is_absolute() { requested } else { root.join(requested) };
+        let Ok(resolved) = requested.canonicalize() else {
+            return (400, "text/plain", Cow::from("data directory does not exist"));
+        };
+        if !resolved.starts_with(&root) {
+            return (
+                403,
+                "text/plain",
+                Cow::from("data directory is outside the configured ingest root"),
+            );
+        }
+        match ctl.enqueue(resolved) {
             Ok(depth) => {
                 let mut j = Json::new();
                 j.begin_object();

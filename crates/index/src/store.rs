@@ -14,11 +14,19 @@
 //!   epoch. Readers that pinned the previous version keep resolving the
 //!   old pages; a crash between stage and commit loses nothing but orphan
 //!   pages.
+//! * A binding can also be a *tombstone*: `rebuild_month` removes the
+//!   daily cube of any in-month day the refined crawl produced no records
+//!   for, so stale pre-refinement counts cannot survive inside roll-ups.
 //! * `open()` loads the last catalog checkpoint (`catalog.bin`) and
 //!   replays the WAL, discarding a torn or corrupt tail — an interrupted
-//!   unit is rolled back wholesale, never half-applied.
+//!   unit is rolled back wholesale, never half-applied. The checkpoint
+//!   carries the epoch, so epochs are monotonic across restarts.
 //! * `sync()` checkpoints the catalog (write-temp + atomic rename) and
 //!   resets the WAL.
+//! * A day unit may carry a *durable watermark* — the warehouse row count
+//!   that was flushed before the unit committed. Recovery hands the last
+//!   committed watermark back to the system, which trims the warehouse to
+//!   it: a day present in the index then always has its sample rows too.
 //!
 //! Publishing surgically invalidates exactly the replaced periods in the
 //! cube cache (version-tagged; see [`CubeCache`]) and cancels in-flight
@@ -126,8 +134,10 @@ pub struct CatalogVersion {
 
 impl CatalogVersion {
     /// The publish counter this version was installed at. Monotonically
-    /// increasing within a process; reset (to the replayed-unit count) on
-    /// open.
+    /// increasing across the index's whole history: the checkpoint
+    /// persists it, and `open()` resumes at checkpoint epoch + replayed
+    /// units — an external consumer comparing epochs across a restart
+    /// never sees it go backwards.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -171,19 +181,30 @@ const UNIT_MONTH: u8 = 2;
 
 /// An uncommitted write unit: pages already appended (copy-on-write), the
 /// catalog bindings they will install, none of it visible to readers.
+/// A `None` page is a tombstone — commit removes the period's binding.
+/// `mark` is the warehouse durable row count to publish with the unit.
 struct WriteUnit {
     kind: u8,
     a: i32,
     b: u32,
-    delta: Vec<(Period, PageId)>,
-    staged: HashMap<Period, PageId>,
+    delta: Vec<(Period, Option<PageId>)>,
+    staged: HashMap<Period, Option<PageId>>,
+    mark: Option<u64>,
 }
 
 impl WriteUnit {
     fn new(kind: u8, a: i32, b: u32) -> WriteUnit {
-        WriteUnit { kind, a, b, delta: Vec::new(), staged: HashMap::new() }
+        WriteUnit { kind, a, b, delta: Vec::new(), staged: HashMap::new(), mark: None }
     }
 }
+
+/// Sentinel page value marking a tombstone in WAL records (a real page id
+/// can never reach it — the page file would be > 10^13 TB).
+const TOMBSTONE: u64 = u64::MAX;
+
+/// Sentinel for "no durable watermark recorded" in the catalog checkpoint
+/// and in [`TemporalIndex::durable_mark`]'s backing atomic.
+const NO_MARK: u64 = u64::MAX;
 
 /// The hierarchical temporal index: one disk page per cube, an
 /// epoch-versioned period → page catalog, a cube cache, and the
@@ -205,6 +226,9 @@ pub struct TemporalIndex {
     catalog_path: PathBuf,
     published_units: AtomicU64,
     invalidations: AtomicU64,
+    /// Last committed warehouse watermark ([`NO_MARK`] = none recorded).
+    /// Written under the WAL mutex, checkpointed by `sync()`.
+    durable_mark: AtomicU64,
 }
 
 impl fmt::Debug for TemporalIndex {
@@ -235,8 +259,10 @@ impl TemporalIndex {
         let file = PageFile::create(&dir.join("cubes.pg"), schema.cube_bytes(), model)?;
         let catalog_path = dir.join("catalog.bin");
         // Write the empty checkpoint and an empty WAL up front: a process
-        // killed right after create must reopen as a valid empty index.
-        save_catalog(&catalog_path, &HashMap::new())?;
+        // killed right after create must reopen as a valid empty index. The
+        // watermark starts at zero — an empty index accounts for no rows —
+        // so a crash before the first marked commit trims stragglers away.
+        save_catalog(&catalog_path, &HashMap::new(), 0, Some(0))?;
         let mut log = wal::Wal::open_append(&dir.join("wal.log")).map_err(StorageError::from)?;
         log.reset().map_err(StorageError::from)?;
         Ok(TemporalIndex {
@@ -253,13 +279,16 @@ impl TemporalIndex {
             catalog_path,
             published_units: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            durable_mark: AtomicU64::new(0),
         })
     }
 
     /// Reopen an index created earlier: load the catalog checkpoint, then
     /// replay committed WAL units on top. A torn or corrupt WAL tail — a
     /// crash mid-commit — is truncated away; pages staged by uncommitted
-    /// units are unreachable orphans and simply never referenced.
+    /// units are unreachable orphans and simply never referenced. The
+    /// epoch resumes at checkpoint epoch + replayed units (monotonic
+    /// across restarts); the durable watermark is the last one committed.
     pub fn open(
         dir: &Path,
         schema: CubeSchema,
@@ -270,7 +299,7 @@ impl TemporalIndex {
         assert!((1..=4).contains(&levels), "levels must be 1..=4");
         let file = PageFile::open(&dir.join("cubes.pg"), model)?;
         let catalog_path = dir.join("catalog.bin");
-        let mut map = load_catalog(&catalog_path)?;
+        let (mut map, base_epoch, mut mark) = load_catalog(&catalog_path)?;
 
         let wal_path = dir.join("wal.log");
         let (records, total_len) = wal::replay(&wal_path).map_err(StorageError::from)?;
@@ -280,12 +309,23 @@ impl TemporalIndex {
         for rec in records {
             // A record that fails to decode — or that points past the
             // allocation watermark — marks the end of trustworthy history.
-            let Ok(entries) = decode_unit(&rec.payload) else { break };
-            if entries.iter().any(|(_, page)| page.0 >= page_count) {
+            // Tombstone entries carry no page and are exempt.
+            let Ok((entries, unit_mark)) = decode_unit(&rec.payload) else { break };
+            if entries.iter().any(|(_, page)| page.is_some_and(|pg| pg.0 >= page_count)) {
                 break;
             }
             for (p, page) in entries {
-                map.insert(p, page);
+                match page {
+                    Some(pg) => {
+                        map.insert(p, pg);
+                    }
+                    None => {
+                        map.remove(&p);
+                    }
+                }
+            }
+            if unit_mark.is_some() {
+                mark = unit_mark;
             }
             applied += 1;
             good_end = rec.end_offset;
@@ -300,7 +340,7 @@ impl TemporalIndex {
             levels,
             file: Arc::new(file),
             catalog: RwLock::new_named(
-                Arc::new(CatalogVersion { epoch: applied, map }),
+                Arc::new(CatalogVersion { epoch: base_epoch + applied, map }),
                 "index.catalog",
             ),
             wal: Mutex::new_named(log, "index.wal"),
@@ -309,6 +349,7 @@ impl TemporalIndex {
             catalog_path,
             published_units: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            durable_mark: AtomicU64::new(mark.unwrap_or(NO_MARK)),
         })
     }
 
@@ -352,6 +393,20 @@ impl TemporalIndex {
     /// Stale cache entries surgically invalidated by publishes.
     pub fn invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// The warehouse row count recorded by the last committed unit that
+    /// carried one ([`TemporalIndex::ingest_day_marked`]); a fresh index
+    /// starts at `Some(0)`. `None` only on a pre-watermark checkpoint
+    /// (no trim evidence). Every row below the watermark was flushed before
+    /// the unit became durable, so on reopen the system trims the
+    /// warehouse back to it — index presence then implies warehouse
+    /// presence, which is what makes skip-if-indexed resume correct.
+    pub fn durable_mark(&self) -> Option<u64> {
+        match self.durable_mark.load(Ordering::SeqCst) {
+            NO_MARK => None,
+            m => Some(m),
+        }
     }
 
     /// True when a cube for `period` is materialized.
@@ -401,9 +456,17 @@ impl TemporalIndex {
         self.check_level(period)?;
         let bytes = pad_to_page(cube.to_bytes(), self.file.page_size());
         let page = self.file.append_page(&bytes)?;
-        unit.delta.push((period, page));
-        unit.staged.insert(period, page);
+        unit.delta.push((period, Some(page)));
+        unit.staged.insert(period, Some(page));
         Ok(())
+    }
+
+    /// Record that `period` has no cube in the unit's post-state: commit
+    /// removes its catalog binding, and roll-ups built by this unit treat
+    /// it as empty (the staged tombstone shadows the committed page).
+    fn stage_tombstone(&self, unit: &mut WriteUnit, period: Period) {
+        unit.delta.push((period, None));
+        unit.staged.insert(period, None);
     }
 
     /// Publish a unit: durable pages → WAL record → catalog swap. The WAL
@@ -418,16 +481,28 @@ impl TemporalIndex {
         // record that publishes it.
         self.file.sync()?;
         let payload = encode_unit(&unit);
-        let mut stale: Vec<(Period, PageId, PageId)> = Vec::new();
+        let mut stale: Vec<(Period, Option<PageId>, PageId)> = Vec::new();
         {
             let mut log = self.wal.lock();
             log.append(&payload).map_err(StorageError::from)?;
+            if let Some(m) = unit.mark {
+                self.durable_mark.store(m, Ordering::SeqCst);
+            }
             let mut cat = self.catalog.write();
             let mut map = cat.map.clone();
             for &(p, page) in &unit.delta {
-                if let Some(old) = map.insert(p, page) {
-                    if old != page {
-                        stale.push((p, page, old));
+                match page {
+                    Some(page) => {
+                        if let Some(old) = map.insert(p, page) {
+                            if old != page {
+                                stale.push((p, Some(page), old));
+                            }
+                        }
+                    }
+                    None => {
+                        if let Some(old) = map.remove(&p) {
+                            stale.push((p, None, old));
+                        }
                     }
                 }
             }
@@ -435,9 +510,15 @@ impl TemporalIndex {
         }
         for (period, new_page, old_page) in stale {
             // Drop the superseded cached cube (tag-checked so a copy of the
-            // new version is spared) and cancel any in-flight read of the
-            // dead page so a stalled miss can't resurrect it.
-            self.cache.invalidate_stale(period, new_page);
+            // new version is spared; a tombstone drops unconditionally) and
+            // cancel any in-flight read of the dead page so a stalled miss
+            // can't resurrect it.
+            match new_page {
+                Some(new_page) => {
+                    self.cache.invalidate_stale(period, new_page);
+                }
+                None => self.cache.invalidate(period),
+            }
             self.flights.cancel(&old_page.0);
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
@@ -509,7 +590,12 @@ impl TemporalIndex {
         unit: &WriteUnit,
         period: Period,
     ) -> Result<Option<Arc<DataCube>>, IndexError> {
-        let page = unit.staged.get(&period).copied().or_else(|| self.catalog.read().page(period));
+        // A staged binding — page *or* tombstone — shadows the committed
+        // catalog; only an untouched period falls through to it.
+        let page = match unit.staged.get(&period) {
+            Some(&staged) => staged,
+            None => self.catalog.read().page(period),
+        };
         match page {
             Some(page) => self.read_cube(page).map(Some),
             None => Ok(None),
@@ -527,9 +613,33 @@ impl TemporalIndex {
     /// children (≤ 6 extra ops… [paper's figures]); December 31 additionally
     /// builds the yearly cube from 12 monthly children (13 ops).
     pub fn ingest_day(&self, day: Date, cube: &DataCube) -> Result<MaintenanceReport, IndexError> {
+        self.ingest_day_unit(day, cube, None)
+    }
+
+    /// [`TemporalIndex::ingest_day`] plus a durable watermark: `mark` is
+    /// the warehouse row count the caller flushed *before* this call, and
+    /// it becomes visible through [`TemporalIndex::durable_mark`] exactly
+    /// when the unit commits — committed-day-implies-durable-rows is the
+    /// invariant the streaming resume check leans on.
+    pub fn ingest_day_marked(
+        &self,
+        day: Date,
+        cube: &DataCube,
+        mark: u64,
+    ) -> Result<MaintenanceReport, IndexError> {
+        self.ingest_day_unit(day, cube, Some(mark))
+    }
+
+    fn ingest_day_unit(
+        &self,
+        day: Date,
+        cube: &DataCube,
+        mark: Option<u64>,
+    ) -> Result<MaintenanceReport, IndexError> {
         let io_before = self.file.stats().snapshot();
         let mut report = MaintenanceReport::default();
         let mut unit = WriteUnit::new(UNIT_DAY, day.days(), 0);
+        unit.mark = mark;
 
         self.stage(&mut unit, Period::Day(day), cube)?;
         report.cubes_written += 1;
@@ -607,8 +717,11 @@ impl TemporalIndex {
     /// the month — all published as one atomic unit, so a concurrent query
     /// never sees refined days blended with stale roll-ups.
     ///
-    /// `daily` maps each day of the month to its re-classified cube; days
-    /// absent from the map keep no cube (no data).
+    /// `daily` maps each day of the month to its re-classified cube; a
+    /// materialized day absent from the map is *tombstoned* — the refined
+    /// crawl produced no records for it, so its old coarse cube is removed
+    /// and the rebuilt roll-ups exclude it (keeping it would fold stale
+    /// pre-refinement counts back into the week/month/year cubes).
     pub fn rebuild_month(
         &self,
         year: i32,
@@ -624,6 +737,18 @@ impl TemporalIndex {
             debug_assert!(month_period.contains(*day), "{day} outside {month_period}");
             self.stage(&mut unit, Period::Day(*day), cube)?;
             report.cubes_written += 1;
+        }
+        // Tombstone every in-month day that is materialized in the
+        // committed catalog but absent from the refined set.
+        {
+            let committed = self.snapshot();
+            let mut day = month_period.start();
+            while day <= month_period.end() {
+                if !daily.contains_key(&day) && committed.contains(Period::Day(day)) {
+                    self.stage_tombstone(&mut unit, Period::Day(day));
+                }
+                day = day.succ();
+            }
         }
 
         // Rebuild every weekly cube overlapping the month — including weeks
@@ -671,7 +796,7 @@ impl TemporalIndex {
         self.file.sync()?;
         let mut log = self.wal.lock();
         let snap = Arc::clone(&self.catalog.read());
-        save_catalog(&self.catalog_path, &snap.map)?;
+        save_catalog(&self.catalog_path, &snap.map, snap.epoch(), self.durable_mark())?;
         log.reset().map_err(StorageError::from)?;
         Ok(())
     }
@@ -700,9 +825,12 @@ fn pad_to_page(mut bytes: Vec<u8>, page_size: usize) -> Vec<u8> {
 // Payload: kind u8 | a i32 | b u32 | entry count u32, then per entry the
 // same 17-byte layout as the catalog sidecar:
 //   granularity u8 | a i32 | b u32 | page u64
+// A page of `TOMBSTONE` (u64::MAX) removes the binding instead of
+// installing one. An optional 8-byte trailer after the entries is the
+// unit's durable warehouse watermark; units without one omit it.
 
 fn encode_unit(unit: &WriteUnit) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + unit.delta.len() * 17);
+    let mut out = Vec::with_capacity(13 + unit.delta.len() * 17 + 8);
     out.push(unit.kind);
     out.extend_from_slice(&unit.a.to_le_bytes());
     out.extend_from_slice(&unit.b.to_le_bytes());
@@ -712,12 +840,17 @@ fn encode_unit(unit: &WriteUnit) -> Vec<u8> {
         out.push(g);
         out.extend_from_slice(&a.to_le_bytes());
         out.extend_from_slice(&b.to_le_bytes());
-        out.extend_from_slice(&page.0.to_le_bytes());
+        out.extend_from_slice(&page.map_or(TOMBSTONE, |pg| pg.0).to_le_bytes());
+    }
+    if let Some(mark) = unit.mark {
+        out.extend_from_slice(&mark.to_le_bytes());
     }
     out
 }
 
-fn decode_unit(payload: &[u8]) -> Result<Vec<(Period, PageId)>, IndexError> {
+type DecodedUnit = (Vec<(Period, Option<PageId>)>, Option<u64>);
+
+fn decode_unit(payload: &[u8]) -> Result<DecodedUnit, IndexError> {
     let bad = |m: &str| IndexError::BadCatalog(format!("wal record: {m}"));
     let n = rased_storage::bytes::read_u32_le(payload, 9).ok_or_else(|| bad("short header"))? as usize;
     let mut entries = Vec::with_capacity(n.min(4096));
@@ -727,18 +860,26 @@ fn decode_unit(payload: &[u8]) -> Result<Vec<(Period, PageId)>, IndexError> {
         let a = rased_storage::bytes::read_u32_le(payload, off + 1).ok_or_else(|| bad("truncated entries"))? as i32;
         let b = rased_storage::bytes::read_u32_le(payload, off + 5).ok_or_else(|| bad("truncated entries"))?;
         let page = rased_storage::bytes::read_u64_le(payload, off + 9).ok_or_else(|| bad("truncated entries"))?;
-        entries.push((decode_period(g, a, b)?, PageId(page)));
+        let page = if page == TOMBSTONE { None } else { Some(PageId(page)) };
+        entries.push((decode_period(g, a, b)?, page));
     }
-    Ok(entries)
+    // The watermark trailer is present exactly when 8 more bytes follow
+    // the entries (the CRC framing already vouches for the byte count).
+    let mark = rased_storage::bytes::read_u64_le(payload, 13 + n * 17);
+    Ok((entries, mark))
 }
 
 // --- catalog sidecar -------------------------------------------------------
-// Format: magic (8) + entry count (u64), then per entry:
+// Format v2: magic (8) + epoch (u64) + durable mark (u64, u64::MAX = none)
+// + entry count (u64), then per entry:
 //   granularity u8 | a i32 | b u32 | page u64
 // where (a, b) encode the period: Day/Week → (start-days, 0);
-// Month → (year, month); Year → (year, 0).
+// Month → (year, month); Year → (year, 0). v2 adds the epoch (so epochs
+// stay monotonic across restarts) and the warehouse watermark; the magic
+// was bumped from RASEDCT1 — no deployed v1 catalogs exist to migrate.
 
-const CATALOG_MAGIC: &[u8; 8] = b"RASEDCT1";
+const CATALOG_MAGIC: &[u8; 8] = b"RASEDCT2";
+const CATALOG_HEADER: usize = 32;
 
 fn encode_period(p: Period) -> (u8, i32, u32) {
     match p {
@@ -759,9 +900,16 @@ fn decode_period(g: u8, a: i32, b: u32) -> Result<Period, IndexError> {
     }
 }
 
-fn save_catalog(path: &Path, catalog: &HashMap<Period, PageId>) -> Result<(), IndexError> {
-    let mut out = Vec::with_capacity(16 + catalog.len() * 17);
+fn save_catalog(
+    path: &Path,
+    catalog: &HashMap<Period, PageId>,
+    epoch: u64,
+    mark: Option<u64>,
+) -> Result<(), IndexError> {
+    let mut out = Vec::with_capacity(CATALOG_HEADER + catalog.len() * 17);
     out.extend_from_slice(CATALOG_MAGIC);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&mark.unwrap_or(NO_MARK).to_le_bytes());
     out.extend_from_slice(&(catalog.len() as u64).to_le_bytes());
     for (p, page) in catalog {
         let (g, a, b) = encode_period(*p);
@@ -784,14 +932,19 @@ fn save_catalog(path: &Path, catalog: &HashMap<Period, PageId>) -> Result<(), In
     Ok(())
 }
 
-fn load_catalog(path: &Path) -> Result<HashMap<Period, PageId>, IndexError> {
+fn load_catalog(path: &Path) -> Result<(HashMap<Period, PageId>, u64, Option<u64>), IndexError> {
     let bytes = std::fs::read(path).map_err(StorageError::from)?;
-    if bytes.len() < 16 || !bytes.starts_with(CATALOG_MAGIC) {
+    if bytes.len() < CATALOG_HEADER || !bytes.starts_with(CATALOG_MAGIC) {
         return Err(IndexError::BadCatalog("missing or corrupt header".into()));
     }
     let truncated = || IndexError::BadCatalog("truncated entries".into());
-    let count = rased_storage::bytes::read_u64_le(&bytes, 8).ok_or_else(truncated)? as usize;
-    let body = bytes.get(16..).ok_or_else(truncated)?;
+    let epoch = rased_storage::bytes::read_u64_le(&bytes, 8).ok_or_else(truncated)?;
+    let mark = match rased_storage::bytes::read_u64_le(&bytes, 16).ok_or_else(truncated)? {
+        NO_MARK => None,
+        m => Some(m),
+    };
+    let count = rased_storage::bytes::read_u64_le(&bytes, 24).ok_or_else(truncated)? as usize;
+    let body = bytes.get(CATALOG_HEADER..).ok_or_else(truncated)?;
     if count.checked_mul(17).is_none_or(|need| body.len() < need) {
         return Err(truncated());
     }
@@ -804,7 +957,7 @@ fn load_catalog(path: &Path) -> Result<HashMap<Period, PageId>, IndexError> {
         let page = rased_storage::bytes::read_u64_le(body, off + 9).ok_or_else(truncated)?;
         catalog.insert(decode_period(g, a, b)?, PageId(page));
     }
-    Ok(catalog)
+    Ok((catalog, epoch, mark))
 }
 
 #[cfg(test)]
@@ -1052,6 +1205,138 @@ mod tests {
         let year = idx.fetch(Period::Year(2021)).unwrap().unwrap().0;
         assert_eq!(year.get(1, 0, 0, UpdateType::Metadata.index()), 31);
         assert_eq!(year.get(1, 0, 0, UpdateType::Unclassified.index()), 365 - 31);
+    }
+
+    #[test]
+    fn rebuild_month_tombstones_days_dropped_by_refinement() {
+        let idx = index("tombstone", 4);
+        let schema = idx.schema();
+        // Coarse daily ingest: every day of March 2021 has one update.
+        let mut day = d("2021-03-01");
+        while day <= d("2021-03-31") {
+            let records = vec![rec(&day.to_string(), 0, UpdateType::Unclassified)];
+            idx.ingest_day(day, &DataCube::from_records(schema, &records).unwrap()).unwrap();
+            day = day.succ();
+        }
+        // The refined crawl keeps everything except Mar 10 and Mar 20 —
+        // e.g. their records all turned out to be non-road edits.
+        let mut refined = HashMap::new();
+        let mut day = d("2021-03-01");
+        while day <= d("2021-03-31") {
+            if day != d("2021-03-10") && day != d("2021-03-20") {
+                let records = vec![rec(&day.to_string(), 0, UpdateType::Geometry)];
+                refined.insert(day, DataCube::from_records(schema, &records).unwrap());
+            }
+            day = day.succ();
+        }
+        idx.rebuild_month(2021, 3, &refined).unwrap();
+
+        assert!(!idx.has(Period::Day(d("2021-03-10"))), "dropped day must lose its cube");
+        assert!(!idx.has(Period::Day(d("2021-03-20"))), "dropped day must lose its cube");
+        assert!(idx.has(Period::Day(d("2021-03-11"))));
+        // The stale coarse counts must not survive inside any roll-up.
+        let month = idx.fetch(Period::Month(2021, 3)).unwrap().unwrap().0;
+        assert_eq!(month.total(), 29, "roll-up must exclude the tombstoned days");
+        assert_eq!(month.get(1, 0, 0, UpdateType::Unclassified.index()), 0);
+        let week = idx.fetch(Period::Week(d("2021-03-07"))).unwrap().unwrap().0;
+        assert_eq!(week.total(), 6, "week containing Mar 10 drops its day");
+    }
+
+    #[test]
+    fn tombstones_survive_wal_replay_and_checkpoint() {
+        let dir = tmpdir("tombstone-replay");
+        let schema = CubeSchema::tiny();
+        let build = |sync: bool| {
+            let idx =
+                TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap();
+            let mut day = d("2021-03-01");
+            while day <= d("2021-03-31") {
+                let records = vec![rec(&day.to_string(), 0, UpdateType::Unclassified)];
+                idx.ingest_day(day, &DataCube::from_records(schema, &records).unwrap()).unwrap();
+                day = day.succ();
+            }
+            let mut refined = HashMap::new();
+            refined.insert(
+                d("2021-03-05"),
+                DataCube::from_records(schema, &[rec("2021-03-05", 0, UpdateType::Geometry)]).unwrap(),
+            );
+            idx.rebuild_month(2021, 3, &refined).unwrap();
+            if sync {
+                idx.sync().unwrap();
+            }
+        };
+        for sync in [false, true] {
+            // `false`: the tombstones live only in the WAL; `true`: only in
+            // the checkpoint (the WAL was reset). Both must reopen to the
+            // same single surviving day.
+            build(sync);
+            let idx = TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                .unwrap();
+            assert!(idx.has(Period::Day(d("2021-03-05"))), "sync={sync}");
+            assert!(!idx.has(Period::Day(d("2021-03-10"))), "sync={sync}: tombstone must replay");
+            assert_eq!(
+                idx.fetch(Period::Month(2021, 3)).unwrap().unwrap().0.total(),
+                1,
+                "sync={sync}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_is_monotonic_across_restarts() {
+        let dir = tmpdir("epoch-mono");
+        let schema = CubeSchema::tiny();
+        let mut last_epoch = 0;
+        for round in 0..3u32 {
+            let idx = if round == 0 {
+                TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap()
+            } else {
+                TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap()
+            };
+            assert_eq!(idx.epoch(), last_epoch, "round {round}: epoch must resume, not reset");
+            for i in 0..4 {
+                let day = d("2021-01-04").add_days((round * 4 + i) as i32);
+                idx.ingest_day(day, &day_cube(schema, &day.to_string(), 1)).unwrap();
+            }
+            last_epoch = idx.epoch();
+            assert_eq!(last_epoch, (round as u64 + 1) * 4);
+            // Round 0 crashes dirty (WAL only), later rounds checkpoint:
+            // both paths must preserve the epoch.
+            if round > 0 {
+                idx.sync().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn durable_mark_survives_replay_and_checkpoint() {
+        let dir = tmpdir("mark");
+        let schema = CubeSchema::tiny();
+        {
+            let idx =
+                TemporalIndex::create(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap();
+            assert_eq!(idx.durable_mark(), Some(0), "a fresh index accounts for no rows");
+            idx.ingest_day_marked(d("2021-01-04"), &day_cube(schema, "2021-01-04", 1), 17).unwrap();
+            idx.ingest_day_marked(d("2021-01-05"), &day_cube(schema, "2021-01-05", 1), 43).unwrap();
+            // A unit without a mark (put / rebuild) must not clobber it.
+            idx.put(Period::Day(d("2021-01-06")), &day_cube(schema, "2021-01-06", 1)).unwrap();
+            assert_eq!(idx.durable_mark(), Some(43));
+            // no sync: the marks live only in the WAL
+        }
+        {
+            let idx =
+                TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+                    .unwrap();
+            assert_eq!(idx.durable_mark(), Some(43), "mark must replay from the WAL");
+            idx.sync().unwrap();
+        }
+        let idx =
+            TemporalIndex::open(&dir, schema, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+        assert_eq!(idx.durable_mark(), Some(43), "mark must load from the checkpoint");
     }
 
     #[test]

@@ -220,6 +220,24 @@ impl PageFile {
         Ok(id)
     }
 
+    /// Shrink the file to its first `keep` pages (no-op when `keep` is at
+    /// or beyond the current count). Dropped ids become unallocated again:
+    /// bounds checks reject them and future [`PageFile::allocate`] calls
+    /// reuse them — callers holding caches keyed by `PageId` must drop any
+    /// entries past the cut. The shrink is synced before returning so a
+    /// crash cannot resurrect the dropped pages.
+    pub fn truncate_pages(&self, keep: u64) -> Result<(), StorageError> {
+        let current = self.page_count.load(Ordering::SeqCst);
+        if keep >= current {
+            return Ok(());
+        }
+        self.page_count.store(keep, Ordering::SeqCst);
+        self.file.set_len(HEADER_BYTES + keep * self.page_size as u64)?;
+        self.write_header()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
     /// Flush file contents and metadata to stable storage.
     pub fn sync(&self) -> Result<(), StorageError> {
         self.write_header()?;
@@ -317,6 +335,33 @@ mod tests {
         assert_eq!(d.reads, 1);
         assert_eq!(d.bytes_read, 16);
         assert_eq!(d.modeled, std::time::Duration::from_micros(300));
+    }
+
+    #[test]
+    fn truncate_pages_drops_the_suffix_and_survives_reopen() {
+        let dir = TempDir::new("pagefile");
+        let path = dir.file("t.pg");
+        let pf = PageFile::create(&path, 32, IoCostModel::free()).unwrap();
+        for i in 0..5u8 {
+            pf.append_page(&[i; 32]).unwrap();
+        }
+        pf.truncate_pages(2).unwrap();
+        assert_eq!(pf.page_count(), 2);
+        assert_eq!(pf.read_page_vec(PageId(1)).unwrap(), vec![1u8; 32]);
+        assert!(matches!(
+            pf.read_page_vec(PageId(2)),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        // Reallocation reuses the dropped ids and reads back zeroed.
+        assert_eq!(pf.allocate().unwrap(), PageId(2));
+        assert_eq!(pf.read_page_vec(PageId(2)).unwrap(), vec![0u8; 32]);
+        pf.truncate_pages(2).unwrap();
+        drop(pf);
+        let pf = PageFile::open(&path, IoCostModel::free()).unwrap();
+        assert_eq!(pf.page_count(), 2);
+        // Truncating to >= the count is a no-op.
+        pf.truncate_pages(10).unwrap();
+        assert_eq!(pf.page_count(), 2);
     }
 
     #[test]

@@ -159,6 +159,41 @@ impl HeapFile {
         self.file.sync()
     }
 
+    /// Drop every row at or beyond `keep` (no-op when `keep >= row_count`).
+    /// The crash-repair path: the warehouse is trimmed back to the durable
+    /// watermark recorded with the last committed cube unit. If the cut
+    /// lands mid-page, the boundary page's surviving prefix becomes the
+    /// in-memory tail again (call [`HeapFile::flush`] to persist it); the
+    /// read cache is cleared because page ids past the cut get reused.
+    pub fn truncate_rows(&mut self, keep: u64) -> Result<(), StorageError> {
+        if keep >= self.row_count {
+            return Ok(());
+        }
+        let keep_full_pages = keep / ROWS_PER_PAGE as u64;
+        let rem = (keep % ROWS_PER_PAGE as u64) as usize;
+        let mut new_tail = vec![0u8; HEAP_PAGE_BYTES];
+        if rem > 0 {
+            // The boundary page starts at a page-aligned row, so it is
+            // either the current in-memory tail or a full page on disk.
+            let src = if keep_full_pages * ROWS_PER_PAGE as u64 == self.tail_first_row() {
+                std::mem::take(&mut self.tail)
+            } else {
+                self.file.read_page_vec(PageId(keep_full_pages))?
+            };
+            let prefix = rem * UPDATE_RECORD_BYTES;
+            for (d, s) in new_tail.iter_mut().zip(src.iter()).take(prefix) {
+                *d = *s;
+            }
+        }
+        self.file.truncate_pages(keep_full_pages)?;
+        self.pool.clear();
+        self.tail = new_tail;
+        self.tail_rows = rem;
+        self.tail_on_disk = false;
+        self.row_count = keep;
+        Ok(())
+    }
+
     /// Read one row.
     pub fn get(&self, rid: RowId) -> Result<Option<UpdateRecord>, StorageError> {
         if rid.0 >= self.row_count {
@@ -335,6 +370,60 @@ mod tests {
         }
         let h = HeapFile::open(&path, IoCostModel::free(), 8).unwrap();
         assert_eq!(h.row_count(), 0, "documented: unflushed tail does not survive");
+    }
+
+    #[test]
+    fn truncate_rows_mid_page_keeps_exact_prefix() {
+        let path = tmppath("trunc-mid");
+        let n = 2 * ROWS_PER_PAGE as u64 + 50; // 2 full pages + tail
+        let mut h = HeapFile::create(&path, IoCostModel::free(), 8).unwrap();
+        for i in 0..n {
+            h.append(&rec(i)).unwrap();
+        }
+        h.flush().unwrap();
+        // Cut mid-way through page 1.
+        let keep = ROWS_PER_PAGE as u64 + 7;
+        h.truncate_rows(keep).unwrap();
+        assert_eq!(h.row_count(), keep);
+        assert_eq!(h.get(RowId(keep - 1)).unwrap().unwrap(), rec(keep - 1));
+        assert_eq!(h.get(RowId(keep)).unwrap(), None);
+        // Appends continue from the cut, and the state survives a flush +
+        // reopen (dropped pages must not resurrect).
+        assert_eq!(h.append(&rec(keep)).unwrap(), RowId(keep));
+        h.flush().unwrap();
+        let h2 = HeapFile::open(&path, IoCostModel::free(), 8).unwrap();
+        assert_eq!(h2.row_count(), keep + 1);
+        let mut seen = 0u64;
+        h2.scan(|rid, r| {
+            assert_eq!((rid.0, *r), (seen, rec(seen)));
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, keep + 1);
+    }
+
+    #[test]
+    fn truncate_rows_boundary_and_zero() {
+        let path = tmppath("trunc-edge");
+        let mut h = HeapFile::create(&path, IoCostModel::free(), 8).unwrap();
+        for i in 0..(ROWS_PER_PAGE as u64 + 10) {
+            h.append(&rec(i)).unwrap();
+        }
+        h.flush().unwrap();
+        // Cut exactly at the page boundary: no partial tail survives.
+        h.truncate_rows(ROWS_PER_PAGE as u64).unwrap();
+        assert_eq!(h.row_count(), ROWS_PER_PAGE as u64);
+        assert_eq!(h.page_count(), 1);
+        // Cut inside the (now in-memory) reconstruction down to 3 rows.
+        h.truncate_rows(3).unwrap();
+        assert_eq!(h.row_count(), 3);
+        assert_eq!(h.get(RowId(2)).unwrap().unwrap(), rec(2));
+        // Cut to zero.
+        h.truncate_rows(0).unwrap();
+        h.flush().unwrap();
+        assert_eq!(h.row_count(), 0);
+        let h2 = HeapFile::open(&path, IoCostModel::free(), 8).unwrap();
+        assert_eq!(h2.row_count(), 0);
     }
 
     #[test]

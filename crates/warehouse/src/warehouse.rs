@@ -6,7 +6,7 @@ use rased_osm_model::{ChangesetId, UpdateRecord};
 use rased_storage::sync::{Mutex, RwLock};
 use rased_storage::{DiskHashIndex, IoCostModel, StorageError};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Warehouse-level error.
 #[derive(Debug)]
@@ -49,6 +49,10 @@ impl From<StorageError> for WarehouseError {
 /// ([`Warehouse::sample_region_filtered`] resolves rows while walking grid
 /// cells); ranks live in `lint.toml`.
 pub struct Warehouse {
+    /// Heap path; the changeset index lives in `.hx`/`.dir` sidecars.
+    /// Kept so [`Warehouse::truncate_rows`] can recreate the sidecars.
+    path: PathBuf,
+    model: IoCostModel,
     heap: Mutex<HeapFile>,
     by_changeset: Mutex<DiskHashIndex>,
     spatial: RwLock<GridIndex<RowId>>,
@@ -67,6 +71,8 @@ impl Warehouse {
     /// for the changeset hash index).
     pub fn create(path: &Path, model: IoCostModel, pool_pages: usize) -> Result<Warehouse, WarehouseError> {
         Ok(Warehouse {
+            path: path.to_path_buf(),
+            model,
             heap: Mutex::new_named(HeapFile::create(path, model, pool_pages)?, "warehouse.heap"),
             by_changeset: Mutex::new_named(
                 DiskHashIndex::create(&path.with_extension("hx"), model)?,
@@ -86,10 +92,62 @@ impl Warehouse {
             spatial.insert(Point::new(rec.lat7, rec.lon7), rid);
         })?;
         Ok(Warehouse {
+            path: path.to_path_buf(),
+            model,
             heap: Mutex::new_named(heap, "warehouse.heap"),
             by_changeset: Mutex::new_named(by_changeset, "warehouse.by_changeset"),
             spatial: RwLock::new_named(spatial, "warehouse.spatial"),
         })
+    }
+
+    /// Drop every row at or beyond `keep` and rebuild both indexes from
+    /// the surviving heap, returning the number of rows dropped (0 is a
+    /// no-op that touches nothing). Two callers, both rare: crash repair
+    /// on open (trim back to the durable watermark the cube index
+    /// recorded) and the ingest write path rolling back a day whose
+    /// publish failed. The trimmed heap is flushed before this returns,
+    /// so the repair itself survives a second crash.
+    ///
+    /// The changeset hash index has no delete path, so it is recreated
+    /// from one heap scan; the spatial grid is rebuilt the same way. The
+    /// heap and by_changeset locks are held across the rebuild (upward
+    /// order); the spatial grid is swapped in afterwards under a short
+    /// write guard — no I/O while readers are held off. In the gap a
+    /// region sample may return a stale `RowId` past the cut, which the
+    /// heap resolves to `None` (sampling is best-effort by contract); both
+    /// callers run on the single writer path, so no insert races the swap.
+    pub fn truncate_rows(&self, keep: u64) -> Result<u64, WarehouseError> {
+        let (dropped, grid) = {
+            let mut heap = self.heap.lock();
+            let before = heap.row_count();
+            if keep >= before {
+                return Ok(0);
+            }
+            heap.truncate_rows(keep)?;
+            heap.flush()?;
+            let mut by_changeset = self.by_changeset.lock();
+            let mut fresh = DiskHashIndex::create(&self.path.with_extension("hx"), self.model)?;
+            let mut grid = GridIndex::world_default();
+            let mut err: Option<StorageError> = None;
+            heap.scan(|rid, rec| {
+                if err.is_some() {
+                    return;
+                }
+                if let Err(e) = fresh.insert(rec.changeset.raw(), rid.0) {
+                    err = Some(e);
+                    return;
+                }
+                grid.insert(Point::new(rec.lat7, rec.lon7), rid);
+            })?;
+            if let Some(e) = err {
+                return Err(e.into());
+            }
+            fresh.sync()?;
+            *by_changeset = fresh;
+            (before - keep, grid)
+        };
+        *self.spatial.write() = grid;
+        Ok(dropped)
     }
 
     /// Number of rows.
@@ -288,6 +346,38 @@ mod tests {
         assert!(!only_c2.is_empty());
         assert!(only_c2.len() <= 50);
         assert!(only_c2.iter().all(|r| r.country == CountryId(2)));
+    }
+
+    #[test]
+    fn truncate_rows_rebuilds_both_indexes_without_duplicates() {
+        let path = tmppath("truncate");
+        let w = Warehouse::create(&path, IoCostModel::free(), 16).unwrap();
+        for i in 0..60 {
+            w.insert(&rec(i, 10_000_000 + i as i32, 20_000_000)).unwrap();
+        }
+        w.flush().unwrap();
+        // Drop the last 30 rows (changesets 11..=20, since rec groups 3
+        // updates per changeset).
+        assert_eq!(w.truncate_rows(30).unwrap(), 30);
+        assert_eq!(w.row_count(), 30);
+        assert_eq!(w.by_changeset(ChangesetId(10)).unwrap().len(), 3);
+        assert!(w.by_changeset(ChangesetId(11)).unwrap().is_empty(), "dropped rows must leave the hash index");
+        assert_eq!(w.sample_region(&BBox::world(), 1000).unwrap().len(), 30);
+        // Re-inserting the same rows (the re-enqueue path) must not
+        // produce duplicate index entries for reused row ids.
+        for i in 30..60 {
+            w.insert(&rec(i, 10_000_000 + i as i32, 20_000_000)).unwrap();
+        }
+        w.flush().unwrap();
+        assert_eq!(w.by_changeset(ChangesetId(11)).unwrap().len(), 3);
+        assert_eq!(w.sample_region(&BBox::world(), 1000).unwrap().len(), 60);
+        // The repair state is durable: reopen sees the same picture.
+        drop(w);
+        let w = Warehouse::open(&path, IoCostModel::free(), 16).unwrap();
+        assert_eq!(w.row_count(), 60);
+        assert_eq!(w.by_changeset(ChangesetId(15)).unwrap().len(), 3);
+        // Truncating past the end is a no-op.
+        assert_eq!(w.truncate_rows(1000).unwrap(), 0);
     }
 
     #[test]

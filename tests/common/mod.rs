@@ -144,6 +144,17 @@ impl HttpClient {
         self.stream.flush()?;
         read_response(&mut self.reader)
     }
+
+    /// Issue `POST path` with a plain-text body on the held connection.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<Response> {
+        write!(
+            self.stream,
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.stream.flush()?;
+        read_response(&mut self.reader)
+    }
 }
 
 /// One-shot `GET` over a fresh `Connection: close` connection.
@@ -167,9 +178,19 @@ pub struct TestServer {
 
 impl TestServer {
     pub fn start(system: Arc<Rased>, config: ServerConfig) -> TestServer {
-        let server = Arc::new(
+        TestServer::start_with(system, config, |s| s)
+    }
+
+    /// Like [`TestServer::start`], but lets the caller finish building the
+    /// server (e.g. attach an ingest controller) before it begins serving.
+    pub fn start_with(
+        system: Arc<Rased>,
+        config: ServerConfig,
+        build: impl FnOnce(DashboardServer) -> DashboardServer,
+    ) -> TestServer {
+        let server = Arc::new(build(
             DashboardServer::bind_with(system, "127.0.0.1:0", config).expect("bind"),
-        );
+        ));
         let addr = server.addr().expect("addr");
         let stop = server.stop_handle();
         let thread = {

@@ -189,6 +189,60 @@ fn metrics_endpoint_reports_status_classes() {
     assert_eq!(server.metrics().active(), 0);
 }
 
+/// `POST /api/ingest` is a write surface reachable from the network, so
+/// enqueued directories are confined: they must resolve (after symlinks
+/// and `..`) under the configured ingest root, and with no root the
+/// endpoint refuses outright.
+#[test]
+fn ingest_endpoint_is_confined_to_the_data_root() {
+    let (dir, system) = demo_system("ingestroot");
+    let root = dir.join("osm");
+    let ingest =
+        Arc::new(rased_core::IngestController::start(Arc::clone(&system)).unwrap());
+    let ts = TestServer::start_with(Arc::clone(&system), test_config(), |s| {
+        s.with_ingest(Arc::clone(&ingest), Some(root.clone()))
+    });
+    let mut client = HttpClient::connect(ts.addr).unwrap();
+
+    // Absolute paths outside the root are refused before the controller
+    // ever sees them.
+    let r = client.post("/api/ingest?dir=/etc", "").unwrap();
+    assert_eq!(r.status, 403, "{}", r.body);
+    // `..` cannot escape: this resolves to the (existing) system dir.
+    let escape = format!("/api/ingest?dir={}/../sys", root.display());
+    let r = client.post(&escape, "").unwrap();
+    assert_eq!(r.status, 403, "{}", r.body);
+    // Nonexistent directories are a client error, not an enqueue.
+    let r = client.post("/api/ingest?dir=no-such-subdir", "").unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+
+    // The root itself — absolute via the body, relative via the query —
+    // is accepted; the controller skips the already-published days.
+    let r = client.post("/api/ingest", &root.display().to_string()).unwrap();
+    assert_eq!(r.status, 202, "{}", r.body);
+    assert!(r.body.contains("\"status\":\"queued\""), "{}", r.body);
+    let r = client.post("/api/ingest?dir=.", "").unwrap();
+    assert_eq!(r.status, 202, "{}", r.body);
+
+    drop(client);
+    ts.stop().unwrap();
+
+    // Without a configured root the POST surface is disabled entirely,
+    // while the read-only status endpoint keeps answering.
+    let ts = TestServer::start_with(Arc::clone(&system), test_config(), |s| {
+        s.with_ingest(Arc::clone(&ingest), None)
+    });
+    let mut client = HttpClient::connect(ts.addr).unwrap();
+    let r = client.post("/api/ingest", &root.display().to_string()).unwrap();
+    assert_eq!(r.status, 403, "{}", r.body);
+    assert!(r.body.contains("no ingest root"), "{}", r.body);
+    let r = client.get("/api/ingest/status").unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    drop(client);
+    ts.stop().unwrap();
+    ingest.shutdown();
+}
+
 /// Shutdown must not require a sacrificial connection: the stop handle
 /// wakes the blocking acceptor deterministically.
 #[test]
