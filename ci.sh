@@ -32,3 +32,11 @@ BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig11_parallel_scaling
 timeout 300 cargo test -q --offline --locked -p rased-core --test crash_recovery
 timeout 300 cargo test -q --offline --locked -p rased-query --test epoch_isolation
 BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig12_ingest_under_load
+
+# Serving-SLO gate: the workload-generator property suite, then a smoke run
+# of the Fig. 13 closed-loop load harness. The harness exits non-zero on any
+# SLO violation — uncapped p99, an inert admission controller (overload must
+# shed cheap 503s, not collapse latency), a non-503 5xx, or a stalled live
+# stream — so this line *is* the regression gate, not just a build check.
+timeout 300 cargo test -q --offline --locked -p rased-bench --test workload_props
+BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig13_slo_load

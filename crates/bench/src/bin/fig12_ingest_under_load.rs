@@ -12,7 +12,7 @@
 //! for CI smoke runs (default 200 ms per mode).
 
 use rased_bench::{bench_dir, fmt_duration};
-use rased_bench::harness::Harness;
+use rased_bench::harness::{Harness, LatencyProfile};
 use rased_core::{CubeSchema, IngestController, IngestPhase, Rased, RasedConfig};
 use rased_osm_gen::{Dataset, DatasetConfig};
 use rased_query::{AnalysisQuery, GroupDim};
@@ -102,13 +102,6 @@ fn main() -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-struct LatencyProfile {
-    count: usize,
-    p50: Duration,
-    p99: Duration,
-    max: Duration,
-}
-
 /// Run `q` repeatedly for at least `budget`, continuing while
 /// `keep_going()` holds, and profile per-query wall latency.
 fn run_queries(
@@ -124,11 +117,10 @@ fn run_queries(
         system.query(q)?;
         samples.push(t0.elapsed());
     }
-    samples.sort();
-    let max = *samples.last().ok_or("no samples recorded")?;
-    let pick =
-        |p: f64| samples.get(((samples.len() - 1) as f64 * p) as usize).copied().unwrap_or(max);
-    Ok(LatencyProfile { count: samples.len(), p50: pick(0.50), p99: pick(0.99), max })
+    // Shared nearest-rank percentiles (rased_bench::harness) — the old
+    // hand-rolled `pick()` truncated the rank, under-reporting p99 at
+    // small N.
+    LatencyProfile::from_samples(&mut samples).ok_or_else(|| "no samples recorded".into())
 }
 
 fn report(mode: &str, p: &LatencyProfile) {

@@ -1,0 +1,828 @@
+//! **Figure 13 — Mixed dashboard workload under live ingestion, SLO-gated.**
+//!
+//! The closed-loop load harness: N simulated dashboard users (Zipf-focused
+//! tile views, drill-downs, period/country pans — see
+//! [`rased_bench::workload`]) drive the *real* HTTP tier over keep-alive
+//! connections while the [`IngestController`] streams a multi-day dataset
+//! in. Each user is identified to the server's admission control via
+//! `X-Forwarded-For`, so per-client fair queuing and global load shedding
+//! are exercised end-to-end. A poller thread watches `/api/metrics` and
+//! stamps every sample with the index epoch it was served under, so the
+//! report breaks latency, QPS, error mix and cube-cache hit rate down *per
+//! epoch* — the serving-tier behavior across each live publish.
+//!
+//! After the stream drains, a deliberate overload burst — one scraper
+//! identity opening one greedy connection per free worker, all expensive
+//! queries — verifies that saturation degrades to cheap-path `503 +
+//! Retry-After`, not latency collapse: with every connection sharing one
+//! identity, the per-client cap structurally forces sheds whenever more
+//! than the cap are served concurrently. The burst is sized to the worker
+//! pool so no connection waits in the accept queue — measured shed
+//! latency is the shed path itself, not connection queueing.
+//!
+//! The run fails (non-zero exit) if any SLO gate is violated:
+//!
+//! 1. zero non-503 5xx anywhere;
+//! 2. p99 of successful expensive+cheap requests in the main phase is
+//!    under `FIG13_P99_BOUND_MS` (default 250);
+//! 3. the overload burst observed at least one shed, and the p99 of its
+//!    503 responses is under `FIG13_SHED_P99_BOUND_MS` (default 250 —
+//!    generous for scheduling noise on saturated single-core CI boxes;
+//!    a shed is written before any query work, so anything above this is
+//!    a structural regression, not noise);
+//! 4. ingest streamed every queued day and the epoch advanced, and the
+//!    per-epoch report covers the full observed epoch span.
+//!
+//! `BENCH_MEASURE_MS` selects smoke mode (< 100 ms budget: tiny dataset, 4
+//! users, report to the scratch dir). Full mode (the default) runs 8 users
+//! against a month-scale baseline and persists `BENCH_fig13.json` into the
+//! current directory — the checked-in perf trajectory.
+
+use rased_bench::bench_dir;
+use rased_bench::harness::Harness;
+use rased_bench::httpc::{json_uint_field, HttpClient};
+use rased_bench::workload::{RequestKind, UserSession, Vocab, DEFAULT_SKEW};
+use rased_core::{CubeSchema, IngestController, Rased, RasedConfig, ServerConfig};
+use rased_dashboard::json::Json;
+use rased_dashboard::DashboardServer;
+use rased_osm_gen::{Dataset, DatasetConfig};
+use rased_temporal::{Date, DateRange};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload base seed: every user stream derives from it, so two runs of
+/// the same binary issue byte-identical request sequences.
+const SEED: u64 = 0x0F13_2026;
+
+/// One measured request.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    epoch: u64,
+    kind: RequestKind,
+    status: u16,
+    micros: u64,
+}
+
+/// One `/api/metrics` observation at an epoch transition.
+#[derive(Debug, Clone, Copy)]
+struct EpochSnap {
+    epoch: u64,
+    at: Instant,
+    cube_hits: u64,
+    cube_misses: u64,
+}
+
+struct Params {
+    smoke: bool,
+    base_days: i32,
+    live_days: i32,
+    users: u64,
+    workers: usize,
+    max_active_per_client: usize,
+    shed_threshold: usize,
+    burst_requests: usize,
+}
+
+impl Params {
+    fn for_budget(budget: Duration) -> Params {
+        let smoke = budget < Duration::from_millis(100);
+        if smoke {
+            Params {
+                smoke,
+                base_days: 8,
+                live_days: 3,
+                users: 4,
+                // users + poller + final metrics fetch: every connection
+                // gets a dedicated worker, none starves in the accept queue.
+                workers: 6,
+                max_active_per_client: 1,
+                shed_threshold: 3,
+                burst_requests: 6,
+            }
+        } else {
+            Params {
+                smoke,
+                base_days: 30,
+                live_days: 6,
+                users: 8,
+                workers: 10,
+                max_active_per_client: 1,
+                shed_threshold: 6,
+                burst_requests: 25,
+            }
+        }
+    }
+}
+
+fn env_millis(key: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms),
+    )
+}
+
+/// Nearest-rank percentile over an already-sorted µs vector.
+fn pctl(sorted: &[u64], p: f64) -> u64 {
+    rased_bench::harness::percentile(sorted, p).unwrap_or(0)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let budget = Harness::from_env().measure();
+    let p = Params::for_budget(budget);
+    // Full mode keeps the users running at least 2 s: on a fast release
+    // build the live stream drains in well under a second, and a
+    // trajectory point needs more than a handful of samples to be worth
+    // comparing across commits.
+    let budget = if p.smoke { budget } else { budget.max(Duration::from_secs(2)) };
+    let p99_bound = env_millis("FIG13_P99_BOUND_MS", 250);
+    let shed_p99_bound = env_millis("FIG13_SHED_P99_BOUND_MS", 250);
+
+    let dir = bench_dir("fig13");
+    for sub in ["base", "live", "system"] {
+        let _ = std::fs::remove_dir_all(dir.join(sub));
+    }
+    let start = Date::new(2021, 1, 1)?;
+    let mut base_cfg = DatasetConfig::small(SEED);
+    base_cfg.range = DateRange::new(start, start.add_days(p.base_days - 1));
+    let live_start = start.add_days(p.base_days);
+    let mut live_cfg = base_cfg.clone();
+    live_cfg.range = DateRange::new(live_start, live_start.add_days(p.live_days - 1));
+
+    println!(
+        "# Fig 13: {} users vs. {}-day baseline + {}-day live stream \
+         (workers {}, per-client cap {}, shed threshold {})",
+        p.users, p.base_days, p.live_days, p.workers, p.max_active_per_client, p.shed_threshold
+    );
+    let base = Dataset::generate(&dir.join("base"), base_cfg)?;
+    Dataset::generate(&dir.join("live"), live_cfg)?;
+
+    let schema =
+        CubeSchema::new(base.config.world.n_countries, base.config.sim.n_road_types);
+    let system = Arc::new(Rased::create(
+        RasedConfig::new(dir.join("system")).with_schema(schema),
+    )?);
+    system.ingest_dataset(&base)?;
+
+    // Vocabulary the simulated users browse: real codes/values from the
+    // system under test, over the full (base + live) window.
+    let vocab = Vocab {
+        range: DateRange::new(start, live_start.add_days(p.live_days - 1)),
+        countries: system
+            .countries()
+            .ids()
+            .filter_map(|id| system.countries().code(id).map(str::to_string))
+            .collect(),
+        roads: system
+            .roads()
+            .ids()
+            .filter_map(|id| system.roads().value(id).map(str::to_string))
+            .collect(),
+    };
+
+    let config = ServerConfig {
+        workers: p.workers,
+        max_active_per_client: p.max_active_per_client,
+        shed_threshold: p.shed_threshold,
+        trust_forwarded_for: true,
+        ..ServerConfig::default()
+    };
+    let ingest = Arc::new(IngestController::start(Arc::clone(&system))?);
+    let server = Arc::new(
+        DashboardServer::bind_with(Arc::clone(&system), "127.0.0.1:0", config)?
+            .with_ingest(Arc::clone(&ingest), None),
+    );
+    let addr = server.addr()?;
+    let stop_server = server.stop_handle();
+    let serve_thread = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve())
+    };
+
+    // Metrics poller: tracks the live epoch (users stamp samples with it)
+    // and records cumulative cube-cache counters at every transition.
+    let epoch_now = Arc::new(AtomicU64::new(0));
+    let stop_poll = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let epoch_now = Arc::clone(&epoch_now);
+        let stop = Arc::clone(&stop_poll);
+        std::thread::spawn(move || poll_metrics(addr, &epoch_now, &stop))
+    };
+
+    // Main phase: closed-loop users run while the live dataset streams in.
+    ingest.enqueue(PathBuf::from(dir.join("live"))).map_err(|_| "ingest queue full")?;
+    let stop_users = Arc::new(AtomicBool::new(false));
+    let t_main = Instant::now();
+    let mut user_threads = Vec::new();
+    for u in 0..p.users {
+        let vocab = vocab.clone();
+        let epoch_now = Arc::clone(&epoch_now);
+        let stop = Arc::clone(&stop_users);
+        user_threads
+            .push(std::thread::spawn(move || run_user(addr, u, vocab, &epoch_now, &stop)));
+    }
+
+    // Run until the measurement budget is spent *and* the stream drained
+    // (or a generous deadline, so a wedged writer fails loudly).
+    let deadline = t_main + Duration::from_secs(180);
+    loop {
+        std::thread::sleep(Duration::from_millis(10));
+        let s = ingest.status();
+        let drained = s.phase == rased_core::IngestPhase::Idle && s.queued == 0;
+        if (t_main.elapsed() >= budget && drained) || Instant::now() >= deadline {
+            break;
+        }
+    }
+    stop_users.store(true, Ordering::Relaxed);
+    let mut samples: Vec<Sample> = Vec::new();
+    for t in user_threads {
+        samples.extend(t.join().map_err(|_| "user thread panicked")?);
+    }
+    let main_end = Instant::now();
+    let main_secs = t_main.elapsed().as_secs_f64();
+
+    // Overload burst: one scraper identity, one greedy connection per
+    // worker left free by the poller, expensive queries only. Every
+    // connection presents the same `X-Forwarded-For`, so once more than
+    // `max_active_per_client` run concurrently the surplus *must* shed —
+    // admission is exercised structurally, not by timing luck. Capping
+    // connections at the free-worker count keeps every burst connection
+    // on a dedicated worker: a shed's measured latency is then the cheap
+    // 503 path, not time spent queued behind another keep-alive
+    // connection waiting for a worker.
+    // The heaviest legal query: full range, four group dimensions — long
+    // enough that admitted executions overlap pending ones.
+    let burst_target = format!(
+        "/api/analysis?start={}&end={}&group=country,road,update,day",
+        vocab.range.start(),
+        vocab.range.end()
+    );
+    let mut burst_threads = Vec::new();
+    for _ in 0..p.workers.saturating_sub(1) {
+        let target = burst_target.clone();
+        let epoch_now = Arc::clone(&epoch_now);
+        let n = p.burst_requests;
+        burst_threads.push(std::thread::spawn(move || {
+            run_burst(addr, "198.51.100.99", &target, n, &epoch_now)
+        }));
+    }
+    let mut burst: Vec<Sample> = Vec::new();
+    for t in burst_threads {
+        burst.extend(t.join().map_err(|_| "burst thread panicked")?);
+    }
+
+    // The server's own view of admission, straight off `/api/metrics` —
+    // the harness reads shed counters from the system under test itself.
+    let admission = HttpClient::connect(addr)
+        .and_then(|mut c| c.get("/api/metrics", &[]))
+        .ok()
+        .map(|resp| admission_counters(&resp.body))
+        .unwrap_or_default();
+
+    stop_poll.store(true, Ordering::Relaxed);
+    let (snaps, final_hits, final_misses) =
+        poller.join().map_err(|_| "poller thread panicked")?;
+    let ingest_status = ingest.status();
+    ingest.shutdown();
+    stop_server.stop();
+    serve_thread.join().map_err(|_| "serve thread panicked")??;
+
+    let mut report = build_report(
+        &p, budget, main_secs, main_end, &samples, &burst, &snaps, final_hits, final_misses,
+        ingest_status.days_published, system.index().epoch(),
+    );
+    report.admission = admission;
+    print_report(&report);
+
+    // Persist the trajectory point (full mode: into the working directory,
+    // i.e. the repo checkout; smoke mode: scratch only).
+    let out = if p.smoke {
+        dir.join("BENCH_fig13.json")
+    } else {
+        PathBuf::from("BENCH_fig13.json")
+    };
+    std::fs::write(&out, report_json(&report, p99_bound, shed_p99_bound))?;
+    println!("\n(report written to {})", out.display());
+
+    enforce_slos(&report, p99_bound, shed_p99_bound)
+}
+
+// ---------------------------------------------------------------- threads
+
+/// One simulated user: closed loop over a keep-alive connection,
+/// reconnecting when the server rotates the connection out.
+fn run_user(
+    addr: SocketAddr,
+    user: u64,
+    vocab: Vocab,
+    epoch_now: &AtomicU64,
+    stop: &AtomicBool,
+) -> Vec<Sample> {
+    let mut session = UserSession::new(SEED, user, vocab, DEFAULT_SKEW);
+    let fwd = format!("203.0.113.{user}");
+    let headers = [("X-Forwarded-For", fwd.as_str())];
+    let mut client = HttpClient::connect(addr).ok();
+    let mut samples = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let req = session.next_request();
+        let epoch = epoch_now.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let status = match client.as_mut().map(|c| c.get(&req.target, &headers)) {
+            Some(Ok(resp)) => Some(resp.status),
+            _ => {
+                // Dead or missing connection: reconnect and retry once.
+                client = HttpClient::connect(addr).ok();
+                match client.as_mut().map(|c| c.get(&req.target, &headers)) {
+                    Some(Ok(resp)) => Some(resp.status),
+                    _ => None,
+                }
+            }
+        };
+        if let Some(status) = status {
+            samples.push(Sample {
+                epoch,
+                kind: req.kind,
+                status,
+                micros: t0.elapsed().as_micros() as u64,
+            });
+        } else {
+            // Both attempts failed; don't spin on a dead server.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    samples
+}
+
+/// One greedy overload connection: `n` expensive requests back-to-back,
+/// presenting the shared scraper identity `client`.
+fn run_burst(
+    addr: SocketAddr,
+    client: &str,
+    target: &str,
+    n: usize,
+    epoch_now: &AtomicU64,
+) -> Vec<Sample> {
+    let headers = [("X-Forwarded-For", client)];
+    let mut client = HttpClient::connect(addr).ok();
+    let mut samples = Vec::new();
+    for _ in 0..n {
+        let epoch = epoch_now.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let resp = match client.as_mut().map(|c| c.get(target, &headers)) {
+            Some(Ok(resp)) => Some(resp),
+            _ => {
+                client = HttpClient::connect(addr).ok();
+                match client.as_mut().map(|c| c.get(target, &headers)) {
+                    Some(Ok(resp)) => Some(resp),
+                    _ => None,
+                }
+            }
+        };
+        if let Some(resp) = resp {
+            samples.push(Sample {
+                epoch,
+                kind: RequestKind::TileView,
+                status: resp.status,
+                micros: t0.elapsed().as_micros() as u64,
+            });
+        }
+    }
+    samples
+}
+
+/// Poll `/api/metrics`, publishing the live epoch and snapshotting the
+/// cumulative cube-cache counters at every epoch transition. Returns the
+/// transition log and the final counters.
+fn poll_metrics(
+    addr: SocketAddr,
+    epoch_now: &AtomicU64,
+    stop: &AtomicBool,
+) -> (Vec<EpochSnap>, u64, u64) {
+    let mut client = HttpClient::connect(addr).ok();
+    let mut snaps: Vec<EpochSnap> = Vec::new();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut last_epoch = u64::MAX;
+    while !stop.load(Ordering::Relaxed) {
+        let body = match client.as_mut().map(|c| c.get("/api/metrics", &[])) {
+            Some(Ok(resp)) if resp.status == 200 => Some(resp.body),
+            _ => {
+                client = HttpClient::connect(addr).ok();
+                None
+            }
+        };
+        if let Some(body) = body {
+            let epoch = json_uint_field(&body, "epoch").unwrap_or(0);
+            hits = json_uint_field(&body, "cube_hits").unwrap_or(hits);
+            misses = json_uint_field(&body, "cube_misses").unwrap_or(misses);
+            epoch_now.store(epoch, Ordering::Relaxed);
+            if epoch != last_epoch {
+                snaps.push(EpochSnap { epoch, at: Instant::now(), cube_hits: hits, cube_misses: misses });
+                last_epoch = epoch;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    (snaps, hits, misses)
+}
+
+// ----------------------------------------------------------------- report
+
+/// Admission counters as served by `/api/metrics` (the section is nested,
+/// so parse relative to its key).
+#[derive(Debug, Default, Clone, Copy)]
+struct AdmissionCounters {
+    max_active: u64,
+    shed_client_cap: u64,
+    shed_overload: u64,
+}
+
+fn admission_counters(body: &str) -> AdmissionCounters {
+    let section = body
+        .find("\"admission\"")
+        .and_then(|at| body.get(at..))
+        .unwrap_or("");
+    AdmissionCounters {
+        max_active: json_uint_field(section, "max_active").unwrap_or(0),
+        shed_client_cap: json_uint_field(section, "shed_client_cap").unwrap_or(0),
+        shed_overload: json_uint_field(section, "shed_overload").unwrap_or(0),
+    }
+}
+
+struct EpochRow {
+    epoch: u64,
+    samples: usize,
+    qps: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    shed_503: usize,
+    other_err: usize,
+    /// Cube-cache hit rate over this epoch's wall window (None when the
+    /// poller skipped the epoch between polls, or nothing was served).
+    hit_rate: Option<f64>,
+}
+
+struct Report {
+    smoke: bool,
+    users: u64,
+    workers: usize,
+    live_days: i32,
+    main_secs: f64,
+    budget_ms: u64,
+    requests: usize,
+    qps: f64,
+    ok_p50: u64,
+    ok_p99: u64,
+    ok_p999: u64,
+    ok_max: u64,
+    status_2xx: usize,
+    status_4xx: usize,
+    shed_503: usize,
+    other_5xx: usize,
+    kind_counts: Vec<(&'static str, usize)>,
+    epochs: Vec<EpochRow>,
+    epoch_start: u64,
+    epoch_end: u64,
+    days_published: u64,
+    burst_requests: usize,
+    burst_shed: usize,
+    burst_ok: usize,
+    burst_other_5xx: usize,
+    burst_shed_p99: u64,
+    burst_ok_p99: u64,
+    admission: AdmissionCounters,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_report(
+    p: &Params,
+    budget: Duration,
+    main_secs: f64,
+    main_end: Instant,
+    samples: &[Sample],
+    burst: &[Sample],
+    snaps: &[EpochSnap],
+    final_hits: u64,
+    final_misses: u64,
+    days_published: u64,
+    final_epoch: u64,
+) -> Report {
+    let mut ok: Vec<u64> = Vec::new();
+    let (mut s2, mut s4, mut shed, mut s5) = (0usize, 0usize, 0usize, 0usize);
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for s in samples {
+        *kinds.entry(s.kind.label()).or_insert(0) += 1;
+        match s.status {
+            200..=299 => {
+                s2 += 1;
+                ok.push(s.micros);
+            }
+            503 => shed += 1,
+            400..=499 => s4 += 1,
+            _ => s5 += 1,
+        }
+    }
+    ok.sort_unstable();
+
+    // Per-epoch bins over the observed span; epochs the poller skipped (or
+    // that served nothing) still get a row, so the report provably covers
+    // the whole span.
+    let observed: Vec<u64> =
+        samples.iter().map(|s| s.epoch).chain(snaps.iter().map(|s| s.epoch)).collect();
+    let epoch_start = observed.iter().copied().min().unwrap_or(0);
+    let epoch_end = observed.iter().copied().max().unwrap_or(0).max(final_epoch);
+    let mut bins: BTreeMap<u64, Vec<&Sample>> = BTreeMap::new();
+    for s in samples {
+        bins.entry(s.epoch).or_default().push(s);
+    }
+    let mut epochs = Vec::new();
+    for epoch in epoch_start..=epoch_end {
+        let empty = Vec::new();
+        let in_epoch = bins.get(&epoch).unwrap_or(&empty);
+        let mut lat: Vec<u64> =
+            in_epoch.iter().filter(|s| s.status < 300).map(|s| s.micros).collect();
+        lat.sort_unstable();
+        let shed_503 = in_epoch.iter().filter(|s| s.status == 503).count();
+        let other_err =
+            in_epoch.iter().filter(|s| s.status >= 300 && s.status != 503).count();
+        // Wall window + cache-counter deltas from the poller transition log.
+        // The last epoch has no successor transition: its window closes at
+        // the end of the main phase (`main_end`), where sampling stopped.
+        let found = snaps.iter().enumerate().find(|(_, s)| s.epoch == epoch);
+        let (secs, hit_rate) = match found {
+            Some((i, cur)) => {
+                let (end_t, end_h, end_m) = match snaps.get(i + 1) {
+                    Some(next) => (Some(next.at), next.cube_hits, next.cube_misses),
+                    None => (Some(main_end), final_hits, final_misses),
+                };
+                let secs = end_t.map(|t| t.duration_since(cur.at).as_secs_f64());
+                let (dh, dm) =
+                    (end_h.saturating_sub(cur.cube_hits), end_m.saturating_sub(cur.cube_misses));
+                let rate =
+                    if dh + dm > 0 { Some(dh as f64 / (dh + dm) as f64) } else { None };
+                (secs, rate)
+            }
+            None => (None, None),
+        };
+        let qps = match secs {
+            Some(s) if s > 0.0 => in_epoch.len() as f64 / s,
+            _ => 0.0,
+        };
+        epochs.push(EpochRow {
+            epoch,
+            samples: in_epoch.len(),
+            qps,
+            p50: pctl(&lat, 0.50),
+            p99: pctl(&lat, 0.99),
+            p999: pctl(&lat, 0.999),
+            shed_503,
+            other_err,
+            hit_rate,
+        });
+    }
+
+    let mut burst_ok_lat: Vec<u64> = Vec::new();
+    let mut burst_shed_lat: Vec<u64> = Vec::new();
+    let mut burst_other_5xx = 0usize;
+    for s in burst {
+        match s.status {
+            200..=299 => burst_ok_lat.push(s.micros),
+            503 => burst_shed_lat.push(s.micros),
+            st if st >= 500 => burst_other_5xx += 1,
+            _ => {}
+        }
+    }
+    burst_ok_lat.sort_unstable();
+    burst_shed_lat.sort_unstable();
+
+    Report {
+        smoke: p.smoke,
+        users: p.users,
+        workers: p.workers,
+        live_days: p.live_days,
+        main_secs,
+        budget_ms: budget.as_millis() as u64,
+        requests: samples.len(),
+        qps: if main_secs > 0.0 { samples.len() as f64 / main_secs } else { 0.0 },
+        ok_p50: pctl(&ok, 0.50),
+        ok_p99: pctl(&ok, 0.99),
+        ok_p999: pctl(&ok, 0.999),
+        ok_max: ok.last().copied().unwrap_or(0),
+        status_2xx: s2,
+        status_4xx: s4,
+        shed_503: shed,
+        other_5xx: s5,
+        kind_counts: kinds.into_iter().collect(),
+        epochs,
+        epoch_start,
+        epoch_end,
+        days_published,
+        burst_requests: burst.len(),
+        burst_shed: burst_shed_lat.len(),
+        burst_ok: burst_ok_lat.len(),
+        burst_other_5xx,
+        burst_shed_p99: pctl(&burst_shed_lat, 0.99),
+        burst_ok_p99: pctl(&burst_ok_lat, 0.99),
+        admission: AdmissionCounters::default(),
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    rased_bench::fmt_duration(Duration::from_micros(us))
+}
+
+fn print_report(r: &Report) {
+    println!(
+        "\n# main phase: {} requests in {:.2} s ({:.0} rps aggregate, {} users)",
+        r.requests, r.main_secs, r.qps, r.users
+    );
+    println!(
+        "  ok latency: p50 {} | p99 {} | p999 {} | max {}",
+        fmt_us(r.ok_p50),
+        fmt_us(r.ok_p99),
+        fmt_us(r.ok_p999),
+        fmt_us(r.ok_max)
+    );
+    println!(
+        "  status mix: {} 2xx, {} 4xx, {} shed-503, {} other-5xx",
+        r.status_2xx, r.status_4xx, r.shed_503, r.other_5xx
+    );
+    let kinds: Vec<String> =
+        r.kind_counts.iter().map(|(k, n)| format!("{k} {n}")).collect();
+    println!("  request mix: {}", kinds.join(", "));
+    println!(
+        "\n{:>6} | {:>7} | {:>8} | {:>10} | {:>10} | {:>10} | {:>4} | {:>5} | {:>8}",
+        "epoch", "samples", "qps", "p50", "p99", "p999", "503", "err", "hit-rate"
+    );
+    println!("{}", "-".repeat(92));
+    for e in &r.epochs {
+        println!(
+            "{:>6} | {:>7} | {:>8.1} | {:>10} | {:>10} | {:>10} | {:>4} | {:>5} | {:>8}",
+            e.epoch,
+            e.samples,
+            e.qps,
+            fmt_us(e.p50),
+            fmt_us(e.p99),
+            fmt_us(e.p999),
+            e.shed_503,
+            e.other_err,
+            e.hit_rate.map(|h| format!("{:.1}%", h * 100.0)).unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "\n# ingest: {} days published, epochs {} → {}",
+        r.days_published, r.epoch_start, r.epoch_end
+    );
+    println!(
+        "# overload burst: {} requests → {} served, {} shed (shed p99 {}, ok p99 {})",
+        r.burst_requests,
+        r.burst_ok,
+        r.burst_shed,
+        fmt_us(r.burst_shed_p99),
+        fmt_us(r.burst_ok_p99)
+    );
+    println!(
+        "# server admission counters: max_active {}, shed_client_cap {}, shed_overload {}",
+        r.admission.max_active, r.admission.shed_client_cap, r.admission.shed_overload
+    );
+}
+
+fn report_json(r: &Report, p99_bound: Duration, shed_bound: Duration) -> String {
+    let mut j = Json::new();
+    j.begin_object();
+    j.kv_string("bench", "fig13_slo_load");
+    j.kv_string("mode", if r.smoke { "smoke" } else { "full" });
+    j.kv_uint("seed", SEED);
+    j.kv_uint("users", r.users);
+    j.kv_uint("workers", r.workers as u64);
+    j.kv_uint("budget_ms", r.budget_ms);
+    j.key("main_secs").number(r.main_secs);
+    j.kv_uint("requests", r.requests as u64);
+    j.key("qps").number(r.qps);
+    j.key("latency_micros").begin_object();
+    j.kv_uint("p50", r.ok_p50);
+    j.kv_uint("p99", r.ok_p99);
+    j.kv_uint("p999", r.ok_p999);
+    j.kv_uint("max", r.ok_max);
+    j.end_object();
+    j.key("error_mix").begin_object();
+    j.kv_uint("status_2xx", r.status_2xx as u64);
+    j.kv_uint("status_4xx", r.status_4xx as u64);
+    j.kv_uint("shed_503", r.shed_503 as u64);
+    j.kv_uint("other_5xx", r.other_5xx as u64);
+    j.end_object();
+    j.key("request_mix").begin_object();
+    for (k, n) in &r.kind_counts {
+        j.kv_uint(k, *n as u64);
+    }
+    j.end_object();
+    j.key("ingest").begin_object();
+    j.kv_uint("days_published", r.days_published);
+    j.kv_uint("epoch_start", r.epoch_start);
+    j.kv_uint("epoch_end", r.epoch_end);
+    j.end_object();
+    j.key("epochs").begin_array();
+    for e in &r.epochs {
+        j.begin_object();
+        j.kv_uint("epoch", e.epoch);
+        j.kv_uint("samples", e.samples as u64);
+        j.key("qps").number(e.qps);
+        j.kv_uint("p50_micros", e.p50);
+        j.kv_uint("p99_micros", e.p99);
+        j.kv_uint("p999_micros", e.p999);
+        j.kv_uint("shed_503", e.shed_503 as u64);
+        j.kv_uint("other_err", e.other_err as u64);
+        match e.hit_rate {
+            Some(h) => j.key("cache_hit_rate").number(h),
+            None => j.key("cache_hit_rate").null(),
+        };
+        j.end_object();
+    }
+    j.end_array();
+    j.key("admission").begin_object();
+    j.kv_uint("max_active", r.admission.max_active);
+    j.kv_uint("shed_client_cap", r.admission.shed_client_cap);
+    j.kv_uint("shed_overload", r.admission.shed_overload);
+    j.end_object();
+    j.key("overload").begin_object();
+    j.kv_uint("requests", r.burst_requests as u64);
+    j.kv_uint("served", r.burst_ok as u64);
+    j.kv_uint("shed_503", r.burst_shed as u64);
+    j.kv_uint("other_5xx", r.burst_other_5xx as u64);
+    j.kv_uint("shed_p99_micros", r.burst_shed_p99);
+    j.kv_uint("ok_p99_micros", r.burst_ok_p99);
+    j.end_object();
+    j.key("slo").begin_object();
+    j.kv_uint("p99_bound_micros", p99_bound.as_micros() as u64);
+    j.kv_uint("shed_p99_bound_micros", shed_bound.as_micros() as u64);
+    j.end_object();
+    j.end_object();
+    let mut s = j.finish();
+    s.push('\n');
+    s
+}
+
+/// The gate: print every violated SLO and exit non-zero on any.
+fn enforce_slos(
+    r: &Report,
+    p99_bound: Duration,
+    shed_bound: Duration,
+) -> Result<(), Box<dyn Error>> {
+    let mut violations: Vec<String> = Vec::new();
+    let p99_bound_us = p99_bound.as_micros() as u64;
+    let shed_bound_us = shed_bound.as_micros() as u64;
+    if r.other_5xx > 0 || r.burst_other_5xx > 0 {
+        violations.push(format!(
+            "non-503 5xx responses: {} main, {} burst (want 0)",
+            r.other_5xx, r.burst_other_5xx
+        ));
+    }
+    if r.status_2xx == 0 {
+        violations.push("no successful requests in the main phase".to_string());
+    }
+    if r.ok_p99 > p99_bound_us {
+        violations.push(format!(
+            "main-phase p99 {} exceeds bound {}",
+            fmt_us(r.ok_p99),
+            fmt_us(p99_bound_us)
+        ));
+    }
+    if r.burst_shed == 0 {
+        violations.push("overload burst produced no shed 503s — admission control inert".into());
+    } else if r.burst_shed_p99 > shed_bound_us {
+        violations.push(format!(
+            "shed-path p99 {} exceeds bound {} — 503s are not cheap",
+            fmt_us(r.burst_shed_p99),
+            fmt_us(shed_bound_us)
+        ));
+    }
+    if r.days_published < r.live_days as u64 {
+        violations.push(format!(
+            "ingest published {} of {} queued days",
+            r.days_published, r.live_days
+        ));
+    }
+    if r.epoch_end <= r.epoch_start {
+        violations.push("epoch never advanced during the run".to_string());
+    }
+    let span = (r.epoch_end - r.epoch_start + 1) as usize;
+    if r.epochs.len() != span {
+        violations.push(format!(
+            "per-epoch report covers {} of {} epochs in span",
+            r.epochs.len(),
+            span
+        ));
+    }
+    if violations.is_empty() {
+        println!("\nSLO gates: all passed");
+        Ok(())
+    } else {
+        for v in &violations {
+            println!("SLO VIOLATION: {v}");
+        }
+        Err(format!("{} SLO gate(s) failed", violations.len()).into())
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal keep-alive HTTP/1.1 client for the load benches.
+//!
+//! The integration tests have their own client under `tests/common`; this
+//! one lives in `src/` so the fig13 binary can use it, which means it obeys
+//! the panic-freedom ratchet: every parse failure is an `io::Error`, never
+//! a panic. It supports exactly what the harness needs — `GET` with extra
+//! headers (the load driver identifies each simulated user to the server's
+//! admission control via `X-Forwarded-For`) and `Content-Length`-framed
+//! responses over one persistent connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response (header names lowercased).
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// One keep-alive connection to the server under test.
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient { stream, reader })
+    }
+
+    /// Issue `GET target` with extra headers on the held connection and
+    /// read one response. An `Err` means the connection is dead — the
+    /// caller reconnects.
+    pub fn get(&mut self, target: &str, extra: &[(&str, &str)]) -> std::io::Result<Response> {
+        let mut req = format!("GET {target} HTTP/1.1\r\nHost: bench\r\n");
+        for (k, v) in extra {
+            req.push_str(k);
+            req.push_str(": ");
+            req.push_str(v);
+            req.push_str("\r\n");
+        }
+        req.push_str("\r\n");
+        self.stream.write_all(req.as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// Read one `Content-Length`-framed response off `reader`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<Response> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Response { status, headers, body: String::from_utf8_lossy(&body).into_owned() })
+}
+
+/// Extract the first `"key": <uint>` field from a JSON document. The
+/// metrics poller reads a handful of scalar counters out of
+/// `/api/metrics`; the keys it needs are unique in that document, so a
+/// scan beats pulling in a parser.
+pub fn json_uint_field(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)?;
+    let rest = body.get(at + needle.len()..)?.trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest.get(..end)?.parse().ok()
+}
+
+/// Extract the first `"key": "<string>"` field from a JSON document
+/// (returns the raw contents between the quotes; no unescaping).
+pub fn json_str_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)?;
+    let rest = body.get(at + needle.len()..)?.trim_start();
+    let inner = rest.strip_prefix('"')?;
+    let end = inner.find('"')?;
+    inner.get(..end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_extraction() {
+        let body = r#"{"ingest": {"epoch": 42, "phase": "crawling", "queued": 0}}"#;
+        assert_eq!(json_uint_field(body, "epoch"), Some(42));
+        assert_eq!(json_uint_field(body, "queued"), Some(0));
+        assert_eq!(json_uint_field(body, "missing"), None);
+        assert_eq!(json_str_field(body, "phase"), Some("crawling"));
+        assert_eq!(json_str_field(body, "epoch"), None);
+    }
+
+    #[test]
+    fn json_field_without_space() {
+        assert_eq!(json_uint_field(r#"{"cube_hits":7}"#, "cube_hits"), Some(7));
+    }
+}

@@ -1,0 +1,303 @@
+//! Deterministic mixed-workload generator for the fig13 load harness.
+//!
+//! Models N dashboard users browsing the public RASED deployment: each
+//! [`UserSession`] is an independent SplitMix64 stream (seeded via
+//! [`dettest::Rng::derive`] from a base seed and the user index), walking a
+//! small state machine over the real HTTP API — tile views of the focused
+//! country, drill-downs into a road class, period/country pans, and the
+//! occasional `/api/meta` or `/api/sample` call. Country and road focus
+//! follow a Zipf distribution, the shape observed for real OSM editing
+//! activity (hot countries absorb most views).
+//!
+//! Everything is a pure function of `(seed, user, step)`: the same seed
+//! reproduces the same byte-identical request sequence, which is what makes
+//! fig13 runs comparable across commits and lets the property suite pin
+//! the generator's behavior.
+
+use dettest::Rng;
+use rased_temporal::{Date, DateRange};
+
+/// Vocabulary a workload draws from, built by the caller from the system
+/// under test: country codes and road-type values the API will accept, and
+/// the date window that actually holds data.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    pub range: DateRange,
+    pub countries: Vec<String>,
+    pub roads: Vec<String>,
+}
+
+impl Vocab {
+    /// A self-consistent synthetic vocabulary for tests (codes `C00..`,
+    /// roads `road00..`), independent of any running system.
+    pub fn synthetic(n_countries: usize, n_roads: usize, range: DateRange) -> Vocab {
+        Vocab {
+            range,
+            countries: (0..n_countries).map(|i| format!("C{i:02}")).collect(),
+            roads: (0..n_roads).map(|i| format!("road{i:02}")).collect(),
+        }
+    }
+}
+
+/// What a generated request is, for per-class reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Overview charts for the focused country over the visible window.
+    TileView,
+    /// Narrowed query: road-class filter, daily granularity.
+    DrillDown,
+    /// The user moved the period window or switched country, then reloaded.
+    Pan,
+    /// Vocabulary fetch (`/api/meta`).
+    Meta,
+    /// Map sample over a bounding box (`/api/sample`).
+    Sample,
+}
+
+impl RequestKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::TileView => "tile_view",
+            RequestKind::DrillDown => "drill_down",
+            RequestKind::Pan => "pan",
+            RequestKind::Meta => "meta",
+            RequestKind::Sample => "sample",
+        }
+    }
+}
+
+/// One generated HTTP request: the kind (for reporting) and the request
+/// target (path + query string) to send.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub kind: RequestKind,
+    pub target: String,
+}
+
+/// Zipf(s) sampler over ranks `0..n` by inverse CDF over precomputed
+/// cumulative weights `w(i) = 1/(i+1)^s`. Rank 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `n` is clamped to at least 1; `s = 0` degenerates to uniform.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let x = rng.f64();
+        // partition_point: first rank whose cumulative weight covers x.
+        let idx = self.cdf.partition_point(|&c| c < x);
+        idx.min(self.cdf.len().saturating_sub(1))
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Default Zipf skew for country/road focus (matches the generator's own
+/// activity skew ballpark).
+pub const DEFAULT_SKEW: f64 = 1.0;
+
+/// The visible period window a user starts with (the dashboard's default
+/// "last two weeks" view), in days.
+const DEFAULT_WINDOW_DAYS: i64 = 14;
+
+/// One simulated dashboard user: an independent deterministic stream of
+/// requests against the HTTP API.
+#[derive(Debug)]
+pub struct UserSession {
+    rng: Rng,
+    vocab: Vocab,
+    country_zipf: Zipf,
+    road_zipf: Zipf,
+    /// Focused country, as a rank into a per-user permutation-free Zipf
+    /// draw (rank 0 hottest).
+    country: usize,
+    /// Visible window as day offsets into `vocab.range` (inclusive).
+    win_lo: i64,
+    win_hi: i64,
+}
+
+impl UserSession {
+    /// Build user `user`'s session from the workload base seed. Each user
+    /// gets an independent SplitMix64 stream via [`Rng::derive`].
+    pub fn new(base_seed: u64, user: u64, vocab: Vocab, skew: f64) -> UserSession {
+        let mut rng = Rng::new(Rng::derive(base_seed, user));
+        let country_zipf = Zipf::new(vocab.countries.len(), skew);
+        let road_zipf = Zipf::new(vocab.roads.len(), skew);
+        let country = country_zipf.sample(&mut rng);
+        let total_days = vocab.range.len_days() as i64;
+        let win_hi = total_days - 1;
+        let win_lo = (win_hi - (DEFAULT_WINDOW_DAYS - 1)).max(0);
+        UserSession { rng, vocab, country_zipf, road_zipf, country, win_lo, win_hi }
+    }
+
+    fn date(&self, offset: i64) -> Date {
+        self.vocab.range.start().add_days(offset.clamp(0, i32::MAX as i64) as i32)
+    }
+
+    fn country_code(&self) -> &str {
+        self.vocab.countries.get(self.country).map(String::as_str).unwrap_or("")
+    }
+
+    fn window_params(&self) -> String {
+        format!("start={}&end={}", self.date(self.win_lo), self.date(self.win_hi))
+    }
+
+    /// Shift the visible window by `delta` days, clamped to the data range.
+    fn pan_window(&mut self, delta: i64) {
+        let total_days = self.vocab.range.len_days() as i64;
+        let width = (self.win_hi - self.win_lo).max(0);
+        let lo = (self.win_lo + delta).clamp(0, (total_days - 1 - width).max(0));
+        self.win_lo = lo;
+        self.win_hi = lo + width;
+    }
+
+    /// Generate the next request in this user's session.
+    pub fn next_request(&mut self) -> Request {
+        let roll = self.rng.below(100);
+        match roll {
+            // 35%: reload the overview tiles for the focused country.
+            0..=34 => Request {
+                kind: RequestKind::TileView,
+                target: format!(
+                    "/api/analysis?{}&countries={}&group=update,week",
+                    self.window_params(),
+                    self.country_code(),
+                ),
+            },
+            // 25%: drill into one road class at daily granularity over the
+            // trailing week of the window.
+            35..=59 => {
+                let road_rank = self.road_zipf.sample(&mut self.rng);
+                let road =
+                    self.vocab.roads.get(road_rank).map(String::as_str).unwrap_or("");
+                let lo = (self.win_hi - 6).max(self.win_lo);
+                Request {
+                    kind: RequestKind::DrillDown,
+                    target: format!(
+                        "/api/analysis?start={}&end={}&countries={}&roads={}&group=day,update",
+                        self.date(lo),
+                        self.date(self.win_hi),
+                        self.country_code(),
+                        road,
+                    ),
+                }
+            }
+            // 25%: pan — shift the period window, or switch country focus,
+            // then reload the overview for the new view.
+            60..=84 => {
+                if self.rng.below(3) == 0 {
+                    self.country = self.country_zipf.sample(&mut self.rng);
+                } else {
+                    let delta = self.rng.range_i64(7, 30);
+                    let back = self.rng.bool();
+                    self.pan_window(if back { -delta } else { delta });
+                }
+                Request {
+                    kind: RequestKind::Pan,
+                    target: format!(
+                        "/api/analysis?{}&countries={}&group=update,week",
+                        self.window_params(),
+                        self.country_code(),
+                    ),
+                }
+            }
+            // 7%: vocabulary refresh.
+            85..=91 => Request { kind: RequestKind::Meta, target: "/api/meta".to_string() },
+            // 8%: map sample over a small bounding box.
+            _ => {
+                let lat = self.rng.range_i64(-55, 55) as f64;
+                let lon = self.rng.range_i64(-175, 175) as f64;
+                let limit = self.rng.range_u64(10, 100);
+                Request {
+                    kind: RequestKind::Sample,
+                    target: format!(
+                        "/api/sample?min_lat={:.1}&min_lon={:.1}&max_lat={:.1}&max_lon={:.1}&limit={limit}",
+                        lat,
+                        lon,
+                        lat + 4.0,
+                        lon + 4.0,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range() -> DateRange {
+        let start = Date::new(2021, 1, 1).expect("date");
+        DateRange::new(start, start.add_days(59))
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let vocab = Vocab::synthetic(8, 6, range());
+        let mut a = UserSession::new(42, 3, vocab.clone(), DEFAULT_SKEW);
+        let mut b = UserSession::new(42, 3, vocab, DEFAULT_SKEW);
+        for _ in 0..200 {
+            assert_eq!(a.next_request().target, b.next_request().target);
+        }
+    }
+
+    #[test]
+    fn different_users_diverge() {
+        let vocab = Vocab::synthetic(8, 6, range());
+        let mut a = UserSession::new(42, 0, vocab.clone(), DEFAULT_SKEW);
+        let mut b = UserSession::new(42, 1, vocab, DEFAULT_SKEW);
+        let sa: Vec<String> = (0..50).map(|_| a.next_request().target).collect();
+        let sb: Vec<String> = (0..50).map(|_| b.next_request().target).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = Rng::new(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            if let Some(c) = counts.get_mut(r) {
+                *c += 1;
+            }
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+        assert!(counts[0] > counts[4], "{counts:?}");
+    }
+
+    #[test]
+    fn windows_stay_inside_the_data_range() {
+        let vocab = Vocab::synthetic(4, 4, range());
+        let total = vocab.range.len_days() as i64;
+        let mut u = UserSession::new(9, 0, vocab, DEFAULT_SKEW);
+        for _ in 0..500 {
+            let _ = u.next_request();
+            assert!(u.win_lo >= 0 && u.win_hi < total && u.win_lo <= u.win_hi);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Property suite for the fig13 workload generator (dettest): the request
+//! stream must be a pure function of `(seed, user)` — byte-identical on
+//! replay — the Zipf focus sampler must actually produce the rank-ordered
+//! frequencies the skew promises, and *every* generated request must be one
+//! the dashboard's HTTP tier accepts: a tracked endpoint with structurally
+//! legal parameters. The last property is pinned twice — structurally
+//! against the vocabulary, and end-to-end against the real
+//! [`parse_analysis_query`] on a real ingested system, so generator drift
+//! (a renamed group token, an out-of-range date) fails here and not as
+//! mysterious 4xx noise in a benchmark run.
+
+use dettest::{det_proptest, Rng, TempDir};
+use rased_bench::workload::{RequestKind, UserSession, Vocab, Zipf, DEFAULT_SKEW};
+use rased_core::{CubeSchema, Rased, RasedConfig};
+use rased_dashboard::metrics::Endpoint;
+use rased_dashboard::{parse_analysis_query, parse_query_string};
+use rased_osm_gen::{Dataset, DatasetConfig};
+use rased_temporal::{Date, DateRange};
+
+fn test_range(days: i32) -> DateRange {
+    let start = Date::new(2021, 3, 1).expect("valid date");
+    DateRange::new(start, start.add_days(days.max(1) - 1))
+}
+
+/// Drive `steps` requests out of a fresh session for `(seed, user)`.
+fn sequence(seed: u64, user: u64, vocab: &Vocab, steps: usize) -> Vec<(RequestKind, String)> {
+    let mut s = UserSession::new(seed, user, vocab.clone(), DEFAULT_SKEW);
+    (0..steps).map(|_| {
+        let r = s.next_request();
+        (r.kind, r.target)
+    }).collect()
+}
+
+fn param<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Structural validity of one generated request against the vocabulary it
+/// was drawn from. Panics with the offending target on any violation.
+fn assert_structurally_valid(target: &str, vocab: &Vocab) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = parse_query_string(query);
+    match Endpoint::classify(path) {
+        Endpoint::Analysis => {
+            let start: Date = param(&params, "start")
+                .unwrap_or_else(|| panic!("missing start in {target}"))
+                .parse()
+                .unwrap_or_else(|e| panic!("bad start in {target}: {e}"));
+            let end: Date = param(&params, "end")
+                .unwrap_or_else(|| panic!("missing end in {target}"))
+                .parse()
+                .unwrap_or_else(|e| panic!("bad end in {target}: {e}"));
+            assert!(start <= end, "inverted window in {target}");
+            assert!(
+                start >= vocab.range.start() && end <= vocab.range.end(),
+                "window escapes the data range in {target}"
+            );
+            if let Some(cs) = param(&params, "countries") {
+                for c in cs.split(',') {
+                    assert!(
+                        vocab.countries.iter().any(|v| v == c),
+                        "unknown country `{c}` in {target}"
+                    );
+                }
+            }
+            if let Some(rs) = param(&params, "roads") {
+                for r in rs.split(',') {
+                    assert!(
+                        vocab.roads.iter().any(|v| v == r),
+                        "unknown road `{r}` in {target}"
+                    );
+                }
+            }
+            let legal = ["country", "element", "road", "update", "day", "week", "month", "year"];
+            for g in param(&params, "group").unwrap_or("").split(',').filter(|g| !g.is_empty()) {
+                assert!(legal.contains(&g), "unknown group dimension `{g}` in {target}");
+            }
+        }
+        Endpoint::Sample => {
+            let f = |k: &str| -> f64 {
+                param(&params, k)
+                    .unwrap_or_else(|| panic!("missing {k} in {target}"))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad {k} in {target}: {e}"))
+            };
+            let (lo_lat, hi_lat) = (f("min_lat"), f("max_lat"));
+            let (lo_lon, hi_lon) = (f("min_lon"), f("max_lon"));
+            assert!(lo_lat < hi_lat && lo_lon < hi_lon, "degenerate bbox in {target}");
+            assert!((-90.0..=90.0).contains(&lo_lat) && (-90.0..=90.0).contains(&hi_lat));
+            assert!((-180.0..=180.0).contains(&lo_lon) && (-180.0..=180.0).contains(&hi_lon));
+            let limit: u64 = param(&params, "limit")
+                .unwrap_or_else(|| panic!("missing limit in {target}"))
+                .parse()
+                .unwrap_or_else(|e| panic!("bad limit in {target}: {e}"));
+            assert!((10..=100).contains(&limit), "limit {limit} out of range in {target}");
+        }
+        Endpoint::Meta => assert!(query.is_empty(), "unexpected query string in {target}"),
+        other => panic!("generator produced untracked endpoint {other:?}: {target}"),
+    }
+}
+
+det_proptest! {
+    #![det_config(cases = 48)]
+
+    /// Same `(seed, user)` — down to a freshly rebuilt vocabulary — replays
+    /// a byte-identical request sequence. This is what makes fig13 runs
+    /// comparable across commits.
+    #[test]
+    fn same_seed_replays_byte_identical(
+        seed in 0u64..u64::MAX,
+        user in 0u64..64,
+        days in 2i32..120,
+    ) {
+        let vocab_a = Vocab::synthetic(7, 5, test_range(days));
+        let vocab_b = Vocab::synthetic(7, 5, test_range(days));
+        assert_eq!(
+            sequence(seed, user, &vocab_a, 120),
+            sequence(seed, user, &vocab_b, 120),
+        );
+    }
+
+    /// Every request the generator can emit is a tracked endpoint with
+    /// structurally legal parameters drawn from the vocabulary.
+    #[test]
+    fn every_request_is_valid(
+        seed in 0u64..u64::MAX,
+        user in 0u64..256,
+        n_countries in 1usize..24,
+        n_roads in 1usize..12,
+        days in 1i32..400,
+    ) {
+        let vocab = Vocab::synthetic(n_countries, n_roads, test_range(days));
+        for (_, target) in sequence(seed, user, &vocab, 150) {
+            assert_structurally_valid(&target, &vocab);
+        }
+    }
+}
+
+det_proptest! {
+    #![det_config(cases = 16)]
+
+    /// The Zipf sampler's observed frequencies follow rank order: rank 0
+    /// strictly dominates, and no later rank beats an earlier one by more
+    /// than sampling noise.
+    #[test]
+    fn zipf_frequencies_follow_rank(seed in 0u64..u64::MAX, n in 2usize..=16) {
+        const DRAWS: usize = 8_000;
+        let z = Zipf::new(n, 1.0);
+        let mut rng = Rng::new(seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..DRAWS {
+            let r = z.sample(&mut rng);
+            assert!(r < n, "rank {r} out of 0..{n}");
+            counts[r] += 1;
+        }
+        // s = 1.0: p(0) = 2·p(1), so at 8k draws rank 0 wins by a mile.
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[0] > 2 * counts[n - 1], "{counts:?}");
+        // Adjacent tail ranks differ by little; allow 2% total slack.
+        let slack = DRAWS / 50;
+        for i in 1..n {
+            assert!(
+                counts[i - 1] + slack >= counts[i],
+                "rank {i} beat rank {} beyond noise: {counts:?}", i - 1
+            );
+        }
+    }
+}
+
+/// End-to-end: against a *real* ingested system, every analysis request the
+/// generator emits must clear the dashboard's own query parser — the same
+/// code path the HTTP tier runs. Catches vocabulary drift the structural
+/// checks can't (e.g. a country code the taxonomy no longer resolves).
+#[test]
+fn real_parser_accepts_every_analysis_request() {
+    let dir = TempDir::new("workload-props");
+    let cfg = {
+        let mut c = DatasetConfig::small(0xF13);
+        c.range = test_range(3);
+        c
+    };
+    let data = Dataset::generate(&dir.path().join("data"), cfg).expect("generate");
+    let schema = CubeSchema::new(data.config.world.n_countries, data.config.sim.n_road_types);
+    let system = Rased::create(
+        RasedConfig::new(dir.path().join("system")).with_schema(schema),
+    )
+    .expect("create system");
+    system.ingest_dataset(&data).expect("ingest");
+
+    let vocab = Vocab {
+        range: data.config.range,
+        countries: system
+            .countries()
+            .ids()
+            .filter_map(|id| system.countries().code(id).map(str::to_string))
+            .collect(),
+        roads: system
+            .roads()
+            .ids()
+            .filter_map(|id| system.roads().value(id).map(str::to_string))
+            .collect(),
+    };
+    assert!(!vocab.countries.is_empty() && !vocab.roads.is_empty());
+
+    let mut analysis_seen = 0;
+    for user in 0..4u64 {
+        for (kind, target) in sequence(0xF13, user, &vocab, 100) {
+            assert_structurally_valid(&target, &vocab);
+            if let Some(query) = target.strip_prefix("/api/analysis?") {
+                assert!(matches!(kind, RequestKind::TileView | RequestKind::DrillDown | RequestKind::Pan));
+                let params = parse_query_string(query);
+                if let Err(e) = parse_analysis_query(&system, &params) {
+                    panic!("real parser rejected generated request {target}: {e:?}");
+                }
+                analysis_seen += 1;
+            }
+        }
+    }
+    assert!(analysis_seen > 50, "workload mix produced too few analysis requests");
+}

@@ -41,6 +41,24 @@ pub struct ServerConfig {
     pub max_keep_alive_requests: usize,
     /// Value of the `Retry-After` header on `503` queue-full rejections.
     pub retry_after_secs: u32,
+    /// Admission control: how many *expensive* requests (`/api/analysis`,
+    /// `/api/sample`) one client may have in flight at once. Above the cap
+    /// the surplus request is shed with a cheap-path `503` + `Retry-After`
+    /// — per-client fair sharing, so one greedy client cannot pin every
+    /// worker while others queue. `0` disables the cap.
+    pub max_active_per_client: usize,
+    /// Admission control: how many expensive requests may execute at once
+    /// across *all* clients. Beyond it, further expensive requests are shed
+    /// with a cheap-path `503` before latency collapses; cheap endpoints
+    /// (`/api/metrics`, `/`, `/api/meta`, ingest status) keep being served
+    /// by the remaining workers, so the system stays observable under
+    /// overload. `0` disables shedding.
+    pub shed_threshold: usize,
+    /// Trust the `X-Forwarded-For` header as the client identity for
+    /// admission control (first listed address wins). Enable only behind a
+    /// proxy that sets the header — or in load harnesses simulating many
+    /// users from one host. Off, clients are keyed by peer IP.
+    pub trust_forwarded_for: bool,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +73,9 @@ impl Default for ServerConfig {
             max_body_bytes: 64 * 1024,
             max_keep_alive_requests: 1000,
             retry_after_secs: 1,
+            max_active_per_client: 0,
+            shed_threshold: 0,
+            trust_forwarded_for: false,
         }
     }
 }
@@ -66,6 +87,24 @@ impl ServerConfig {
     pub fn effective_workers(&self) -> usize {
         match self.workers {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2),
+            n => n,
+        }
+    }
+
+    /// The effective per-client in-flight cap: the configured value, or
+    /// `usize::MAX` (no cap) when `max_active_per_client` is 0.
+    pub fn effective_max_active_per_client(&self) -> usize {
+        match self.max_active_per_client {
+            0 => usize::MAX,
+            n => n,
+        }
+    }
+
+    /// The effective global shed threshold: the configured value, or
+    /// `usize::MAX` (never shed) when `shed_threshold` is 0.
+    pub fn effective_shed_threshold(&self) -> usize {
+        match self.shed_threshold {
+            0 => usize::MAX,
             n => n,
         }
     }
@@ -87,5 +126,24 @@ mod tests {
     fn explicit_worker_count_wins() {
         let c = ServerConfig { workers: 3, ..ServerConfig::default() };
         assert_eq!(c.effective_workers(), 3);
+    }
+
+    #[test]
+    fn admission_defaults_are_disabled() {
+        let c = ServerConfig::default();
+        assert_eq!(c.effective_max_active_per_client(), usize::MAX);
+        assert_eq!(c.effective_shed_threshold(), usize::MAX);
+        assert!(!c.trust_forwarded_for);
+    }
+
+    #[test]
+    fn admission_knobs_pass_through() {
+        let c = ServerConfig {
+            max_active_per_client: 2,
+            shed_threshold: 6,
+            ..ServerConfig::default()
+        };
+        assert_eq!(c.effective_max_active_per_client(), 2);
+        assert_eq!(c.effective_shed_threshold(), 6);
     }
 }

@@ -9,6 +9,7 @@
 //!                [--threads N]
 //! rased serve    --system DIR [--addr 127.0.0.1:7878] [--workers N] [--queue N]
 //!                [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]
+//!                [--max-active-per-client N] [--shed-threshold N] [--trust-forwarded-for]
 //!                [--follow DATA_DIR]
 //! rased demo     --dir DIR  (generate + ingest + serve in one step)
 //! ```
@@ -64,7 +65,8 @@ fn print_usage() {
          \x20 query    --system DIR --start D --end D [--group country,element,road,update,day,week,month,year]\n\
          \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv] [--threads N]\n\
          \x20 serve    --system DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
-         \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N] [--follow DATA_DIR]\n\
+         \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]\n\
+         \x20          [--max-active-per-client N] [--shed-threshold N] [--trust-forwarded-for] [--follow DATA_DIR]\n\
          \x20 demo     --dir DIR [--seed N]"
     );
 }
@@ -227,6 +229,17 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, AnyErr
     }
     if let Some(kb) = flags.get("max-body-kb") {
         cfg.max_body_bytes = kb.parse::<usize>()? * 1024;
+    }
+    // Admission control (0 = disabled): per-client expensive-request cap,
+    // global shed threshold, and whether X-Forwarded-For names the client.
+    if let Some(n) = flags.get("max-active-per-client") {
+        cfg.max_active_per_client = n.parse()?;
+    }
+    if let Some(n) = flags.get("shed-threshold") {
+        cfg.shed_threshold = n.parse()?;
+    }
+    if flags.contains_key("trust-forwarded-for") {
+        cfg.trust_forwarded_for = true;
     }
     Ok(cfg)
 }

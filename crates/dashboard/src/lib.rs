@@ -9,12 +9,15 @@
 //!   JSON) backing the HTTP API;
 //! * [`http`] — limit-enforcing HTTP/1.1 request parsing;
 //! * [`metrics`] — lock-free serving-tier telemetry behind `/api/metrics`;
+//! * [`admission`] — per-client fair-share admission control and global
+//!   load shedding for the expensive query endpoints;
 //! * [`server`] — an HTTP/1.1 server on `std::net` with a bounded worker
 //!   pool, keep-alive, per-request limits and graceful shutdown, exposing
 //!   `GET /api/analysis`, `GET /api/sample`, `GET /api/meta`,
 //!   `GET /api/metrics`, and an embedded single-page dashboard at `/`;
 //! * the `rased` CLI binary — generate / ingest / query / serve.
 
+pub mod admission;
 pub mod charts;
 pub mod http;
 pub mod json;

@@ -55,6 +55,13 @@ impl Endpoint {
         }
     }
 
+    /// Whether this endpoint runs a query over the cube index — the class
+    /// admission control meters. Everything else is "cheap": constant-ish
+    /// work that must stay served even when the query tier saturates.
+    pub fn is_expensive(self) -> bool {
+        matches!(self, Endpoint::Analysis | Endpoint::Sample)
+    }
+
     /// The label used in the metrics JSON.
     pub fn label(self) -> &'static str {
         match self {
@@ -183,6 +190,46 @@ impl ServerMetrics {
         self.queue_full_rejections.load(Relaxed)
     }
 
+    /// Estimate the `p`-th latency percentile (0 < p ≤ 1) in µs from the
+    /// histogram, by nearest rank: the estimate is the upper bound of the
+    /// bucket containing rank `⌈p·N⌉`. A rank landing in the overflow
+    /// bucket reports the last finite bound — a *lower* bound on the true
+    /// value, still useful as "at least this slow". Zero requests → 0.
+    ///
+    /// The histogram is relaxed atomics, so a read racing writers may see a
+    /// momentarily inconsistent set of buckets; for telemetry that skew is
+    /// at most one bucket and self-corrects on the next poll.
+    pub fn latency_percentile_est_micros(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self.latency_buckets.iter().map(|c| c.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            cum += count;
+            if cum >= rank {
+                return LATENCY_BUCKETS_MICROS
+                    .get(i)
+                    .or(LATENCY_BUCKETS_MICROS.last())
+                    .copied()
+                    .unwrap_or(0);
+            }
+        }
+        LATENCY_BUCKETS_MICROS.last().copied().unwrap_or(0)
+    }
+
+    /// The (p50, p99, p999) latency estimates in µs (see
+    /// [`ServerMetrics::latency_percentile_est_micros`]).
+    pub fn latency_percentiles_est(&self) -> (u64, u64, u64) {
+        (
+            self.latency_percentile_est_micros(0.50),
+            self.latency_percentile_est_micros(0.99),
+            self.latency_percentile_est_micros(0.999),
+        )
+    }
+
     /// The `/api/metrics` document. Schema (all counters cumulative since
     /// server start):
     ///
@@ -192,7 +239,7 @@ impl ServerMetrics {
     ///                   "queue_full_rejections":N,"timeouts":N},
     ///   "requests": {"total":N,"status":{"1xx":N,...,"5xx":N}},
     ///   "endpoints": {"/":N,"/api/meta":N,...,"other":N},
-    ///   "latency_micros": {"total":N,
+    ///   "latency_micros": {"total":N,"p50_est":N,"p99_est":N,"p999_est":N,
     ///     "buckets":[{"le":100,"count":N},...,{"le":null,"count":N}]},
     ///   "sync": {"poison_recoveries":N}
     /// }
@@ -238,6 +285,10 @@ impl ServerMetrics {
 
         j.key("latency_micros").begin_object();
         j.kv_uint("total", self.latency_total_micros.load(Relaxed));
+        let (p50, p99, p999) = self.latency_percentiles_est();
+        j.kv_uint("p50_est", p50);
+        j.kv_uint("p99_est", p99);
+        j.kv_uint("p999_est", p999);
         j.key("buckets").begin_array();
         for (i, count) in self.latency_buckets.iter().enumerate() {
             j.begin_object();
@@ -287,6 +338,57 @@ mod tests {
         assert!(json.contains("\"le\":100"), "{json}");
         assert!(json.contains("\"le\":null"), "{json}");
         assert!(json.contains("\"sync\":{\"poison_recoveries\":"), "{json}");
+    }
+
+    #[test]
+    fn percentiles_are_zero_with_no_requests() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.latency_percentiles_est(), (0, 0, 0));
+    }
+
+    #[test]
+    fn percentiles_pin_known_histogram_fills() {
+        let m = ServerMetrics::new();
+        // 90 requests at 250 µs (≤500 bucket), 9 at 2 ms (≤5000), 1 at
+        // 70 ms (≤100_000): N=100, so p50 rank 50 → 500, p99 rank 99 →
+        // 5000, p999 rank 100 → 100_000.
+        for _ in 0..90 {
+            m.record_request(Endpoint::Analysis, 200, Duration::from_micros(250));
+        }
+        for _ in 0..9 {
+            m.record_request(Endpoint::Analysis, 200, Duration::from_millis(2));
+        }
+        m.record_request(Endpoint::Analysis, 200, Duration::from_millis(70));
+        assert_eq!(m.latency_percentiles_est(), (500, 5_000, 100_000));
+    }
+
+    #[test]
+    fn percentile_in_overflow_reports_last_finite_bound() {
+        let m = ServerMetrics::new();
+        m.record_request(Endpoint::Root, 200, Duration::from_micros(80)); // ≤100
+        m.record_request(Endpoint::Root, 200, Duration::from_secs(60)); // overflow
+        // p50 rank 1 → first bucket; p99/p999 rank 2 → overflow, clamped to
+        // the last finite bound (a lower bound on the truth).
+        assert_eq!(m.latency_percentile_est_micros(0.50), 100);
+        assert_eq!(m.latency_percentile_est_micros(0.99), 5_000_000);
+        assert_eq!(m.latency_percentile_est_micros(0.999), 5_000_000);
+    }
+
+    #[test]
+    fn single_request_pins_every_percentile_to_its_bucket() {
+        let m = ServerMetrics::new();
+        m.record_request(Endpoint::Sample, 200, Duration::from_micros(700)); // ≤1000
+        assert_eq!(m.latency_percentiles_est(), (1_000, 1_000, 1_000));
+    }
+
+    #[test]
+    fn percentile_fields_serialize() {
+        let m = ServerMetrics::new();
+        m.record_request(Endpoint::Root, 200, Duration::from_micros(50));
+        let json = m.to_json();
+        assert!(json.contains("\"p50_est\":100"), "{json}");
+        assert!(json.contains("\"p99_est\":100"), "{json}");
+        assert!(json.contains("\"p999_est\":100"), "{json}");
     }
 
     #[test]

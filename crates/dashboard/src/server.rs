@@ -21,7 +21,12 @@
 //! Architecture: a bounded worker pool (default one worker per core) drains
 //! a bounded queue of accepted connections. When the queue is full, new
 //! connections are rejected immediately with `503` + `Retry-After` —
-//! backpressure, never unbounded thread spawn. Connections are keep-alive
+//! backpressure, never unbounded thread spawn. Above the connection queue,
+//! per-request *admission control* ([`crate::admission`]) meters the
+//! expensive endpoints: a per-client concurrency cap and a global shed
+//! threshold both degrade to a cheap-path `503` + `Retry-After`, so
+//! overload produces fast rejections (and a responsive `/api/metrics`)
+//! instead of latency collapse. Connections are keep-alive
 //! with per-request read/write timeouts and parse limits (see
 //! [`rased_core::ServerConfig`]); a stalled or hostile client is reaped by
 //! the socket timeout, answered `408`, and closed. [`StopHandle::stop`]
@@ -30,6 +35,7 @@
 //! [`DashboardServer::serve`] returns only after every worker has been
 //! joined.
 
+use crate::admission::AdmissionControl;
 use crate::api::{parse_analysis_query, parse_query_string, result_to_json};
 use crate::http::{read_request, write_response, HttpError, Limits, Request};
 use crate::json::Json;
@@ -52,6 +58,7 @@ pub struct DashboardServer {
     stop: Arc<AtomicBool>,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    admission: AdmissionControl,
     ingest: Option<Arc<IngestController>>,
     ingest_root: Option<std::path::PathBuf>,
 }
@@ -165,12 +172,17 @@ impl DashboardServer {
         config: ServerConfig,
     ) -> std::io::Result<DashboardServer> {
         let listener = TcpListener::bind(addr)?;
+        let admission = AdmissionControl::new(
+            config.effective_max_active_per_client(),
+            config.effective_shed_threshold(),
+        );
         Ok(DashboardServer {
             system,
             listener,
             stop: Arc::new(AtomicBool::new(false)),
             config,
             metrics: Arc::new(ServerMetrics::new()),
+            admission,
             ingest: None,
             ingest_root: None,
         })
@@ -207,6 +219,12 @@ impl DashboardServer {
     /// The live serving-tier counters (also served at `/api/metrics`).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The admission-control state (per-client fair sharing + load
+    /// shedding; also served at `/api/metrics`).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
     }
 
     /// A handle that shuts the server down gracefully (see [`StopHandle`]).
@@ -301,6 +319,7 @@ impl DashboardServer {
     fn serve_requests(&self, stream: &TcpStream) -> std::io::Result<()> {
         let mut reader = BufReader::new(stream.try_clone()?);
         let limits = Limits::from_config(&self.config);
+        let peer = stream.peer_addr().ok().map(|a| a.ip().to_string());
         for served in 1..=self.config.max_keep_alive_requests {
             match read_request(&mut reader, &limits) {
                 Ok(None) => break, // client closed an idle connection
@@ -313,7 +332,39 @@ impl DashboardServer {
                     let keep = req.keep_alive()
                         && served < self.config.max_keep_alive_requests
                         && !self.stop.load(Ordering::SeqCst);
+                    // Admission: expensive endpoints must hold a permit
+                    // while they execute; a shed answers a cheap 503 and
+                    // keeps the connection alive — rejection is per
+                    // *request*, the client may retry on the same socket.
+                    let permit = if endpoint.is_expensive() {
+                        let client = self.client_id(&req, peer.as_deref());
+                        match self.admission.try_admit(&client) {
+                            Ok(p) => Some(p),
+                            Err(shed) => {
+                                self.metrics.record_request(endpoint, 503, start.elapsed());
+                                let retry = self.config.retry_after_secs.to_string();
+                                write_response(
+                                    &mut &*stream,
+                                    503,
+                                    "text/plain",
+                                    shed.reason().as_bytes(),
+                                    keep,
+                                    &[("Retry-After", &retry)],
+                                )?;
+                                if !keep {
+                                    break;
+                                }
+                                continue;
+                            }
+                        }
+                    } else {
+                        None
+                    };
                     let (status, content_type, body) = self.route(&req);
+                    // The permit covers query execution only; release it
+                    // before the socket write so a slow-draining client
+                    // cannot sit on admission capacity.
+                    drop(permit);
                     // Record *before* writing: once the client has the
                     // response, a follow-up `/api/metrics` read must already
                     // count this request. (Latency therefore covers routing
@@ -357,6 +408,23 @@ impl DashboardServer {
             }
         }
         Ok(())
+    }
+
+    /// The admission-control identity of a request's client: the first
+    /// `X-Forwarded-For` address when the config trusts the header (behind
+    /// a proxy, or a load harness simulating many users), else the peer IP.
+    fn client_id(&self, req: &Request, peer: Option<&str>) -> String {
+        if self.config.trust_forwarded_for {
+            if let Some(first) = req
+                .header("x-forwarded-for")
+                .and_then(|ff| ff.split(',').next())
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+            {
+                return first.to_string();
+            }
+        }
+        peer.unwrap_or("unknown").to_string()
     }
 
     /// Dispatch one well-formed request to its endpoint.
@@ -511,8 +579,17 @@ impl DashboardServer {
         let mut j = Json::new();
         j.begin_object();
         self.metrics.write_sections(&mut j);
-        j.key("ingest").begin_object();
+        self.admission.write_section(&mut j);
+        // The cube-cache counters the load harness derives hit rates from:
+        // cumulative, so per-epoch rates are deltas between polls.
         let index = self.system.index();
+        j.key("cache").begin_object();
+        let (hits, misses) = index.cache().counters();
+        j.kv_uint("cube_slots", index.cache().slots() as u64);
+        j.kv_uint("cube_hits", hits);
+        j.kv_uint("cube_misses", misses);
+        j.end_object();
+        j.key("ingest").begin_object();
         j.kv_uint("epoch", index.epoch());
         j.kv_uint("published_units", index.published_units());
         j.kv_uint("invalidations", index.invalidations());

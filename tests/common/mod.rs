@@ -140,7 +140,22 @@ impl HttpClient {
 
     /// Issue `GET path` on the held connection and read the response.
     pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
-        write!(self.stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n")?;
+        self.get_with_headers(path, &[])
+    }
+
+    /// Issue `GET path` with extra request headers (e.g. `X-Forwarded-For`
+    /// to present a distinct client identity to admission control).
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+        extra: &[(&str, &str)],
+    ) -> std::io::Result<Response> {
+        let mut req = format!("GET {path} HTTP/1.1\r\nHost: test\r\n");
+        for (k, v) in extra {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str("\r\n");
+        self.stream.write_all(req.as_bytes())?;
         self.stream.flush()?;
         read_response(&mut self.reader)
     }

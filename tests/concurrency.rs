@@ -284,6 +284,126 @@ fn live_server_stress_keep_alive_pool_bound_and_graceful_drain() {
     assert_eq!(m.requests_in_class(5), 0, "server errors under stress");
 }
 
+/// Overload must degrade to *cheap* 503s, not latency collapse — and one
+/// greedy client must not starve everyone else (PR 6 admission control).
+///
+/// Shape: per-client cap 1, global shed threshold 2. A greedy "client"
+/// opens 6 connections sharing one `X-Forwarded-For` identity and hammers
+/// the expensive endpoint, so at most one greedy request is ever admitted;
+/// the overlap sheds at the client cap. A polite client with its own
+/// identity therefore always finds global headroom (greedy holds ≤ 1 of 2
+/// slots), so *every* polite request — expensive ones included — must
+/// succeed mid-storm. That is per-client fairness as a hard assertion, not
+/// a statistical one.
+#[test]
+fn overload_sheds_cheap_503s_and_never_starves_polite_clients() {
+    const GREEDY_CONNS: usize = 6;
+    const GREEDY_REQUESTS: usize = 10;
+
+    let (_dir, system) = demo_system("overload");
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        max_active_per_client: 1,
+        shed_threshold: 2,
+        trust_forwarded_for: true,
+        ..ServerConfig::default()
+    };
+    let ts = TestServer::start(system, config);
+    // Expensive enough that greedy requests overlap in time.
+    let slow = "/api/analysis?start=2021-01-01&end=2021-01-31&group=country,road,update,day";
+
+    let shed_bound = Duration::from_secs(1);
+    std::thread::scope(|scope| {
+        let mut greedy_threads = Vec::new();
+        for _ in 0..GREEDY_CONNS {
+            let addr = ts.addr;
+            greedy_threads.push(scope.spawn(move || {
+                let mut ok = 0usize;
+                let mut shed = 0usize;
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for _ in 0..GREEDY_REQUESTS {
+                    let t0 = std::time::Instant::now();
+                    let r = client
+                        .get_with_headers(slow, &[("X-Forwarded-For", "198.51.100.1")])
+                        .expect("greedy request");
+                    match r.status {
+                        200 => ok += 1,
+                        503 => {
+                            shed += 1;
+                            // The shed path must answer fast — a cheap
+                            // rejection, not a queued execution.
+                            assert!(
+                                t0.elapsed() < shed_bound,
+                                "503 took {:?} — shed path is not cheap",
+                                t0.elapsed()
+                            );
+                            assert!(r.header("retry-after").is_some(), "503 without Retry-After");
+                        }
+                        other => panic!("unexpected status {other}: {}", r.body),
+                    }
+                }
+                (ok, shed)
+            }));
+        }
+
+        // Polite client, distinct identity: cheap and expensive requests
+        // interleaved, all while the greedy storm runs. Every one must be
+        // served — greedy can hold at most 1 of the 2 global slots.
+        let mut polite = HttpClient::connect(ts.addr).expect("connect polite");
+        let polite_id = [("X-Forwarded-For", "198.51.100.2")];
+        for i in 0..15 {
+            let path = match i % 3 {
+                0 => "/api/metrics",
+                1 => "/api/meta",
+                _ => slow,
+            };
+            let r = polite.get_with_headers(path, &polite_id).expect("polite request");
+            assert_eq!(r.status, 200, "polite client starved on {path}: {}", r.body);
+            if path == "/api/metrics" {
+                // The pool keeps capacity for cheap endpoints: admission's
+                // high-watermark must respect the global threshold.
+                assert!(parse_uint_field(&r.body, "max_active") <= 4);
+            }
+        }
+
+        let (mut served, mut shed) = (0usize, 0usize);
+        for t in greedy_threads {
+            let (ok, s) = t.join().expect("greedy thread");
+            served += ok;
+            shed += s;
+        }
+        assert_eq!(served + shed, GREEDY_CONNS * GREEDY_REQUESTS);
+        assert!(served > 0, "greedy client fully locked out — cap should allow 1 in flight");
+        assert!(
+            shed > 0,
+            "no sheds: 6 overlapping single-identity connections never hit the cap of 1"
+        );
+    });
+
+    // Post-mortem via /api/metrics: the shed counters are visible to an
+    // operator, and the admission high-watermark proves the threshold held.
+    let mut c = HttpClient::connect(ts.addr).unwrap();
+    let m = c.get("/api/metrics").unwrap();
+    assert_eq!(m.status, 200);
+    let shed_client_cap = parse_uint_field(&m.body, "shed_client_cap");
+    let shed_overload = parse_uint_field(&m.body, "shed_overload");
+    assert!(shed_client_cap > 0, "per-client sheds not observable: {}", m.body);
+    // admission.max_active counts *admitted* expensive requests only; with
+    // a global threshold of 2 it can never exceed 2.
+    let admission_at = m.body.find("\"admission\"").expect("admission section");
+    let max_admitted = parse_uint_field(&m.body[admission_at..], "max_active");
+    assert!(
+        max_admitted <= 2,
+        "admitted high-watermark {max_admitted} exceeds shed threshold: {}",
+        m.body
+    );
+    let _ = shed_overload; // may legitimately be 0 in this shape
+    ts.stop().unwrap();
+}
+
 /// The deterministic part of a response body: everything before the
 /// per-request execution stats (`"stats":{...,"wall_micros":N}` varies).
 fn stable_part(body: &str) -> &str {

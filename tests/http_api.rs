@@ -189,6 +189,55 @@ fn metrics_endpoint_reports_status_classes() {
     assert_eq!(server.metrics().active(), 0);
 }
 
+/// The fields the fig13 load harness consumes off `/api/metrics`: per-
+/// endpoint latency percentile estimates, the admission-control section,
+/// and the cumulative cube-cache counters it derives hit rates from.
+#[test]
+fn metrics_endpoint_serves_percentiles_admission_and_cache() {
+    let (_dir, system) = demo_system("metricsfields");
+    let ts = TestServer::start(system, test_config());
+
+    // One expensive request so the analysis histogram is non-empty.
+    let r = http_get(ts.addr, "/api/analysis?start=2021-01-01&end=2021-01-31&group=update")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    let m = http_get(ts.addr, "/api/metrics").unwrap();
+    assert_eq!(m.status, 200);
+    // Histogram-derived latency estimates, per endpoint.
+    for field in ["\"latency_micros\"", "\"p50_est\"", "\"p99_est\"", "\"p999_est\""] {
+        assert!(m.body.contains(field), "missing {field} in {}", m.body);
+    }
+    // Admission control reports even when disabled (the default config):
+    // gauges at zero, caps echoed so operators can see what is in force.
+    let adm = m.body.find("\"admission\"").expect("admission section");
+    let adm = &m.body[adm..];
+    for field in [
+        "\"active\"",
+        "\"max_active\"",
+        "\"clients_active\"",
+        "\"per_client_cap\"",
+        "\"shed_threshold\"",
+        "\"shed_client_cap\"",
+        "\"shed_overload\"",
+    ] {
+        assert!(adm.contains(field), "missing admission {field} in {}", m.body);
+    }
+    // Cube-cache counters: the analysis above must have touched the cache.
+    let cache = m.body.find("\"cache\"").expect("cache section");
+    let cache = &m.body[cache..];
+    for field in ["\"cube_slots\"", "\"cube_hits\"", "\"cube_misses\""] {
+        assert!(cache.contains(field), "missing cache {field} in {}", m.body);
+    }
+    assert!(
+        !cache.contains("\"cube_hits\":0") || !cache.contains("\"cube_misses\":0"),
+        "analysis request left no trace in the cube cache: {}",
+        m.body
+    );
+
+    ts.stop().unwrap();
+}
+
 /// `POST /api/ingest` is a write surface reachable from the network, so
 /// enqueued directories are confined: they must resolve (after symlinks
 /// and `..`) under the configured ingest root, and with no root the
