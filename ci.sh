@@ -33,10 +33,19 @@ timeout 300 cargo test -q --offline --locked -p rased-core --test crash_recovery
 timeout 300 cargo test -q --offline --locked -p rased-query --test epoch_isolation
 BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig12_ingest_under_load
 
+# Response-cache gate: the cache-equivalence property suite (cached tier
+# byte-identical to cold renders across epoch bumps), once with dettest's
+# per-run seed and once replaying a pinned seed — the pinned run proves
+# DETTEST_SEED replay stays wired end-to-end, not just documented.
+timeout 300 cargo test -q --offline --locked --test respcache_props
+DETTEST_SEED=20260808 timeout 120 cargo test -q --offline --locked --test respcache_props
+
 # Serving-SLO gate: the workload-generator property suite, then a smoke run
 # of the Fig. 13 closed-loop load harness. The harness exits non-zero on any
 # SLO violation — uncapped p99, an inert admission controller (overload must
-# shed cheap 503s, not collapse latency), a non-503 5xx, or a stalled live
-# stream — so this line *is* the regression gate, not just a build check.
+# shed cheap 503s, not collapse latency), a non-503 5xx, a stalled live
+# stream, or a response cache that is inert, byte-divergent, or no faster
+# than a cold render — so this line *is* the regression gate, not just a
+# build check.
 timeout 300 cargo test -q --offline --locked -p rased-bench --test workload_props
 BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig13_slo_load

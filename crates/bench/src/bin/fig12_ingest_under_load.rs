@@ -60,10 +60,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .group(GroupDim::Date(Granularity::Week));
 
     println!(
-        "\n{:>10} | {:>8} | {:>10} | {:>10} | {:>10}",
-        "mode", "queries", "p50", "p99", "max"
+        "\n{:>10} | {:>8} | {:>10} | {:>10} | {:>10} | {:>10}",
+        "mode", "queries", "p50", "p99", "p999", "max"
     );
-    println!("{}", "-".repeat(60));
+    println!("{}", "-".repeat(73));
 
     // Quiescent: nothing publishing.
     let quiet = run_queries(&system, &q, budget, || false)?;
@@ -124,12 +124,15 @@ fn run_queries(
 }
 
 fn report(mode: &str, p: &LatencyProfile) {
+    // Full percentile ladder from the shared profile — same columns as
+    // fig13, so the two figures read side by side.
     println!(
-        "{:>10} | {:>8} | {:>10} | {:>10} | {:>10}",
+        "{:>10} | {:>8} | {:>10} | {:>10} | {:>10} | {:>10}",
         mode,
         p.count,
         fmt_duration(p.p50),
         fmt_duration(p.p99),
+        fmt_duration(p.p999),
         fmt_duration(p.max)
     );
 }

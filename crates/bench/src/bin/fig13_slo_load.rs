@@ -16,9 +16,18 @@
 //! queries — verifies that saturation degrades to cheap-path `503 +
 //! Retry-After`, not latency collapse: with every connection sharing one
 //! identity, the per-client cap structurally forces sheds whenever more
-//! than the cap are served concurrently. The burst is sized to the worker
-//! pool so no connection waits in the accept queue — measured shed
-//! latency is the shed path itself, not connection queueing.
+//! than the cap are served concurrently. Every burst request carries a
+//! unique cache-busting `cb=` nonce, so each one is a cold render and
+//! admission control — not the response cache — decides its fate. The
+//! burst is sized to the worker pool so no connection waits in the accept
+//! queue — measured shed latency is the shed path itself, not connection
+//! queueing.
+//!
+//! A cache probe then measures the response cache directly on the quiet
+//! server: a run of nonce-distinct cold misses, then a run of repeats of
+//! one fixed key. Every repeat must be byte-identical to the first
+//! render, and the hit-path p99 must sit strictly below the miss-path
+//! p99 — the cache is a memcpy, not a second render.
 //!
 //! The run fails (non-zero exit) if any SLO gate is violated:
 //!
@@ -31,7 +40,10 @@
 //!    a shed is written before any query work, so anything above this is
 //!    a structural regression, not noise);
 //! 4. ingest streamed every queued day and the epoch advanced, and the
-//!    per-epoch report covers the full observed epoch span.
+//!    per-epoch report covers the full observed epoch span;
+//! 5. the response cache recorded hits, every probe hit was byte-identical
+//!    to its cold render, and the probe hit-path p99 is strictly below the
+//!    miss-path p99.
 //!
 //! `BENCH_MEASURE_MS` selects smoke mode (< 100 ms budget: tiny dataset, 4
 //! users, report to the scratch dir). Full mode (the default) runs 8 users
@@ -68,13 +80,22 @@ struct Sample {
     micros: u64,
 }
 
+/// Cumulative cache counters as read off `/api/metrics`: the cube cache
+/// (query tier) and the response cache (serving tier).
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheCounters {
+    cube_hits: u64,
+    cube_misses: u64,
+    resp_hits: u64,
+    resp_misses: u64,
+}
+
 /// One `/api/metrics` observation at an epoch transition.
 #[derive(Debug, Clone, Copy)]
 struct EpochSnap {
     epoch: u64,
     at: Instant,
-    cube_hits: u64,
-    cube_misses: u64,
+    counters: CacheCounters,
 }
 
 struct Params {
@@ -86,6 +107,8 @@ struct Params {
     max_active_per_client: usize,
     shed_threshold: usize,
     burst_requests: usize,
+    probe_misses: usize,
+    probe_hits: usize,
 }
 
 impl Params {
@@ -103,6 +126,8 @@ impl Params {
                 max_active_per_client: 1,
                 shed_threshold: 3,
                 burst_requests: 6,
+                probe_misses: 6,
+                probe_hits: 40,
             }
         } else {
             Params {
@@ -114,6 +139,8 @@ impl Params {
                 max_active_per_client: 1,
                 shed_threshold: 6,
                 burst_requests: 25,
+                probe_misses: 12,
+                probe_hits: 150,
             }
         }
     }
@@ -254,19 +281,23 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 503 path, not time spent queued behind another keep-alive
     // connection waiting for a worker.
     // The heaviest legal query: full range, four group dimensions — long
-    // enough that admitted executions overlap pending ones.
+    // enough that admitted executions overlap pending ones. Each request
+    // appends a unique `cb=` nonce (ignored by the query parser, part of
+    // the cache key), so every burst request is a cold render: the
+    // response cache cannot absorb the overload that this phase exists
+    // to measure.
     let burst_target = format!(
         "/api/analysis?start={}&end={}&group=country,road,update,day",
         vocab.range.start(),
         vocab.range.end()
     );
     let mut burst_threads = Vec::new();
-    for _ in 0..p.workers.saturating_sub(1) {
+    for t in 0..p.workers.saturating_sub(1) {
         let target = burst_target.clone();
         let epoch_now = Arc::clone(&epoch_now);
         let n = p.burst_requests;
         burst_threads.push(std::thread::spawn(move || {
-            run_burst(addr, "198.51.100.99", &target, n, &epoch_now)
+            run_burst(addr, "198.51.100.99", &target, t, n, &epoch_now)
         }));
     }
     let mut burst: Vec<Sample> = Vec::new();
@@ -274,27 +305,35 @@ fn main() -> Result<(), Box<dyn Error>> {
         burst.extend(t.join().map_err(|_| "burst thread panicked")?);
     }
 
-    // The server's own view of admission, straight off `/api/metrics` —
-    // the harness reads shed counters from the system under test itself.
-    let admission = HttpClient::connect(addr)
+    // Cache probe on the now-quiet server: cold misses vs. repeat hits on
+    // one fixed key, sequentially over one connection with its own
+    // identity (admission never interferes).
+    let probe = run_cache_probe(addr, &burst_target, p.probe_misses, p.probe_hits);
+
+    // The server's own view of admission and the response cache, straight
+    // off `/api/metrics` — the harness reads shed and hit counters from
+    // the system under test itself. Fetched after the probe, so the
+    // response-cache totals deterministically include the probe's hits.
+    let (admission, resp_totals) = HttpClient::connect(addr)
         .and_then(|mut c| c.get("/api/metrics", &[]))
         .ok()
-        .map(|resp| admission_counters(&resp.body))
+        .map(|resp| (admission_counters(&resp.body), resp_cache_counters(&resp.body)))
         .unwrap_or_default();
 
     stop_poll.store(true, Ordering::Relaxed);
-    let (snaps, final_hits, final_misses) =
-        poller.join().map_err(|_| "poller thread panicked")?;
+    let (snaps, final_counters) = poller.join().map_err(|_| "poller thread panicked")?;
     let ingest_status = ingest.status();
     ingest.shutdown();
     stop_server.stop();
     serve_thread.join().map_err(|_| "serve thread panicked")??;
 
     let mut report = build_report(
-        &p, budget, main_secs, main_end, &samples, &burst, &snaps, final_hits, final_misses,
+        &p, budget, main_secs, main_end, &samples, &burst, &snaps, final_counters,
         ingest_status.days_published, system.index().epoch(),
     );
     report.admission = admission;
+    report.resp_totals = resp_totals;
+    report.probe = probe;
     print_report(&report);
 
     // Persist the trajectory point (full mode: into the working directory,
@@ -357,25 +396,29 @@ fn run_user(
 }
 
 /// One greedy overload connection: `n` expensive requests back-to-back,
-/// presenting the shared scraper identity `client`.
+/// presenting the shared scraper identity `client`. Every request gets a
+/// unique `cb=` nonce (thread id × request index), so none of them can be
+/// a response-cache hit — the burst measures admission, not the cache.
 fn run_burst(
     addr: SocketAddr,
     client: &str,
     target: &str,
+    thread: usize,
     n: usize,
     epoch_now: &AtomicU64,
 ) -> Vec<Sample> {
     let headers = [("X-Forwarded-For", client)];
     let mut client = HttpClient::connect(addr).ok();
     let mut samples = Vec::new();
-    for _ in 0..n {
+    for i in 0..n {
+        let busted = format!("{target}&cb=burst-{thread}-{i}");
         let epoch = epoch_now.load(Ordering::Relaxed);
         let t0 = Instant::now();
-        let resp = match client.as_mut().map(|c| c.get(target, &headers)) {
+        let resp = match client.as_mut().map(|c| c.get(&busted, &headers)) {
             Some(Ok(resp)) => Some(resp),
             _ => {
                 client = HttpClient::connect(addr).ok();
-                match client.as_mut().map(|c| c.get(target, &headers)) {
+                match client.as_mut().map(|c| c.get(&busted, &headers)) {
                     Some(Ok(resp)) => Some(resp),
                     _ => None,
                 }
@@ -393,17 +436,73 @@ fn run_burst(
     samples
 }
 
+/// Probe result: the two latency populations the cache SLO compares, plus
+/// the byte-identity tally for the hit path.
+#[derive(Debug, Default)]
+struct ProbeResult {
+    /// Sorted µs per cold render (each a nonce-distinct cache miss).
+    miss_lat: Vec<u64>,
+    /// Sorted µs per repeat of the one fixed probe key.
+    hit_lat: Vec<u64>,
+    /// How many repeats came back byte-identical to the first render.
+    identical: usize,
+}
+
+/// Measure the response cache head-on, on the quiet post-burst server:
+/// `misses` nonce-distinct cold renders of the heaviest legal query, then
+/// `hits` repeats of the first one — which is cached by now, so every
+/// repeat must be the very same bytes, served without rendering.
+fn run_cache_probe(addr: SocketAddr, target: &str, misses: usize, hits: usize) -> ProbeResult {
+    let headers = [("X-Forwarded-For", "203.0.113.200")];
+    let mut client = HttpClient::connect(addr).ok();
+    let mut get = move |path: &str| match client.as_mut().map(|c| c.get(path, &headers)) {
+        Some(Ok(resp)) if resp.status == 200 => Some(resp),
+        _ => {
+            client = HttpClient::connect(addr).ok();
+            match client.as_mut().map(|c| c.get(path, &headers)) {
+                Some(Ok(resp)) if resp.status == 200 => Some(resp),
+                _ => None,
+            }
+        }
+    };
+    let mut out = ProbeResult::default();
+    let mut reference: Option<String> = None;
+    for i in 0..misses {
+        let path = format!("{target}&cb=probe-{i}");
+        let t0 = Instant::now();
+        if let Some(resp) = get(&path) {
+            out.miss_lat.push(t0.elapsed().as_micros() as u64);
+            if i == 0 {
+                reference = Some(resp.body);
+            }
+        }
+    }
+    let fixed = format!("{target}&cb=probe-0");
+    for _ in 0..hits {
+        let t0 = Instant::now();
+        if let Some(resp) = get(&fixed) {
+            out.hit_lat.push(t0.elapsed().as_micros() as u64);
+            if reference.as_deref() == Some(resp.body.as_str()) {
+                out.identical += 1;
+            }
+        }
+    }
+    out.miss_lat.sort_unstable();
+    out.hit_lat.sort_unstable();
+    out
+}
+
 /// Poll `/api/metrics`, publishing the live epoch and snapshotting the
-/// cumulative cube-cache counters at every epoch transition. Returns the
-/// transition log and the final counters.
+/// cumulative cube- and response-cache counters at every epoch
+/// transition. Returns the transition log and the final counters.
 fn poll_metrics(
     addr: SocketAddr,
     epoch_now: &AtomicU64,
     stop: &AtomicBool,
-) -> (Vec<EpochSnap>, u64, u64) {
+) -> (Vec<EpochSnap>, CacheCounters) {
     let mut client = HttpClient::connect(addr).ok();
     let mut snaps: Vec<EpochSnap> = Vec::new();
-    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut counters = CacheCounters::default();
     let mut last_epoch = u64::MAX;
     while !stop.load(Ordering::Relaxed) {
         let body = match client.as_mut().map(|c| c.get("/api/metrics", &[])) {
@@ -415,17 +514,23 @@ fn poll_metrics(
         };
         if let Some(body) = body {
             let epoch = json_uint_field(&body, "epoch").unwrap_or(0);
-            hits = json_uint_field(&body, "cube_hits").unwrap_or(hits);
-            misses = json_uint_field(&body, "cube_misses").unwrap_or(misses);
+            counters.cube_hits = json_uint_field(&body, "cube_hits").unwrap_or(counters.cube_hits);
+            counters.cube_misses =
+                json_uint_field(&body, "cube_misses").unwrap_or(counters.cube_misses);
+            // Cumulative counters are monotone; `max` keeps a transient
+            // parse miss from walking them backwards.
+            let resp = resp_cache_counters(&body);
+            counters.resp_hits = resp.resp_hits.max(counters.resp_hits);
+            counters.resp_misses = resp.resp_misses.max(counters.resp_misses);
             epoch_now.store(epoch, Ordering::Relaxed);
             if epoch != last_epoch {
-                snaps.push(EpochSnap { epoch, at: Instant::now(), cube_hits: hits, cube_misses: misses });
+                snaps.push(EpochSnap { epoch, at: Instant::now(), counters });
                 last_epoch = epoch;
             }
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    (snaps, hits, misses)
+    (snaps, counters)
 }
 
 // ----------------------------------------------------------------- report
@@ -451,6 +556,21 @@ fn admission_counters(body: &str) -> AdmissionCounters {
     }
 }
 
+/// Response-cache hit/miss totals from the nested `"response_cache"`
+/// section (its `hits`/`misses` keys are the section's first matches, so
+/// parsing relative to the marker is exact).
+fn resp_cache_counters(body: &str) -> CacheCounters {
+    let section = body
+        .find("\"response_cache\"")
+        .and_then(|at| body.get(at..))
+        .unwrap_or("");
+    CacheCounters {
+        resp_hits: json_uint_field(section, "hits").unwrap_or(0),
+        resp_misses: json_uint_field(section, "misses").unwrap_or(0),
+        ..CacheCounters::default()
+    }
+}
+
 struct EpochRow {
     epoch: u64,
     samples: usize,
@@ -463,6 +583,8 @@ struct EpochRow {
     /// Cube-cache hit rate over this epoch's wall window (None when the
     /// poller skipped the epoch between polls, or nothing was served).
     hit_rate: Option<f64>,
+    /// Response-cache hit rate over the same window (same None rules).
+    resp_hit_rate: Option<f64>,
 }
 
 struct Report {
@@ -494,6 +616,9 @@ struct Report {
     burst_shed_p99: u64,
     burst_ok_p99: u64,
     admission: AdmissionCounters,
+    /// Server-side response-cache totals after the probe.
+    resp_totals: CacheCounters,
+    probe: ProbeResult,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -505,8 +630,7 @@ fn build_report(
     samples: &[Sample],
     burst: &[Sample],
     snaps: &[EpochSnap],
-    final_hits: u64,
-    final_misses: u64,
+    final_counters: CacheCounters,
     days_published: u64,
     final_epoch: u64,
 ) -> Report {
@@ -552,20 +676,32 @@ fn build_report(
         // The last epoch has no successor transition: its window closes at
         // the end of the main phase (`main_end`), where sampling stopped.
         let found = snaps.iter().enumerate().find(|(_, s)| s.epoch == epoch);
-        let (secs, hit_rate) = match found {
+        let (secs, hit_rate, resp_hit_rate) = match found {
             Some((i, cur)) => {
-                let (end_t, end_h, end_m) = match snaps.get(i + 1) {
-                    Some(next) => (Some(next.at), next.cube_hits, next.cube_misses),
-                    None => (Some(main_end), final_hits, final_misses),
+                let (end_t, end_c) = match snaps.get(i + 1) {
+                    Some(next) => (Some(next.at), next.counters),
+                    None => (Some(main_end), final_counters),
                 };
                 let secs = end_t.map(|t| t.duration_since(cur.at).as_secs_f64());
-                let (dh, dm) =
-                    (end_h.saturating_sub(cur.cube_hits), end_m.saturating_sub(cur.cube_misses));
-                let rate =
-                    if dh + dm > 0 { Some(dh as f64 / (dh + dm) as f64) } else { None };
-                (secs, rate)
+                let delta_rate = |h: u64, m: u64, h0: u64, m0: u64| {
+                    let (dh, dm) = (h.saturating_sub(h0), m.saturating_sub(m0));
+                    if dh + dm > 0 { Some(dh as f64 / (dh + dm) as f64) } else { None }
+                };
+                let cube = delta_rate(
+                    end_c.cube_hits,
+                    end_c.cube_misses,
+                    cur.counters.cube_hits,
+                    cur.counters.cube_misses,
+                );
+                let resp = delta_rate(
+                    end_c.resp_hits,
+                    end_c.resp_misses,
+                    cur.counters.resp_hits,
+                    cur.counters.resp_misses,
+                );
+                (secs, cube, resp)
             }
-            None => (None, None),
+            None => (None, None, None),
         };
         let qps = match secs {
             Some(s) if s > 0.0 => in_epoch.len() as f64 / s,
@@ -581,6 +717,7 @@ fn build_report(
             shed_503,
             other_err,
             hit_rate,
+            resp_hit_rate,
         });
     }
 
@@ -627,6 +764,8 @@ fn build_report(
         burst_shed_p99: pctl(&burst_shed_lat, 0.99),
         burst_ok_p99: pctl(&burst_ok_lat, 0.99),
         admission: AdmissionCounters::default(),
+        resp_totals: CacheCounters::default(),
+        probe: ProbeResult::default(),
     }
 }
 
@@ -653,14 +792,15 @@ fn print_report(r: &Report) {
     let kinds: Vec<String> =
         r.kind_counts.iter().map(|(k, n)| format!("{k} {n}")).collect();
     println!("  request mix: {}", kinds.join(", "));
+    let pct = |h: Option<f64>| h.map(|h| format!("{:.1}%", h * 100.0)).unwrap_or_else(|| "-".into());
     println!(
-        "\n{:>6} | {:>7} | {:>8} | {:>10} | {:>10} | {:>10} | {:>4} | {:>5} | {:>8}",
-        "epoch", "samples", "qps", "p50", "p99", "p999", "503", "err", "hit-rate"
+        "\n{:>6} | {:>7} | {:>8} | {:>10} | {:>10} | {:>10} | {:>4} | {:>5} | {:>8} | {:>8}",
+        "epoch", "samples", "qps", "p50", "p99", "p999", "503", "err", "cube-hit", "resp-hit"
     );
-    println!("{}", "-".repeat(92));
+    println!("{}", "-".repeat(103));
     for e in &r.epochs {
         println!(
-            "{:>6} | {:>7} | {:>8.1} | {:>10} | {:>10} | {:>10} | {:>4} | {:>5} | {:>8}",
+            "{:>6} | {:>7} | {:>8.1} | {:>10} | {:>10} | {:>10} | {:>4} | {:>5} | {:>8} | {:>8}",
             e.epoch,
             e.samples,
             e.qps,
@@ -669,7 +809,8 @@ fn print_report(r: &Report) {
             fmt_us(e.p999),
             e.shed_503,
             e.other_err,
-            e.hit_rate.map(|h| format!("{:.1}%", h * 100.0)).unwrap_or_else(|| "-".into()),
+            pct(e.hit_rate),
+            pct(e.resp_hit_rate),
         );
     }
     println!(
@@ -687,6 +828,26 @@ fn print_report(r: &Report) {
     println!(
         "# server admission counters: max_active {}, shed_client_cap {}, shed_overload {}",
         r.admission.max_active, r.admission.shed_client_cap, r.admission.shed_overload
+    );
+    println!(
+        "# cache probe: {} cold misses (p99 {}), {} hits (p99 {}, {}/{} byte-identical)",
+        r.probe.miss_lat.len(),
+        fmt_us(pctl(&r.probe.miss_lat, 0.99)),
+        r.probe.hit_lat.len(),
+        fmt_us(pctl(&r.probe.hit_lat, 0.99)),
+        r.probe.identical,
+        r.probe.hit_lat.len(),
+    );
+    let total = r.resp_totals.resp_hits + r.resp_totals.resp_misses;
+    println!(
+        "# response cache totals: {} hits, {} misses ({})",
+        r.resp_totals.resp_hits,
+        r.resp_totals.resp_misses,
+        if total > 0 {
+            format!("{:.1}% hit rate", r.resp_totals.resp_hits as f64 / total as f64 * 100.0)
+        } else {
+            "no keyed requests".into()
+        }
     );
 }
 
@@ -739,6 +900,10 @@ fn report_json(r: &Report, p99_bound: Duration, shed_bound: Duration) -> String 
             Some(h) => j.key("cache_hit_rate").number(h),
             None => j.key("cache_hit_rate").null(),
         };
+        match e.resp_hit_rate {
+            Some(h) => j.key("resp_cache_hit_rate").number(h),
+            None => j.key("resp_cache_hit_rate").null(),
+        };
         j.end_object();
     }
     j.end_array();
@@ -754,6 +919,17 @@ fn report_json(r: &Report, p99_bound: Duration, shed_bound: Duration) -> String 
     j.kv_uint("other_5xx", r.burst_other_5xx as u64);
     j.kv_uint("shed_p99_micros", r.burst_shed_p99);
     j.kv_uint("ok_p99_micros", r.burst_ok_p99);
+    j.end_object();
+    j.key("response_cache").begin_object();
+    j.kv_uint("hits", r.resp_totals.resp_hits);
+    j.kv_uint("misses", r.resp_totals.resp_misses);
+    j.kv_uint("probe_misses", r.probe.miss_lat.len() as u64);
+    j.kv_uint("probe_hits", r.probe.hit_lat.len() as u64);
+    j.kv_uint("probe_identical", r.probe.identical as u64);
+    j.kv_uint("probe_miss_p50_micros", pctl(&r.probe.miss_lat, 0.50));
+    j.kv_uint("probe_miss_p99_micros", pctl(&r.probe.miss_lat, 0.99));
+    j.kv_uint("probe_hit_p50_micros", pctl(&r.probe.hit_lat, 0.50));
+    j.kv_uint("probe_hit_p99_micros", pctl(&r.probe.hit_lat, 0.99));
     j.end_object();
     j.key("slo").begin_object();
     j.kv_uint("p99_bound_micros", p99_bound.as_micros() as u64);
@@ -798,6 +974,29 @@ fn enforce_slos(
             fmt_us(r.burst_shed_p99),
             fmt_us(shed_bound_us)
         ));
+    }
+    // Gate 5: the response cache must be live, correct, and fast.
+    if r.resp_totals.resp_hits == 0 {
+        violations.push("response cache recorded no hits over the whole run".into());
+    }
+    if r.probe.hit_lat.is_empty() {
+        violations.push("cache probe recorded no hit samples".into());
+    } else {
+        if r.probe.identical != r.probe.hit_lat.len() {
+            violations.push(format!(
+                "cache hits not byte-identical to the cold render: {} of {}",
+                r.probe.identical,
+                r.probe.hit_lat.len()
+            ));
+        }
+        let (hit_p99, miss_p99) = (pctl(&r.probe.hit_lat, 0.99), pctl(&r.probe.miss_lat, 0.99));
+        if hit_p99 >= miss_p99 {
+            violations.push(format!(
+                "cache hit-path p99 {} not below miss-path p99 {}",
+                fmt_us(hit_p99),
+                fmt_us(miss_p99)
+            ));
+        }
     }
     if r.days_published < r.live_days as u64 {
         violations.push(format!(

@@ -356,4 +356,19 @@ mod tests {
         assert_eq!(p.max, Duration::from_millis(9));
         assert_eq!(LatencyProfile::from_samples(&mut []), None);
     }
+
+    #[test]
+    fn latency_profile_pins_the_full_ladder_fig12_and_fig13_report() {
+        // Both serving figures print p50/p99/p999/max from this one type;
+        // pin the exact nearest-rank indices at N=1000 so neither figure
+        // can silently drift back to a hand-rolled (truncating) rank.
+        let mut samples: Vec<Duration> =
+            (1..=1000u64).rev().map(Duration::from_micros).collect();
+        let p = LatencyProfile::from_samples(&mut samples).unwrap();
+        assert_eq!(p.count, 1000);
+        assert_eq!(p.p50, Duration::from_micros(500));
+        assert_eq!(p.p99, Duration::from_micros(990));
+        assert_eq!(p.p999, Duration::from_micros(999));
+        assert_eq!(p.max, Duration::from_micros(1000));
+    }
 }

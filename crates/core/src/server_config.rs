@@ -59,6 +59,16 @@ pub struct ServerConfig {
     /// proxy that sets the header — or in load harnesses simulating many
     /// users from one host. Off, clients are keyed by peer IP.
     pub trust_forwarded_for: bool,
+    /// Cache whole rendered responses keyed by `(endpoint, params, epoch)`
+    /// and serve repeats straight from the event loop. On by default: the
+    /// epoch key makes staleness structurally impossible, so the only
+    /// reason to turn it off is to measure the uncached path.
+    pub response_cache: bool,
+    /// Response-cache budget in total cached body+header bytes. `0` means
+    /// the default (16 MiB). Eviction is LRU once either budget is hit.
+    pub response_cache_bytes: usize,
+    /// Response-cache budget in entries. `0` means the default (4096).
+    pub response_cache_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +86,9 @@ impl Default for ServerConfig {
             max_active_per_client: 0,
             shed_threshold: 0,
             trust_forwarded_for: false,
+            response_cache: true,
+            response_cache_bytes: 0,
+            response_cache_entries: 0,
         }
     }
 }
@@ -108,6 +121,22 @@ impl ServerConfig {
             n => n,
         }
     }
+
+    /// The effective response-cache byte budget (`0` → 16 MiB).
+    pub fn effective_response_cache_bytes(&self) -> usize {
+        match self.response_cache_bytes {
+            0 => 16 * 1024 * 1024,
+            n => n,
+        }
+    }
+
+    /// The effective response-cache entry budget (`0` → 4096).
+    pub fn effective_response_cache_entries(&self) -> usize {
+        match self.response_cache_entries {
+            0 => 4096,
+            n => n,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +163,21 @@ mod tests {
         assert_eq!(c.effective_max_active_per_client(), usize::MAX);
         assert_eq!(c.effective_shed_threshold(), usize::MAX);
         assert!(!c.trust_forwarded_for);
+    }
+
+    #[test]
+    fn response_cache_defaults_on_with_bounded_budgets() {
+        let c = ServerConfig::default();
+        assert!(c.response_cache);
+        assert_eq!(c.effective_response_cache_bytes(), 16 * 1024 * 1024);
+        assert_eq!(c.effective_response_cache_entries(), 4096);
+        let c = ServerConfig {
+            response_cache_bytes: 1024,
+            response_cache_entries: 8,
+            ..ServerConfig::default()
+        };
+        assert_eq!(c.effective_response_cache_bytes(), 1024);
+        assert_eq!(c.effective_response_cache_entries(), 8);
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn print_usage() {
          \x20 serve    --system DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
          \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]\n\
          \x20          [--max-active-per-client N] [--shed-threshold N] [--trust-forwarded-for] [--follow DATA_DIR]\n\
+         \x20          [--no-response-cache] [--response-cache-mb N] [--response-cache-entries N]\n\
          \x20 demo     --dir DIR [--seed N]"
     );
 }
@@ -241,6 +242,16 @@ fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, AnyErr
     if flags.contains_key("trust-forwarded-for") {
         cfg.trust_forwarded_for = true;
     }
+    // Response cache: on by default; size knobs take effect only while on.
+    if flags.contains_key("no-response-cache") {
+        cfg.response_cache = false;
+    }
+    if let Some(mb) = flags.get("response-cache-mb") {
+        cfg.response_cache_bytes = mb.parse::<usize>()? * 1024 * 1024;
+    }
+    if let Some(n) = flags.get("response-cache-entries") {
+        cfg.response_cache_entries = n.parse()?;
+    }
     Ok(cfg)
 }
 
@@ -274,6 +285,15 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), AnyError> {
         server.config().effective_workers(),
         server.config().queue_depth,
     );
+    if server.config().response_cache {
+        println!(
+            "response cache: {} MiB / {} entries, keyed by publish epoch",
+            server.config().effective_response_cache_bytes() / (1024 * 1024),
+            server.config().effective_response_cache_entries(),
+        );
+    } else {
+        println!("response cache: disabled (--no-response-cache)");
+    }
     println!("serving-tier telemetry at http://{addr}/api/metrics");
     match &ingest_root {
         Some(root) => println!("POST /api/ingest confined to {root}"),

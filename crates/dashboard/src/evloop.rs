@@ -1,0 +1,789 @@
+//! The nonblocking serving front: accept/read/write event loop.
+//!
+//! The previous serving tier parked one blocked pool thread per in-flight
+//! connection — a slow reader or a slowloris writer pinned a worker for
+//! its whole lifetime, so the worker pool bounded *connections*, not
+//! *work*. This loop inverts that: a single thread owns the listener and
+//! every connection in nonblocking mode, and a connection is just a few
+//! buffers and a state tag:
+//!
+//! ```text
+//!            bytes in                complete request
+//!  Reading ───────────► (parse) ──┬─────────────────► Executing (worker)
+//!     ▲                           │ cache hit / shed / parse error
+//!     │ response flushed,         ▼
+//!     └────────────────────── Writing ──► closed (Connection: close,
+//!        keep-alive                        timeout, error, or EOF)
+//! ```
+//!
+//! * **Reading** — request bytes accumulate in `inbuf`. A cheap
+//!   completeness scan ([`ready_to_parse`]) decides when a full request
+//!   (or a provable limit violation) is buffered; only then does the
+//!   buffer go through the *same* [`read_request`] parser the blocking
+//!   path uses, over a `Cursor`, so parse semantics — limits, tolerated
+//!   stray CRLFs, typed errors — are byte-identical by construction.
+//! * **Executing** — the parsed request rides a bounded bridge to the
+//!   worker pool, which does only real work: routing, cube queries, cold
+//!   renders (coalesced and cached through
+//!   [`crate::respcache::ResponseCache`] for the expensive GETs). Cache
+//!   *hits* never get here — the loop answers them inline as a memcpy of
+//!   pre-serialized bytes. Admission sheds are answered inline too.
+//! * **Writing** — response bytes drain as the socket accepts them; a
+//!   client that stops reading parks here until `write_timeout` reaps it.
+//!
+//! Backpressure: at most `workers + queue_depth` connections are open at
+//! once (each holds at most one in-flight job, so the job queue is
+//! bounded by the same number); beyond that, new connections get an
+//! immediate `503` + `Retry-After`. Idle or stalled readers are answered
+//! `408` (silently closed when no request bytes arrived) after
+//! `read_timeout`, exactly like the blocking path's socket timeouts.
+//!
+//! Shutdown: [`crate::StopHandle::stop`] sets the flag and nudges the
+//! listener; the loop stops accepting, lets every open connection finish
+//! the request it is on (`Connection: close` is forced), reaps the rest
+//! by timeout, closes the job bridge, and returns once no connection
+//! remains — the worker scope joins every thread before `serve` returns.
+//!
+//! The loop polls with a short sleep only when an iteration made no
+//! progress; under load it spins productively without sleeping.
+
+use crate::admission::Permit;
+use crate::http::{read_request, write_response, Limits, Request};
+use crate::metrics::Endpoint;
+use crate::respcache::{CachedResponse, RespKey};
+use crate::server::DashboardServer;
+use rased_storage::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Sleep per idle iteration. Short enough that timeout precision and
+/// shutdown latency stay well under test tolerances; long enough that an
+/// idle server burns ~no CPU.
+const POLL_SLEEP: Duration = Duration::from_micros(500);
+
+/// Per-iteration read chunk.
+const SCRATCH_BYTES: usize = 16 * 1024;
+
+/// What a connection is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// A worker is rendering the response.
+    Executing,
+    /// Draining response bytes to the socket.
+    Writing,
+}
+
+/// One open connection: a socket, two buffers, and a state tag.
+struct Conn {
+    stream: TcpStream,
+    /// Peer IP (admission-control identity fallback).
+    peer: Option<String>,
+    /// Unparsed request bytes (pipelined requests queue here).
+    inbuf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    state: ConnState,
+    /// Requests dispatched on this connection (keep-alive budget).
+    served: usize,
+    /// Last byte of socket progress in either direction.
+    last_activity: Instant,
+    close_after_write: bool,
+    /// The client half-closed its sending side.
+    eof: bool,
+    /// Marked for reaping at the end of the iteration.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        let peer = stream.peer_addr().ok().map(|a| a.ip().to_string());
+        Conn {
+            stream,
+            peer,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            state: ConnState::Reading,
+            served: 0,
+            last_activity: Instant::now(),
+            close_after_write: false,
+            eof: false,
+            dead: false,
+        }
+    }
+}
+
+/// A parsed request in flight to the worker pool.
+struct Job<'a> {
+    conn_id: usize,
+    req: Request,
+    keep: bool,
+    endpoint: Endpoint,
+    start: Instant,
+    /// Admission slot, held for the duration of the render only.
+    permit: Option<Permit<'a>>,
+    /// Present for cacheable requests: render through the response cache.
+    cache_key: Option<RespKey>,
+}
+
+/// A rendered response on its way back to the event loop.
+struct Completion {
+    conn_id: usize,
+    endpoint: Endpoint,
+    start: Instant,
+    keep: bool,
+    resp: CachedResponse,
+}
+
+/// The two-way queue between the event loop and the worker pool. Bounded
+/// implicitly: every open connection holds at most one in-flight job, and
+/// open connections are capped.
+struct Bridge<'a> {
+    jobs: Mutex<JobQueue<'a>>,
+    jobs_ready: Condvar,
+    done: Mutex<Vec<Completion>>,
+}
+
+struct JobQueue<'a> {
+    queue: VecDeque<Job<'a>>,
+    closed: bool,
+}
+
+impl<'a> Bridge<'a> {
+    fn new() -> Bridge<'a> {
+        Bridge {
+            jobs: Mutex::new_named(
+                JobQueue { queue: VecDeque::new(), closed: false },
+                "dashboard.evloop_jobs",
+            ),
+            jobs_ready: Condvar::new(),
+            done: Mutex::new_named(Vec::new(), "dashboard.evloop_done"),
+        }
+    }
+
+    fn submit(&self, job: Job<'a>) {
+        let mut jobs = self.jobs.lock();
+        jobs.queue.push_back(job);
+        drop(jobs);
+        self.jobs_ready.notify_one();
+    }
+
+    /// Blocks until a job arrives; `None` once closed and drained.
+    fn next_job(&self) -> Option<Job<'a>> {
+        let mut jobs = self.jobs.lock();
+        loop {
+            if let Some(job) = jobs.queue.pop_front() {
+                return Some(job);
+            }
+            if jobs.closed {
+                return None;
+            }
+            jobs = self.jobs_ready.wait(jobs);
+        }
+    }
+
+    fn close(&self) {
+        self.jobs.lock().closed = true;
+        self.jobs_ready.notify_all();
+    }
+
+    fn finish(&self, completion: Completion) {
+        self.done.lock().push(completion);
+    }
+
+    fn drain_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.done.lock())
+    }
+}
+
+/// Run the serving tier: worker pool + event loop, joined before return.
+pub(crate) fn run(server: &DashboardServer) -> std::io::Result<()> {
+    server.listener.set_nonblocking(true)?;
+    let workers = server.config.effective_workers();
+    let bridge = Bridge::new();
+    let result = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let bridge = &bridge;
+            scope.spawn(move || worker_loop(server, bridge));
+        }
+        let result = event_loop(server, &bridge);
+        // Retire the pool; the scope joins every worker before returning.
+        bridge.close();
+        result
+    });
+    let _ = server.listener.set_nonblocking(false);
+    result
+}
+
+/// A worker: execute jobs (through the response cache when keyed) until
+/// the bridge closes. Only render time counts as "busy".
+fn worker_loop<'a>(server: &'a DashboardServer, bridge: &Bridge<'a>) {
+    while let Some(job) = bridge.next_job() {
+        server.metrics.worker_busy();
+        let resp = execute(server, &job);
+        let Job { conn_id, endpoint, start, keep, permit, .. } = job;
+        // The permit covers the render only; release before hand-off so a
+        // slow-draining client cannot sit on admission capacity.
+        drop(permit);
+        server.metrics.worker_idle();
+        bridge.finish(Completion { conn_id, endpoint, start, keep, resp });
+    }
+}
+
+fn execute(server: &DashboardServer, job: &Job<'_>) -> CachedResponse {
+    let render = || {
+        let (status, content_type, body) = server.route(&job.req);
+        (status, content_type, body.into_owned().into_bytes())
+    };
+    match (&job.cache_key, &server.respcache) {
+        (Some(key), Some(cache)) => cache.render_through(key, render),
+        _ => {
+            let (status, content_type, body) = render();
+            CachedResponse::new(status, content_type, body)
+        }
+    }
+}
+
+fn event_loop<'a>(server: &'a DashboardServer, bridge: &Bridge<'a>) -> std::io::Result<()> {
+    let limits = Limits::from_config(&server.config);
+    let cap = server.config.effective_workers() + server.config.queue_depth.max(1);
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0usize;
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    loop {
+        let stopped = server.stop.load(Ordering::SeqCst);
+        let mut progress = false;
+
+        // 1. Accept everything pending. When stopped, accepted sockets
+        //    (the shutdown nudge, or clients racing it) are dropped
+        //    uncounted, exactly like the blocking acceptor did.
+        loop {
+            match server.listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if stopped {
+                        continue;
+                    }
+                    server.metrics.connection_accepted();
+                    if live >= cap {
+                        server.reject_queue_full(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        // Keep the accepted/completed books balanced.
+                        server.metrics.connection_opened();
+                        server.metrics.connection_closed();
+                        continue;
+                    }
+                    server.metrics.connection_opened();
+                    let conn = Conn::new(stream);
+                    match free.pop() {
+                        Some(id) => {
+                            if let Some(slot) = conns.get_mut(id) {
+                                *slot = Some(conn);
+                            }
+                        }
+                        None => conns.push(Some(conn)),
+                    }
+                    live += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => {
+                    if stopped {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // 2. Deliver finished renders: record, then queue wire bytes —
+        //    record-before-write is preserved because the socket write
+        //    strictly follows.
+        for done in bridge.drain_completions() {
+            progress = true;
+            let Some(conn) = conns.get_mut(done.conn_id).and_then(|slot| slot.as_mut()) else {
+                continue;
+            };
+            server.metrics.record_request(done.endpoint, done.resp.status(), done.start.elapsed());
+            done.resp.write_into(&mut conn.outbuf, done.keep);
+            conn.close_after_write = !done.keep;
+            conn.state = ConnState::Writing;
+            conn.last_activity = Instant::now();
+        }
+
+        // 3. Service every connection, then reap the dead.
+        for id in 0..conns.len() {
+            let Some(conn) = conns.get_mut(id).and_then(|slot| slot.as_mut()) else {
+                continue;
+            };
+            progress |= service(server, bridge, id, conn, &limits, &mut scratch);
+            if conn.dead {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                server.metrics.connection_closed();
+                if let Some(slot) = conns.get_mut(id) {
+                    *slot = None;
+                }
+                free.push(id);
+                live -= 1;
+                progress = true;
+            }
+        }
+
+        if stopped && live == 0 {
+            return Ok(());
+        }
+        if !progress {
+            std::thread::sleep(POLL_SLEEP);
+        }
+    }
+}
+
+/// Drive one connection as far as it will go without blocking. Returns
+/// whether anything happened.
+fn service<'a>(
+    server: &'a DashboardServer,
+    bridge: &Bridge<'a>,
+    id: usize,
+    conn: &mut Conn,
+    limits: &Limits,
+    scratch: &mut [u8],
+) -> bool {
+    let mut progress = check_deadline(server, conn);
+    loop {
+        if conn.dead {
+            return true;
+        }
+        let before =
+            (conn.state, conn.inbuf.len(), conn.outbuf.len(), conn.outpos, conn.eof, conn.dead);
+        match conn.state {
+            ConnState::Reading => read_step(server, bridge, id, conn, limits, scratch),
+            ConnState::Executing => {} // a worker owns it; nothing to drive
+            ConnState::Writing => write_step(conn),
+        }
+        let after =
+            (conn.state, conn.inbuf.len(), conn.outbuf.len(), conn.outpos, conn.eof, conn.dead);
+        if after == before {
+            return progress;
+        }
+        progress = true;
+    }
+}
+
+/// Apply read/write deadlines — the same 408-vs-silent-close semantics as
+/// the blocking path's socket timeouts.
+fn check_deadline(server: &DashboardServer, conn: &mut Conn) -> bool {
+    match conn.state {
+        ConnState::Reading if conn.last_activity.elapsed() > server.config.read_timeout => {
+            server.metrics.timeout();
+            if conn.inbuf.is_empty() {
+                // Idle keep-alive expiry: close silently.
+                conn.dead = true;
+            } else {
+                // Mid-request stall: answer 408 and close.
+                server.metrics.record_request(Endpoint::Other, 408, Duration::ZERO);
+                let _ = write_response(
+                    &mut conn.outbuf,
+                    408,
+                    "text/plain",
+                    b"request timed out",
+                    false,
+                    &[],
+                );
+                conn.inbuf.clear();
+                conn.close_after_write = true;
+                conn.state = ConnState::Writing;
+            }
+            true
+        }
+        ConnState::Writing if conn.last_activity.elapsed() > server.config.write_timeout => {
+            // A client that stopped draining its response: drop it (the
+            // blocking path's write timeout closed without a counter too).
+            conn.dead = true;
+            true
+        }
+        _ => false,
+    }
+}
+
+fn read_step<'a>(
+    server: &'a DashboardServer,
+    bridge: &Bridge<'a>,
+    id: usize,
+    conn: &mut Conn,
+    limits: &Limits,
+    scratch: &mut [u8],
+) {
+    // Parse before reading more: pipelined requests already buffered must
+    // make progress even when the socket is quiet.
+    if ready_to_parse(&conn.inbuf, limits) || (conn.eof && !conn.inbuf.is_empty()) {
+        parse_and_dispatch(server, bridge, id, conn, limits);
+        return;
+    }
+    if conn.eof {
+        conn.dead = true; // clean EOF with nothing buffered
+        return;
+    }
+    match conn.stream.read(scratch) {
+        Ok(0) => {
+            conn.eof = true;
+            if conn.inbuf.is_empty() {
+                conn.dead = true;
+            }
+        }
+        Ok(n) => {
+            conn.inbuf.extend_from_slice(scratch.get(..n).unwrap_or(&[]));
+            conn.last_activity = Instant::now();
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+            ) => {}
+        Err(_) => conn.dead = true,
+    }
+}
+
+/// Run the buffered bytes through the real parser and dispatch the
+/// request. Only called when [`ready_to_parse`] says the parser cannot
+/// come up short (or the client half-closed, which the parser maps to the
+/// same errors the blocking path produced on mid-request EOF).
+fn parse_and_dispatch<'a>(
+    server: &'a DashboardServer,
+    bridge: &Bridge<'a>,
+    id: usize,
+    conn: &mut Conn,
+    limits: &Limits,
+) {
+    let mut cursor = std::io::Cursor::new(conn.inbuf.as_slice());
+    match read_request(&mut cursor, limits) {
+        Ok(None) => conn.dead = true, // stray trailing CRLF then EOF
+        Ok(Some(req)) => {
+            let consumed = (cursor.position() as usize).min(conn.inbuf.len());
+            conn.inbuf.drain(..consumed);
+            dispatch(server, bridge, id, conn, req);
+        }
+        Err(e) => {
+            // Framing is unknown after a parse error: answer (when
+            // possible) and close, mirroring the blocking path.
+            match e.status() {
+                Some(status) => {
+                    server.metrics.record_request(Endpoint::Other, status, Duration::ZERO);
+                    let _ = write_response(
+                        &mut conn.outbuf,
+                        status,
+                        "text/plain",
+                        e.message().as_bytes(),
+                        false,
+                        &[],
+                    );
+                    conn.inbuf.clear();
+                    conn.close_after_write = true;
+                    conn.state = ConnState::Writing;
+                }
+                None => conn.dead = true,
+            }
+        }
+    }
+}
+
+/// Route one parsed request: cache hit and admission shed are answered
+/// inline; everything else becomes a worker job.
+fn dispatch<'a>(
+    server: &'a DashboardServer,
+    bridge: &Bridge<'a>,
+    id: usize,
+    conn: &mut Conn,
+    req: Request,
+) {
+    let start = Instant::now();
+    let (path, query) = req.path_and_query();
+    let endpoint = Endpoint::classify(path);
+    conn.served += 1;
+    // Drain in-flight work on shutdown, but take no new requests on this
+    // connection afterwards.
+    let keep = req.keep_alive()
+        && conn.served < server.config.max_keep_alive_requests
+        && !server.stop.load(Ordering::SeqCst);
+
+    // The response cache covers the expensive GETs only: their bodies are
+    // pure functions of (path, params, epoch). The cheap endpoints either
+    // embed volatile state (`/api/metrics`, `/api/meta`'s live row count)
+    // or are too cheap to be worth a cache line.
+    let cache_key = match &server.respcache {
+        Some(_) if req.method == "GET" && endpoint.is_expensive() => {
+            Some(RespKey::new(path, query, server.system.index().epoch()))
+        }
+        _ => None,
+    };
+    if let (Some(key), Some(cache)) = (&cache_key, &server.respcache) {
+        if let Some(resp) = cache.lookup(key) {
+            // Hit: a memcpy on the event loop; no worker, no admission.
+            server.metrics.record_request(endpoint, resp.status(), start.elapsed());
+            resp.write_into(&mut conn.outbuf, keep);
+            conn.close_after_write = !keep;
+            conn.state = ConnState::Writing;
+            return;
+        }
+    }
+
+    // Admission meters the miss path: a shed answers a cheap 503 and
+    // keeps the connection alive — rejection is per *request*.
+    let permit = if endpoint.is_expensive() {
+        let client = server.client_id(&req, conn.peer.as_deref());
+        match server.admission.try_admit(&client) {
+            Ok(p) => Some(p),
+            Err(shed) => {
+                server.metrics.record_request(endpoint, 503, start.elapsed());
+                let retry = server.config.retry_after_secs.to_string();
+                let _ = write_response(
+                    &mut conn.outbuf,
+                    503,
+                    "text/plain",
+                    shed.reason().as_bytes(),
+                    keep,
+                    &[("Retry-After", &retry)],
+                );
+                conn.close_after_write = !keep;
+                conn.state = ConnState::Writing;
+                return;
+            }
+        }
+    } else {
+        None
+    };
+    conn.state = ConnState::Executing;
+    bridge.submit(Job { conn_id: id, req, keep, endpoint, start, permit, cache_key });
+}
+
+fn write_step(conn: &mut Conn) {
+    if conn.outpos >= conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+        if conn.close_after_write {
+            conn.dead = true;
+        } else {
+            conn.state = ConnState::Reading;
+            // Idle clock restarts now: the next request's read window
+            // begins when the previous response finished.
+            conn.last_activity = Instant::now();
+        }
+        return;
+    }
+    let chunk = conn.outbuf.get(conn.outpos..).unwrap_or(&[]);
+    match conn.stream.write(chunk) {
+        Ok(0) => conn.dead = true,
+        Ok(n) => {
+            conn.outpos += n;
+            conn.last_activity = Instant::now();
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+            ) => {}
+        Err(_) => conn.dead = true,
+    }
+}
+
+/// Decide whether [`read_request`] over the buffered bytes is guaranteed
+/// to produce a verdict (a request or a typed error) rather than running
+/// out of input. Conservative in the safe direction: when unsure, wait
+/// for more bytes — the parser over a `Cursor` maps a premature EOF to
+/// `Malformed`, which would change the answered status, so this must
+/// never fire early. The overflow thresholds are looser than the
+/// parser's own caps for the same reason: by the time this returns `true`
+/// on an unterminated line or header block, the parser provably hits its
+/// cap (431) before it can hit end-of-buffer.
+fn ready_to_parse(buf: &[u8], limits: &Limits) -> bool {
+    // The parser tolerates one stray blank line before the request line.
+    let mut i = 0usize;
+    if buf.starts_with(b"\r\n") {
+        i = 2;
+    } else if buf.starts_with(b"\n") {
+        i = 1;
+    }
+    let rest = buf.get(i..).unwrap_or(&[]);
+    let line_end = match rest.iter().position(|&b| b == b'\n') {
+        Some(j) => i + j + 1,
+        // Unterminated request line: parse once it provably exceeds the
+        // cap (the parser errors after cap + 2 buffered bytes).
+        None => return rest.len() > limits.max_request_line_bytes + 2,
+    };
+    if line_end - i > limits.max_request_line_bytes + 2 {
+        return true; // guaranteed 431 on the request line
+    }
+
+    // Header block: find the terminating empty line.
+    let mut pos = line_end;
+    let header_end = loop {
+        let tail = buf.get(pos..).unwrap_or(&[]);
+        match tail.iter().position(|&b| b == b'\n') {
+            Some(j) => {
+                let line = buf.get(pos..pos + j).unwrap_or(&[]);
+                let is_empty = line.is_empty() || line == b"\r".as_slice();
+                pos += j + 1;
+                if is_empty {
+                    break pos;
+                }
+            }
+            None => {
+                // No terminator yet. The parser consumes at most
+                // `max_header_bytes + 2` of complete lines, so once the
+                // whole unterminated region exceeds the cap by a margin,
+                // the dangling line provably overruns its budget (431).
+                return (pos - line_end) + tail.len() > limits.max_header_bytes + 64;
+            }
+        }
+    };
+
+    // Body framing: mirror the parser's Content-Length handling just far
+    // enough to know how many bytes to wait for. Any framing defect —
+    // non-UTF-8 header, missing colon, bad/conflicting Content-Length,
+    // transfer-encoding — makes the parser error *before* reading a body,
+    // so parsing now is safe and yields the right typed status.
+    let mut declared: Option<u64> = None;
+    let mut p = line_end;
+    while p < header_end {
+        let tail = buf.get(p..header_end).unwrap_or(&[]);
+        let Some(j) = tail.iter().position(|&b| b == b'\n') else { break };
+        let mut line = tail.get(..j).unwrap_or(&[]);
+        if line.ends_with(b"\r") {
+            line = line.get(..line.len() - 1).unwrap_or(&[]);
+        }
+        p += j + 1;
+        if line.is_empty() {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(line) else {
+            return true; // parser answers 400
+        };
+        let Some((name, value)) = text.split_once(':') else {
+            return true; // parser answers 400
+        };
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            return true; // parser answers 501, before any body read
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            let Ok(n) = value.trim().parse::<u64>() else {
+                return true; // parser answers 400
+            };
+            match declared {
+                Some(prev) if prev != n => return true, // parser answers 400
+                _ => declared = Some(n),
+            }
+        }
+    }
+    match declared {
+        None => true, // complete: no body
+        // Declared beyond the cap: the parser answers 413 at the
+        // declaration, before reading body bytes.
+        Some(n) if n > limits.max_body_bytes as u64 => true,
+        Some(n) => (buf.len() - header_end) as u64 >= n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits { max_request_line_bytes: 64, max_header_bytes: 128, max_body_bytes: 16 }
+    }
+
+    #[test]
+    fn partial_requests_wait_for_more_bytes() {
+        let l = limits();
+        assert!(!ready_to_parse(b"", &l));
+        assert!(!ready_to_parse(b"GET / HT", &l));
+        assert!(!ready_to_parse(b"GET / HTTP/1.1\r\n", &l));
+        assert!(!ready_to_parse(b"GET / HTTP/1.1\r\nHost: x\r\n", &l));
+        // Declared body not yet buffered.
+        assert!(!ready_to_parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel", &l));
+    }
+
+    #[test]
+    fn complete_requests_are_ready() {
+        let l = limits();
+        assert!(ready_to_parse(b"GET / HTTP/1.1\r\n\r\n", &l));
+        assert!(ready_to_parse(b"\r\nGET / HTTP/1.1\r\n\r\n", &l)); // stray CRLF
+        assert!(ready_to_parse(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n", &l));
+        assert!(ready_to_parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", &l));
+    }
+
+    #[test]
+    fn provable_limit_violations_are_ready_and_parse_to_the_right_status() {
+        let l = limits();
+        // Unterminated request line past the cap → ready, parses to 431.
+        let long = vec![b'a'; l.max_request_line_bytes + 16];
+        assert!(ready_to_parse(&long, &l));
+        let err = read_request(&mut std::io::Cursor::new(long), &l).unwrap_err();
+        assert_eq!(err.status(), Some(431));
+
+        // Unterminated header region past the cap → ready, parses to 431.
+        let mut fat = b"GET / HTTP/1.1\r\n".to_vec();
+        fat.extend_from_slice("X-Pad: yyyyyyyyyyyyyyyy\r\n".repeat(20).as_bytes());
+        assert!(ready_to_parse(&fat, &l), "no empty line yet, but provably over cap");
+        let err = read_request(&mut std::io::Cursor::new(fat), &l).unwrap_err();
+        assert_eq!(err.status(), Some(431));
+
+        // Oversized declared body → ready at the header end, parses to 413.
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n".to_vec();
+        assert!(ready_to_parse(&big, &l));
+        let err = read_request(&mut std::io::Cursor::new(big), &l).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn framing_defects_are_ready_without_a_body() {
+        let l = limits();
+        for bytes in [
+            &b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"[..],
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(ready_to_parse(bytes, &l), "{bytes:?}");
+            assert!(
+                read_request(&mut std::io::Cursor::new(bytes.to_vec()), &l).is_err(),
+                "{bytes:?} must produce a verdict"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_header_drip_is_not_ready_until_over_cap() {
+        let l = limits();
+        // Under the cap and unterminated: wait.
+        let drip = b"GET / HTTP/1.1\r\nX-a: 1\r\nX-b".to_vec();
+        assert!(!ready_to_parse(&drip, &l));
+        // The same drip grown past the cap margin: ready, and the parser
+        // reaches a verdict (431) rather than end-of-buffer.
+        let mut over = b"GET / HTTP/1.1\r\n".to_vec();
+        while over.len() - 16 <= l.max_header_bytes + 64 {
+            over.extend_from_slice(b"X-padding-header: v\r\n");
+        }
+        over.extend_from_slice(b"X-dangling");
+        assert!(ready_to_parse(&over, &l));
+        let err = read_request(&mut std::io::Cursor::new(over), &l).unwrap_err();
+        assert!(err.status().is_some(), "must be a typed verdict, got {err:?}");
+    }
+}

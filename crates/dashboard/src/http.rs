@@ -330,19 +330,21 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialize a response head + body. `extra_headers` are emitted verbatim.
-pub fn write_response(
-    w: &mut impl std::io::Write,
+/// Serialize the response head (status line through the blank line) for a
+/// body of `body_len` bytes. This is the *only* place response heads are
+/// formatted: [`write_response`] and the response cache both call it, so a
+/// cached response is byte-identical to a freshly written one by
+/// construction, not by convention.
+pub fn response_head(
     status: u16,
     content_type: &str,
-    body: &[u8],
+    body_len: usize,
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
-) -> std::io::Result<()> {
+) -> String {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {body_len}\r\nConnection: {}\r\n",
         status_reason(status),
-        body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     for (k, v) in extra_headers {
@@ -352,6 +354,19 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
+    head
+}
+
+/// Serialize a response head + body. `extra_headers` are emitted verbatim.
+pub fn write_response(
+    w: &mut impl std::io::Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let head = response_head(status, content_type, body.len(), keep_alive, extra_headers);
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()

@@ -88,6 +88,13 @@ pub struct ServerMetrics {
     max_active: AtomicU64,
     /// Connections fully handled and closed.
     completed: AtomicU64,
+    /// Worker threads currently executing a job (gauge). Under the event
+    /// loop this — not `active` — is what proves "a parked connection does
+    /// not pin a worker": `active` counts open connections, `busy_workers`
+    /// counts threads actually burning CPU on a render.
+    busy_workers: AtomicU64,
+    /// High-watermark of `busy_workers` — proves the pool bound held.
+    max_busy_workers: AtomicU64,
     /// Connections rejected with 503 because the queue was full.
     queue_full_rejections: AtomicU64,
     /// Read/write timeouts (slowloris reaps, stalled clients, idle expiry).
@@ -112,16 +119,37 @@ impl ServerMetrics {
         self.accepted.fetch_add(1, Relaxed);
     }
 
-    /// A worker started handling a connection.
+    /// The serving tier started handling a connection.
     pub fn connection_opened(&self) {
         let now = self.active.fetch_add(1, Relaxed) + 1;
         self.max_active.fetch_max(now, Relaxed);
     }
 
-    /// A worker finished with a connection.
+    /// The serving tier finished with a connection.
     pub fn connection_closed(&self) {
         self.active.fetch_sub(1, Relaxed);
         self.completed.fetch_add(1, Relaxed);
+    }
+
+    /// A worker thread picked up a job (render, query, ingest).
+    pub fn worker_busy(&self) {
+        let now = self.busy_workers.fetch_add(1, Relaxed) + 1;
+        self.max_busy_workers.fetch_max(now, Relaxed);
+    }
+
+    /// A worker thread finished its job.
+    pub fn worker_idle(&self) {
+        self.busy_workers.fetch_sub(1, Relaxed);
+    }
+
+    /// Worker threads executing a job right now.
+    pub fn busy_workers(&self) -> u64 {
+        self.busy_workers.load(Relaxed)
+    }
+
+    /// High-watermark of concurrently busy worker threads.
+    pub fn max_busy_workers(&self) -> u64 {
+        self.max_busy_workers.load(Relaxed)
     }
 
     /// A connection was answered 503 because the queue was full.
@@ -237,6 +265,7 @@ impl ServerMetrics {
     /// {
     ///   "connections": {"accepted":N,"active":N,"max_active":N,"completed":N,
     ///                   "queue_full_rejections":N,"timeouts":N},
+    ///   "workers": {"busy":N,"max_busy":N},
     ///   "requests": {"total":N,"status":{"1xx":N,...,"5xx":N}},
     ///   "endpoints": {"/":N,"/api/meta":N,...,"other":N},
     ///   "latency_micros": {"total":N,"p50_est":N,"p99_est":N,"p999_est":N,
@@ -266,6 +295,11 @@ impl ServerMetrics {
         j.kv_uint("completed", self.completed());
         j.kv_uint("queue_full_rejections", self.queue_full_total());
         j.kv_uint("timeouts", self.timeouts_total());
+        j.end_object();
+
+        j.key("workers").begin_object();
+        j.kv_uint("busy", self.busy_workers());
+        j.kv_uint("max_busy", self.max_busy_workers());
         j.end_object();
 
         j.key("requests").begin_object();
@@ -338,6 +372,19 @@ mod tests {
         assert!(json.contains("\"le\":100"), "{json}");
         assert!(json.contains("\"le\":null"), "{json}");
         assert!(json.contains("\"sync\":{\"poison_recoveries\":"), "{json}");
+    }
+
+    #[test]
+    fn worker_gauge_tracks_busy_and_watermark() {
+        let m = ServerMetrics::new();
+        m.worker_busy();
+        m.worker_busy();
+        m.worker_idle();
+        assert_eq!(m.busy_workers(), 1);
+        assert_eq!(m.max_busy_workers(), 2);
+        m.worker_idle();
+        let json = m.to_json();
+        assert!(json.contains("\"workers\":{\"busy\":0,\"max_busy\":2}"), "{json}");
     }
 
     #[test]

@@ -18,20 +18,30 @@
 //! * `GET /api/ingest/status` — the streaming writer's phase, progress and
 //!   last error.
 //!
-//! Architecture: a bounded worker pool (default one worker per core) drains
-//! a bounded queue of accepted connections. When the queue is full, new
-//! connections are rejected immediately with `503` + `Retry-After` —
-//! backpressure, never unbounded thread spawn. Above the connection queue,
-//! per-request *admission control* ([`crate::admission`]) meters the
-//! expensive endpoints: a per-client concurrency cap and a global shed
-//! threshold both degrade to a cheap-path `503` + `Retry-After`, so
+//! Architecture: a single nonblocking *event loop* ([`crate::evloop`])
+//! owns the listener and every connection — accepts, request reads,
+//! response writes, timeouts — so a slow or hostile client parks as a few
+//! kilobytes of buffered state instead of pinning a thread. A bounded
+//! worker pool (default one worker per core) executes only the actual
+//! work: routing, cube queries, cold renders. Between them sits the
+//! epoch-keyed *response cache* ([`crate::respcache`]): repeat GETs of the
+//! expensive endpoints at the current catalog epoch are answered straight
+//! from the event loop as a memcpy of pre-serialized bytes, and an ingest
+//! publish bumps the epoch, which both re-keys lookups and sweeps the dead
+//! entries. When the open-connection bound (workers + queue depth) is
+//! reached, new connections are rejected immediately with `503` +
+//! `Retry-After` — backpressure, never unbounded buffering. Per-request
+//! *admission control* ([`crate::admission`]) meters the expensive
+//! endpoints on the miss path: a per-client concurrency cap and a global
+//! shed threshold both degrade to a cheap-path `503` + `Retry-After`, so
 //! overload produces fast rejections (and a responsive `/api/metrics`)
-//! instead of latency collapse. Connections are keep-alive
-//! with per-request read/write timeouts and parse limits (see
-//! [`rased_core::ServerConfig`]); a stalled or hostile client is reaped by
-//! the socket timeout, answered `408`, and closed. [`StopHandle::stop`]
-//! initiates graceful shutdown: the acceptor is woken deterministically,
-//! stops accepting, queued and in-flight requests drain, and
+//! instead of latency collapse. Connections are keep-alive with
+//! per-request read/write timeouts and parse limits (see
+//! [`rased_core::ServerConfig`]); a stalled client is reaped by the event
+//! loop's deadline scan, answered `408`, and closed. [`StopHandle::stop`]
+//! initiates graceful shutdown: the loop is woken deterministically, stops
+//! accepting, in-flight requests drain (each open connection may finish
+//! the request it is on, with `Connection: close`), and
 //! [`DashboardServer::serve`] returns only after every worker has been
 //! joined.
 
@@ -40,25 +50,25 @@ use crate::api::{parse_analysis_query, parse_query_string, result_to_json};
 use crate::http::{read_request, write_response, HttpError, Limits, Request};
 use crate::json::Json;
 use crate::metrics::{Endpoint, ServerMetrics};
+use crate::respcache::ResponseCache;
 use rased_core::{IngestController, Rased, ServerConfig};
 use rased_geo::BBox;
 use std::borrow::Cow;
-use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use rased_storage::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The dashboard HTTP server.
 pub struct DashboardServer {
-    system: Arc<Rased>,
-    listener: TcpListener,
-    stop: Arc<AtomicBool>,
-    config: ServerConfig,
-    metrics: Arc<ServerMetrics>,
-    admission: AdmissionControl,
+    pub(crate) system: Arc<Rased>,
+    pub(crate) listener: TcpListener,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) admission: AdmissionControl,
+    pub(crate) respcache: Option<Arc<ResponseCache>>,
     ingest: Option<Arc<IngestController>>,
     ingest_root: Option<std::path::PathBuf>,
 }
@@ -94,68 +104,6 @@ impl StopHandle {
     }
 }
 
-/// The bounded hand-off queue between the acceptor and the worker pool.
-struct ConnQueue {
-    inner: Mutex<QueueState>,
-    not_empty: Condvar,
-    capacity: usize,
-}
-
-struct QueueState {
-    conns: VecDeque<TcpStream>,
-    closed: bool,
-}
-
-impl ConnQueue {
-    fn new(capacity: usize) -> ConnQueue {
-        ConnQueue {
-            inner: Mutex::new_named(
-                QueueState { conns: VecDeque::new(), closed: false },
-                "dashboard.conn_queue",
-            ),
-            not_empty: Condvar::new(),
-            capacity: capacity.max(1),
-        }
-    }
-
-    /// Enqueue a connection, or hand it back when the queue is full.
-    ///
-    /// The poison-transparent lock keeps the acceptor alive even if a
-    /// worker panicked while holding the queue: the queue state is a plain
-    /// `VecDeque` + flag with no multi-step invariants, so recovery is safe
-    /// (and counted in `sync.poison_recoveries`).
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut state = self.inner.lock();
-        if state.closed || state.conns.len() >= self.capacity {
-            return Err(stream);
-        }
-        state.conns.push_back(stream);
-        drop(state);
-        self.not_empty.notify_one();
-        Ok(())
-    }
-
-    /// Dequeue the next connection; `None` once closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.inner.lock();
-        loop {
-            if let Some(s) = state.conns.pop_front() {
-                return Some(s);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.not_empty.wait(state);
-        }
-    }
-
-    /// Stop accepting pushes; workers drain what is queued, then exit.
-    fn close(&self) {
-        self.inner.lock().closed = true;
-        self.not_empty.notify_all();
-    }
-}
-
 impl DashboardServer {
     /// Bind to `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port),
     /// with the serving knobs from the system's [`ServerConfig`].
@@ -176,6 +124,25 @@ impl DashboardServer {
             config.effective_max_active_per_client(),
             config.effective_shed_threshold(),
         );
+        let respcache = if config.response_cache {
+            let cache = Arc::new(ResponseCache::new(
+                config.effective_response_cache_bytes(),
+                config.effective_response_cache_entries(),
+            ));
+            // Invalidation rides the catalog publish hook: every committed
+            // unit bumps the epoch and (with no index locks held) sweeps
+            // the entries the bump made unreachable. `Weak` so a retired
+            // server's cache is dropped, not pinned by the index.
+            let weak = Arc::downgrade(&cache);
+            system.index().set_publish_hook(Arc::new(move |epoch| {
+                if let Some(cache) = weak.upgrade() {
+                    cache.invalidate_to(epoch);
+                }
+            }));
+            Some(cache)
+        } else {
+            None
+        };
         Ok(DashboardServer {
             system,
             listener,
@@ -183,6 +150,7 @@ impl DashboardServer {
             config,
             metrics: Arc::new(ServerMetrics::new()),
             admission,
+            respcache,
             ingest: None,
             ingest_root: None,
         })
@@ -227,60 +195,28 @@ impl DashboardServer {
         &self.admission
     }
 
+    /// The response cache, when enabled (also served at `/api/metrics`).
+    pub fn response_cache(&self) -> Option<&ResponseCache> {
+        self.respcache.as_deref()
+    }
+
     /// A handle that shuts the server down gracefully (see [`StopHandle`]).
     pub fn stop_handle(&self) -> StopHandle {
         StopHandle { stop: Arc::clone(&self.stop), addr: self.listener.local_addr().ok() }
     }
 
-    /// Run the serving loop: spawn the worker pool, accept into the bounded
-    /// queue, and on [`StopHandle::stop`] drain in-flight requests and join
-    /// every worker before returning.
+    /// Run the serving loop: the nonblocking event loop owns the listener
+    /// and every connection while the bounded worker pool executes misses;
+    /// on [`StopHandle::stop`] in-flight requests drain and every worker
+    /// is joined before returning. See [`crate::evloop`].
     pub fn serve(&self) -> std::io::Result<()> {
-        let workers = self.config.effective_workers();
-        let queue = ConnQueue::new(self.config.queue_depth);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let queue = &queue;
-                scope.spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        self.handle_connection(stream);
-                    }
-                });
-            }
-            let result = self.accept_loop(&queue);
-            // Wake and retire the pool; the scope joins every worker before
-            // `serve` returns, so shutdown leaves no orphan threads.
-            queue.close();
-            result
-        })
+        crate::evloop::run(self)
     }
 
-    fn accept_loop(&self, queue: &ConnQueue) -> std::io::Result<()> {
-        loop {
-            let stream = match self.listener.accept() {
-                Ok((s, _)) => s,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => {
-                    if self.stop.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
-                    return Err(e);
-                }
-            };
-            if self.stop.load(Ordering::SeqCst) {
-                // The stop nudge (or a client racing shutdown): drop it.
-                return Ok(());
-            }
-            self.metrics.connection_accepted();
-            if let Err(stream) = queue.push(stream) {
-                self.reject_queue_full(stream);
-            }
-        }
-    }
-
-    /// Answer `503` + `Retry-After` on the acceptor thread and close — the
-    /// backpressure path must never block behind the pool it is protecting.
-    fn reject_queue_full(&self, stream: TcpStream) {
+    /// Answer `503` + `Retry-After` on the event-loop thread and close —
+    /// the backpressure path must never block behind the pool it is
+    /// protecting.
+    pub(crate) fn reject_queue_full(&self, stream: TcpStream) {
         self.metrics.queue_full_rejection();
         let _ = stream.set_write_timeout(Some(self.config.write_timeout));
         let retry = self.config.retry_after_secs.to_string();
@@ -413,7 +349,7 @@ impl DashboardServer {
     /// The admission-control identity of a request's client: the first
     /// `X-Forwarded-For` address when the config trusts the header (behind
     /// a proxy, or a load harness simulating many users), else the peer IP.
-    fn client_id(&self, req: &Request, peer: Option<&str>) -> String {
+    pub(crate) fn client_id(&self, req: &Request, peer: Option<&str>) -> String {
         if self.config.trust_forwarded_for {
             if let Some(first) = req
                 .header("x-forwarded-for")
@@ -428,7 +364,7 @@ impl DashboardServer {
     }
 
     /// Dispatch one well-formed request to its endpoint.
-    fn route(&self, req: &Request) -> (u16, &'static str, Cow<'static, str>) {
+    pub(crate) fn route(&self, req: &Request) -> (u16, &'static str, Cow<'static, str>) {
         let (path, query) = req.path_and_query();
         // The write path is the one non-GET surface; everything else keeps
         // the blanket 405.
@@ -621,6 +557,14 @@ impl DashboardServer {
             }
         }
         j.end_object();
+        match &self.respcache {
+            Some(cache) => cache.write_section(&mut j),
+            None => {
+                j.key("response_cache").begin_object();
+                j.key("enabled").boolean(false);
+                j.end_object();
+            }
+        }
         j.end_object();
         j.finish()
     }

@@ -229,6 +229,11 @@ pub struct TemporalIndex {
     /// Last committed warehouse watermark ([`NO_MARK`] = none recorded).
     /// Written under the WAL mutex, checkpointed by `sync()`.
     durable_mark: AtomicU64,
+    /// Callback invoked with the new epoch after every published unit, once
+    /// the WAL and catalog locks have dropped. The serving tier registers
+    /// its response-cache sweep here; the hook is cloned out of the mutex
+    /// before it runs, so it may take arbitrary downstream locks.
+    publish_hook: Mutex<Option<Arc<dyn Fn(u64) + Send + Sync>>>,
 }
 
 impl fmt::Debug for TemporalIndex {
@@ -280,6 +285,7 @@ impl TemporalIndex {
             published_units: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             durable_mark: AtomicU64::new(0),
+            publish_hook: Mutex::new_named(None, "index.publish_hook"),
         })
     }
 
@@ -350,6 +356,7 @@ impl TemporalIndex {
             published_units: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             durable_mark: AtomicU64::new(mark.unwrap_or(NO_MARK)),
+            publish_hook: Mutex::new_named(None, "index.publish_hook"),
         })
     }
 
@@ -388,6 +395,16 @@ impl TemporalIndex {
     /// Units published since this handle was opened.
     pub fn published_units(&self) -> u64 {
         self.published_units.load(Ordering::Relaxed)
+    }
+
+    /// Register (replacing any previous) a callback run after every
+    /// published unit with the new catalog epoch. It fires after the WAL
+    /// and catalog locks drop, and is not held while running — downstream
+    /// caches can take their own locks freely. Derived-cache owners (the
+    /// dashboard's response cache) use it to retire entries keyed by
+    /// superseded epochs.
+    pub fn set_publish_hook(&self, hook: Arc<dyn Fn(u64) + Send + Sync>) {
+        *self.publish_hook.lock() = Some(hook);
     }
 
     /// Stale cache entries surgically invalidated by publishes.
@@ -482,6 +499,7 @@ impl TemporalIndex {
         self.file.sync()?;
         let payload = encode_unit(&unit);
         let mut stale: Vec<(Period, Option<PageId>, PageId)> = Vec::new();
+        let new_epoch;
         {
             let mut log = self.wal.lock();
             log.append(&payload).map_err(StorageError::from)?;
@@ -506,7 +524,8 @@ impl TemporalIndex {
                     }
                 }
             }
-            *cat = Arc::new(CatalogVersion { epoch: cat.epoch + 1, map });
+            new_epoch = cat.epoch + 1;
+            *cat = Arc::new(CatalogVersion { epoch: new_epoch, map });
         }
         for (period, new_page, old_page) in stale {
             // Drop the superseded cached cube (tag-checked so a copy of the
@@ -523,6 +542,13 @@ impl TemporalIndex {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
         self.published_units.fetch_add(1, Ordering::Relaxed);
+        // Notify derived caches of the epoch bump. The hook is cloned out of
+        // its mutex (a temporary — never held across the call) so it can
+        // take serving-tier locks without nesting under any index lock.
+        let hook = { self.publish_hook.lock().clone() };
+        if let Some(hook) = hook {
+            hook(new_epoch);
+        }
         Ok(())
     }
 

@@ -55,7 +55,7 @@ pub struct FlightGroup<K, V> {
     slot_name: &'static str,
 }
 
-impl<K: Copy + Eq + Hash, V: Clone> FlightGroup<K, V> {
+impl<K: Clone + Eq + Hash, V: Clone> FlightGroup<K, V> {
     /// A group with `shards` independent key maps (1 is fine for most
     /// callers; the maps are only held long enough to register a slot).
     ///
@@ -139,7 +139,7 @@ impl<K: Copy + Eq + Hash, V: Clone> FlightGroup<K, V> {
                             state: Mutex::new_named(FlightState::Pending, self.slot_name),
                             arrived: Condvar::new(),
                         });
-                        map.insert(key, Arc::clone(&f));
+                        map.insert(key.clone(), Arc::clone(&f));
                         (f, true)
                     }
                 }
@@ -169,14 +169,14 @@ impl<K: Copy + Eq + Hash, V: Clone> FlightGroup<K, V> {
 }
 
 /// Publishes the leader's outcome exactly once, even across unwinds.
-struct LeaderGuard<'a, K: Copy + Eq + Hash, V: Clone> {
+struct LeaderGuard<'a, K: Clone + Eq + Hash, V: Clone> {
     group: &'a FlightGroup<K, V>,
     key: K,
     flight: &'a Arc<Flight<V>>,
     published: bool,
 }
 
-impl<K: Copy + Eq + Hash, V: Clone> LeaderGuard<'_, K, V> {
+impl<K: Clone + Eq + Hash, V: Clone> LeaderGuard<'_, K, V> {
     /// Publish the computed result: followers see `Done`/`Failed`, the slot
     /// is deregistered, and the result passes through to the caller.
     fn publish<E>(mut self, result: Result<V, E>) -> Result<V, E> {
@@ -207,7 +207,7 @@ impl<K: Copy + Eq + Hash, V: Clone> LeaderGuard<'_, K, V> {
     }
 }
 
-impl<K: Copy + Eq + Hash, V: Clone> Drop for LeaderGuard<'_, K, V> {
+impl<K: Clone + Eq + Hash, V: Clone> Drop for LeaderGuard<'_, K, V> {
     fn drop(&mut self) {
         if !self.published {
             // The leader unwound mid-compute: fail the flight so followers

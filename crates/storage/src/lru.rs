@@ -47,13 +47,13 @@ pub struct LruCache<K, V> {
     tail: usize,
 }
 
-impl<K: Copy + Eq + Hash, V> Default for LruCache<K, V> {
+impl<K: Clone + Eq + Hash, V> Default for LruCache<K, V> {
     fn default() -> Self {
         LruCache::new()
     }
 }
 
-impl<K: Copy + Eq + Hash, V> LruCache<K, V> {
+impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
     /// An empty cache.
     pub fn new() -> LruCache<K, V> {
         LruCache { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
@@ -100,7 +100,7 @@ impl<K: Copy + Eq + Hash, V> LruCache<K, V> {
                 .and_then(|slot| slot.as_mut())
                 .map(|n| std::mem::replace(&mut n.value, value));
         }
-        let idx = self.alloc(Node { key, value, prev: NIL, next: NIL });
+        let idx = self.alloc(Node { key: key.clone(), value, prev: NIL, next: NIL });
         self.attach_front(idx);
         self.map.insert(key, idx);
         None

@@ -225,13 +225,15 @@ fn live_server_stress_keep_alive_pool_bound_and_graceful_drain() {
                     let k = (t + i) % (paths.len() + 1);
                     if k == paths.len() {
                         // Mixed in: the metrics endpoint itself, asserting
-                        // the pool bound from *inside* the storm.
+                        // the pool bound from *inside* the storm. The event
+                        // loop keeps many connections open, but the number
+                        // of threads doing real work never exceeds the pool.
                         let r = client.get("/api/metrics").expect("metrics");
                         assert_eq!(r.status, 200);
-                        let max_active = parse_uint_field(&r.body, "max_active");
+                        let max_busy = parse_uint_field(&r.body, "max_busy");
                         assert!(
-                            max_active <= WORKERS as u64,
-                            "pool bound violated: max_active={max_active} > {WORKERS}: {}",
+                            max_busy <= WORKERS as u64,
+                            "pool bound violated: max_busy={max_busy} > {WORKERS}: {}",
                             r.body
                         );
                     } else {
@@ -272,9 +274,9 @@ fn live_server_stress_keep_alive_pool_bound_and_graceful_drain() {
     // left active, the pool bound held throughout, and all stress requests
     // were answered successfully.
     let m = server.metrics();
-    assert_eq!(m.active(), 0, "workers left connections active after join");
+    assert_eq!(m.active(), 0, "connections left open after join");
     assert_eq!(m.completed(), m.accepted(), "accepted connections were dropped");
-    assert!(m.max_active() <= WORKERS as u64, "max_active {}", m.max_active());
+    assert!(m.max_busy_workers() <= WORKERS as u64, "max_busy {}", m.max_busy_workers());
     let expected_min = (CLIENTS * REQUESTS + paths.len() + 1) as u64;
     assert!(
         m.requests_in_class(2) >= expected_min,
@@ -309,6 +311,10 @@ fn overload_sheds_cheap_503s_and_never_starves_polite_clients() {
         max_active_per_client: 1,
         shed_threshold: 2,
         trust_forwarded_for: true,
+        // The storm repeats one expensive query; with the response cache on
+        // every repeat would be a cache hit that bypasses admission and no
+        // shed would ever fire. This test is about the *miss* path.
+        response_cache: false,
         ..ServerConfig::default()
     };
     let ts = TestServer::start(system, config);
@@ -363,9 +369,9 @@ fn overload_sheds_cheap_503s_and_never_starves_polite_clients() {
             let r = polite.get_with_headers(path, &polite_id).expect("polite request");
             assert_eq!(r.status, 200, "polite client starved on {path}: {}", r.body);
             if path == "/api/metrics" {
-                // The pool keeps capacity for cheap endpoints: admission's
-                // high-watermark must respect the global threshold.
-                assert!(parse_uint_field(&r.body, "max_active") <= 4);
+                // The pool keeps capacity for cheap endpoints: worker
+                // threads never exceed the configured pool size.
+                assert!(parse_uint_field(&r.body, "max_busy") <= 4);
             }
         }
 
@@ -401,6 +407,62 @@ fn overload_sheds_cheap_503s_and_never_starves_polite_clients() {
         m.body
     );
     let _ = shed_overload; // may legitimately be 0 in this shape
+    drop(c); // EOF the keep-alive conn so the drain doesn't wait out the idle timeout
+    ts.stop().unwrap();
+}
+
+/// Keep-alive requests pipelined across a publish epoch bump must each get
+/// the bytes of *their* epoch: cached bytes before the bump, freshly
+/// rendered (and re-cached) bytes after — never a stale mix.
+#[test]
+fn keep_alive_requests_across_epoch_bump_get_per_epoch_bytes() {
+    let (dir, system) = demo_system("epoch-bump");
+    let config = ServerConfig { workers: 2, ..ServerConfig::default() };
+    let ts = TestServer::start(Arc::clone(&system), config);
+    let q = "/api/analysis?start=2021-01-01&end=2021-12-31&group=country";
+
+    let mut client = HttpClient::connect(ts.addr).unwrap();
+    let a1 = client.get(q).unwrap();
+    assert_eq!(a1.status, 200);
+    let a2 = client.get(q).unwrap();
+    // A cache hit freezes the *entire* body, volatile stats included: the
+    // repeat must be byte-identical, not merely equivalent.
+    assert_eq!(a1.body, a2.body, "repeat at the same epoch must be a byte-identical hit");
+
+    // Publish more data (a disjoint later window): every commit bumps the
+    // catalog epoch and fires the cache-invalidation hook.
+    let mut cfg = DatasetConfig::small(61);
+    cfg.range = DateRange::new(Date::new(2021, 2, 1).unwrap(), Date::new(2021, 2, 14).unwrap());
+    cfg.sim.daily_edits_mean = 20.0;
+    cfg.seed_nodes_per_country = 8;
+    let ds2 = Dataset::generate(&dir.join("osm2"), cfg).unwrap();
+    system.ingest_dataset(&ds2).unwrap();
+
+    // Same keep-alive connection, same path: the answer must be the new
+    // epoch's, and repeats at the new epoch must again be identical hits.
+    let b1 = client.get(q).unwrap();
+    assert_eq!(b1.status, 200);
+    assert_ne!(
+        stable_part(&a1.body),
+        stable_part(&b1.body),
+        "post-publish answer still serves pre-publish rows"
+    );
+    let b2 = client.get(q).unwrap();
+    assert_eq!(b1.body, b2.body, "repeat at the new epoch must be a byte-identical hit");
+
+    // The cache observed all of it: hits at two epochs, and invalidations
+    // from the publish hook. Parse inside the response_cache section (the
+    // ingest section has fields with the same names).
+    let m = client.get("/api/metrics").unwrap();
+    let cache_at = m.body.find("\"response_cache\"").expect("response_cache section");
+    let section = &m.body[cache_at..];
+    assert!(parse_uint_field(section, "hits") >= 2, "expected ≥2 cache hits: {}", m.body);
+    assert!(
+        parse_uint_field(section, "invalidations") >= 1,
+        "publish hook never invalidated: {}",
+        m.body
+    );
+    drop(client); // EOF the keep-alive conn so the drain doesn't wait out the idle timeout
     ts.stop().unwrap();
 }
 

@@ -300,6 +300,98 @@ mod http_hostile {
         ts.stop().unwrap();
     }
 
+    /// Stalled clients park in the event loop, not on pool threads: with a
+    /// single worker, several simultaneous slowloris connections must not
+    /// delay a healthy request, and the busy-worker watermark must never
+    /// exceed the pool size. (Under the old thread-per-connection tier each
+    /// stall pinned the only worker for a full read timeout, serializing
+    /// everyone else behind ~1.2 s of reaping.)
+    #[test]
+    fn stalled_clients_do_not_pin_workers() {
+        let (_dir, system) = empty_system("noworkerpin");
+        let config = ServerConfig { workers: 1, ..hostile_config() };
+        let ts = TestServer::start(system, config);
+
+        let mut stalled = Vec::new();
+        for _ in 0..4 {
+            let s = TcpStream::connect(ts.addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            write!(&s, "GET /api/meta HTTP/1.1\r\nHost: sl").unwrap();
+            stalled.push(s);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+
+        // A healthy request must be answered while all four still stall —
+        // well inside the 300 ms it takes to reap even *one* of them.
+        let t0 = Instant::now();
+        let r = common::http_get(ts.addr, "/api/meta").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "healthy request waited {:?} behind stalled clients",
+            t0.elapsed()
+        );
+
+        // Every stalled client is still reaped with its own 408.
+        for s in stalled {
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let r = read_response(&mut reader).expect("stalled client must get 408");
+            assert_eq!(r.status, 408);
+        }
+
+        let server = Arc::clone(&ts.server);
+        ts.stop().unwrap();
+        let m = server.metrics();
+        assert!(m.timeouts_total() >= 4, "stalls not reaped: {}", m.timeouts_total());
+        assert!(m.max_busy_workers() <= 1, "pool bound broken: {}", m.max_busy_workers());
+    }
+
+    /// Graceful shutdown drains parked connections deterministically: a
+    /// connection parked mid-request is answered 408, an idle one closes
+    /// silently, and `stop()` returns once every connection is gone —
+    /// bounded by the read timeout, never hanging on parked sockets.
+    #[test]
+    fn graceful_shutdown_drains_parked_connections() {
+        let (_dir, system) = empty_system("drainpark");
+        let ts = TestServer::start(system, hostile_config());
+
+        // Parked in Reading with nothing buffered: must close silently.
+        let idle = TcpStream::connect(ts.addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Parked in Reading mid-request: must be answered 408.
+        let stalled = TcpStream::connect(ts.addr).unwrap();
+        stalled.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(&stalled, "GET /api/meta HTTP/1.1\r\nHost: park").unwrap();
+
+        // Wait until both are inside the loop, then stop.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ts.server.metrics().accepted() < 2 {
+            assert!(Instant::now() < deadline, "acceptor stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let server = Arc::clone(&ts.server);
+        let t0 = Instant::now();
+        ts.stop().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown hung {:?} on parked connections",
+            t0.elapsed()
+        );
+
+        // The stalled client got its deterministic 408 …
+        let mut reader = BufReader::new(stalled.try_clone().unwrap());
+        let r = read_response(&mut reader).expect("parked mid-request must get 408 on drain");
+        assert_eq!(r.status, 408);
+        // … the idle one a silent close …
+        let mut reader = BufReader::new(idle.try_clone().unwrap());
+        let err = read_response(&mut reader).expect_err("idle park must close silently");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+        // … and the books balance.
+        let m = server.metrics();
+        assert_eq!(m.active(), 0, "connections left open after drain");
+        assert_eq!(m.completed(), m.accepted(), "parked connections were leaked");
+    }
+
     /// Backpressure: with 1 worker (held by a stalled client) and a queue
     /// of 1 (occupied), the next connection is rejected 503 + Retry-After
     /// instead of spawning a thread or queueing unboundedly.
