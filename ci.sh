@@ -6,9 +6,15 @@ set -eu
 cd "$(dirname "$0")"
 
 # Static-analysis gate first: the panic-freedom ratchet (lint-baseline.toml),
-# lock-discipline audit, determinism lint, and hermeticity scan. Policy lives
-# in lint.toml; a non-zero exit fails CI before any test runs.
+# lock-discipline audit, determinism lint, hermeticity scan, and the three
+# interprocedural passes (lock-rank propagation, blocking-in-event-loop,
+# panic reachability). Policy lives in lint.toml; a non-zero exit fails CI
+# before any test runs.
 cargo run -p rased-lint --release --offline --locked -- --workspace
+# Same run again in machine-readable form, saved as a CI artifact for trend
+# tooling (the binary is already built, so this only re-scans sources).
+cargo run -p rased-lint --release --offline --locked -- --workspace --format=json \
+    > lint-findings.json
 
 cargo build --workspace --release --offline --locked --all-targets
 cargo test --workspace -q --offline --locked
@@ -49,3 +55,8 @@ DETTEST_SEED=20260808 timeout 120 cargo test -q --offline --locked --test respca
 # build check.
 timeout 300 cargo test -q --offline --locked -p rased-bench --test workload_props
 BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig13_slo_load
+
+# Cross-commit bench trajectory gate: the two most recent committed
+# BENCH_fig13.json points must not show an order-of-magnitude collapse in
+# qps or p99 (loose tolerances absorb hardware noise; see the bin's docs).
+./target/release/bench_compare

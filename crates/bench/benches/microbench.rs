@@ -132,7 +132,7 @@ fn bench_warehouse(c: &mut Harness) {
     use rased_storage::IoCostModel;
     use rased_warehouse::Warehouse;
 
-    let dir = rased_bench::bench_dir("crit-wh");
+    let dir = rased_bench::bench_dir("crit-wh").expect("bench dir");
     let w = Workload::years(1, 2_000, 0x05);
     let mut synth = RecordSynth::new(&w);
     let warehouse =

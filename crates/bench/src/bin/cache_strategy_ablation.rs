@@ -13,6 +13,7 @@ use rased_bench::{bench_dir, fmt_duration, one_cell_query, Workload};
 use rased_core::{CacheConfig, CacheStrategy, IoCostModel, QueryEngine, TemporalIndex};
 use rased_osm_gen::rng::Rng;
 use rased_temporal::DateRange;
+use std::error::Error;
 use std::time::Duration;
 
 fn run_stream(
@@ -21,8 +22,8 @@ fn run_stream(
     recent_bias: bool,
     queries: usize,
     seed: u64,
-) -> Duration {
-    index.warm_cache().expect("warm");
+) -> Result<Duration, Box<dyn Error>> {
+    index.warm_cache()?;
     let engine = QueryEngine::new(index);
     let mut rng = Rng::new(seed);
     let mut total = Duration::ZERO;
@@ -32,16 +33,16 @@ fn run_stream(
         let back = rng.below(max_back.max(1)) as i32;
         let end = w.range.end().add_days(-back);
         let range = DateRange::new(end.add_days(-(span - 1)).max(w.range.start()), end);
-        total += engine.execute(&one_cell_query(range)).expect("query").stats.modeled_total();
+        total += engine.execute(&one_cell_query(range))?.stats.modeled_total();
     }
-    total / queries as u32
+    Ok(total / queries as u32)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let w = Workload::years(4, 250, 0xCA5E);
-    let dir = bench_dir("cache-strategy");
+    let dir = bench_dir("cache-strategy")?;
     println!("# building a 4-year index...");
-    rased_bench::build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::hdd());
+    rased_bench::build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::hdd())?;
 
     let queries = 150;
     println!(
@@ -60,19 +61,20 @@ fn main() {
                     4,
                     CacheConfig { slots, strategy },
                     IoCostModel::hdd(),
-                )
-                .expect("open");
-                cells.push(run_stream(&index, &w, recent_bias, queries, slots as u64));
+                )?;
+                cells.push(run_stream(&index, &w, recent_bias, queries, slots as u64)?);
             }
         }
+        let &[bias_rec, bias_lru, uni_rec, uni_lru] = cells.as_slice() else { continue };
         println!(
             "{:>6} | {:>11} {:>12} | {:>11} {:>12}",
             slots,
-            fmt_duration(cells[0]),
-            fmt_duration(cells[1]),
-            fmt_duration(cells[2]),
-            fmt_duration(cells[3]),
+            fmt_duration(bias_rec),
+            fmt_duration(bias_lru),
+            fmt_duration(uni_rec),
+            fmt_duration(uni_lru),
         );
     }
     println!("\n(avg modeled time of {queries} one-cell queries; LRU warms up within the stream)");
+    Ok(())
 }

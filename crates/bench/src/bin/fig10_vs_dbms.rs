@@ -18,11 +18,12 @@ use rased_bench::{bench_dir, fmt_duration, one_cell_query, Workload};
 use rased_baseline::DbmsBaseline;
 use rased_core::{CacheConfig, IoCostModel, QueryEngine, TemporalIndex};
 use rased_temporal::{Date, DateRange};
+use std::error::Error;
 use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let w = Workload::years(16, 1000, 0xF1610);
-    let dir = bench_dir("fig10");
+    let dir = bench_dir("fig10")?;
 
     println!("# Fig 10: building a 16-year index + heap ({} days)...", w.range.len_days());
     {
@@ -32,14 +33,14 @@ fn main() {
             4,
             CacheConfig { slots: 500, ..CacheConfig::paper_default() },
             IoCostModel::hdd(),
-        );
-        index.sync().expect("sync");
+        )?;
+        index.sync()?;
     }
     let seq_model = IoCostModel { seek_micros: 100, bytes_per_sec: 150_000_000 };
     // 2 GB buffer (in 8 KB pages) exceeds our scaled relation, exactly as
     // the paper's 2 GB did not hold its 336 GB relation — so force cold
     // scans by sizing the pool at zero and charging sequential I/O per scan.
-    let heap = rased_bench::build_heap(&dir.join("heap.pg"), &w, seq_model, 0);
+    let heap = rased_bench::build_heap(&dir.join("heap.pg"), &w, seq_model, 0)?;
     let heap_bytes = heap.page_count() * rased_warehouse::HEAP_PAGE_BYTES as u64;
     println!(
         "heap: {} rows, {:.1} MB",
@@ -53,9 +54,8 @@ fn main() {
         4,
         CacheConfig { slots: 500, ..CacheConfig::paper_default() },
         IoCostModel::hdd(),
-    )
-    .expect("open");
-    index.warm_cache().expect("warm");
+    )?;
+    index.warm_cache()?;
     let engine = QueryEngine::new(&index);
     let dbms = DbmsBaseline::new(&heap);
 
@@ -66,15 +66,15 @@ fn main() {
     println!("{}", "-".repeat(56));
     for &years in &windows_years {
         let end = w.range.end();
-        let start = Date::new(end.year() - years + 1, 1, 1).expect("valid");
+        let start = Date::new(end.year() - years + 1, 1, 1)?;
         let query = one_cell_query(DateRange::new(start, end));
 
-        let dbms_result = dbms.execute(&query).expect("dbms");
+        let dbms_result = dbms.execute(&query)?;
         let dbms_time = dbms_result.stats.wall + dbms_result.stats.io.modeled;
 
         let mut rased_time = Duration::ZERO;
         for _ in 0..rased_reps {
-            let r = engine.execute(&query).expect("rased");
+            let r = engine.execute(&query)?;
             rased_time += r.stats.modeled_total();
         }
         rased_time /= rased_reps;
@@ -95,4 +95,5 @@ fn main() {
         "\n(projected full-UpdateList scan at paper scale: {} — the paper measured ~1000 s)",
         fmt_duration(projected)
     );
+    Ok(())
 }

@@ -39,9 +39,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         (Workload::years(3, 200, 0xF11A), 30)
     };
 
-    let dir = bench_dir("fig11");
+    let dir = bench_dir("fig11")?;
     println!("# Fig 11: building a {}-day index...", w.range.len_days());
-    drop(build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::hdd()));
+    drop(build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::hdd())?);
 
     let windows = random_windows(&w, WINDOW_DAYS, queries, 0x11AA);
 

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // streams in while queries run.
     let (base_days, live_days) = if smoke { (14i32, 7i32) } else { (45, 30) };
 
-    let dir = bench_dir("fig12");
+    let dir = bench_dir("fig12")?;
     // The system dir must not survive across runs with different datasets.
     for sub in ["base", "live", "system"] {
         let _ = std::fs::remove_dir_all(dir.join(sub));

@@ -168,7 +168,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let p99_bound = env_millis("FIG13_P99_BOUND_MS", 250);
     let shed_p99_bound = env_millis("FIG13_SHED_P99_BOUND_MS", 250);
 
-    let dir = bench_dir("fig13");
+    let dir = bench_dir("fig13")?;
     for sub in ["base", "live", "system"] {
         let _ = std::fs::remove_dir_all(dir.join(sub));
     }

@@ -14,11 +14,12 @@ use rased_bench::{bench_dir, fmt_duration, one_cell_query, Workload};
 use rased_core::{CacheConfig, CacheStrategy, IoCostModel, QueryEngine, TemporalIndex};
 use rased_osm_gen::rng::Rng;
 use rased_temporal::DateRange;
+use std::error::Error;
 use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let w = Workload::years(3, 400, 0xF167);
-    let dir = bench_dir("fig7");
+    let dir = bench_dir("fig7")?;
     println!("# Fig 7: building a 3-year index ({} days)...", w.range.len_days());
     let index = rased_bench::build_index(
         &dir.join("index"),
@@ -26,7 +27,7 @@ fn main() {
         4,
         CacheConfig::disabled(),
         IoCostModel::hdd(),
-    );
+    )?;
     drop(index);
 
     let cache_slots = [32usize, 64, 128, 256, 500, 1000];
@@ -47,9 +48,8 @@ fn main() {
             4,
             CacheConfig { slots, strategy: CacheStrategy::paper_default() },
             IoCostModel::hdd(),
-        )
-        .expect("open index");
-        index.warm_cache().expect("warm");
+        )?;
+        index.warm_cache()?;
         let engine = QueryEngine::new(&index);
 
         let mut cells = Vec::new();
@@ -62,7 +62,7 @@ fn main() {
                 let back = rng.below(365 - span.min(364) as u64 + 1) as i32;
                 let end = w.range.end().add_days(-back);
                 let range = DateRange::new(end.add_days(-(span as i32 - 1)), end);
-                let result = engine.execute(&one_cell_query(range)).expect("query");
+                let result = engine.execute(&one_cell_query(range))?;
                 total += result.stats.modeled_total();
             }
             cells.push(total / queries_per_point);
@@ -76,4 +76,5 @@ fn main() {
     println!(
         "\n(avg of {queries_per_point} one-cell queries per point; modeled disk: 5 ms seek + 150 MB/s)"
     );
+    Ok(())
 }

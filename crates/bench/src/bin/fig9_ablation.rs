@@ -17,11 +17,12 @@ use rased_bench::{bench_dir, fmt_duration, one_cell_query, Workload};
 use rased_baseline::RasedVariant;
 use rased_core::{IoCostModel, QueryEngine, TemporalIndex};
 use rased_temporal::{Date, DateRange};
+use std::error::Error;
 use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let w = Workload::years(16, 300, 0xF169);
-    let dir = bench_dir("fig9");
+    let dir = bench_dir("fig9")?;
     println!("# Fig 9: building a 16-year index ({} days)...", w.range.len_days());
     {
         let full = rased_bench::build_index(
@@ -30,8 +31,8 @@ fn main() {
             4,
             RasedVariant::Full.cache(0),
             IoCostModel::hdd(),
-        );
-        full.sync().expect("sync");
+        )?;
+        full.sync()?;
     }
 
     let windows_years = [1i32, 2, 4, 8, 16];
@@ -46,7 +47,7 @@ fn main() {
 
     for &years in &windows_years {
         let end = w.range.end();
-        let start = Date::new(end.year() - years + 1, 1, 1).expect("valid");
+        let start = Date::new(end.year() - years + 1, 1, 1)?;
         let range = DateRange::new(start, end);
         let query = one_cell_query(range);
 
@@ -58,28 +59,29 @@ fn main() {
                 variant.levels(),
                 variant.cache(cache_slots),
                 IoCostModel::hdd(),
-            )
-            .expect("open");
-            index.warm_cache().expect("warm");
+            )?;
+            index.warm_cache()?;
             let engine = QueryEngine::new(&index).with_planner(variant.planner());
             let mut total = Duration::ZERO;
             for _ in 0..reps {
-                let r = engine.execute(&query).expect("query");
+                let r = engine.execute(&query)?;
                 total += r.stats.modeled_total();
             }
             results.push(total / reps);
         }
+        let &[f, o, full] = results.as_slice() else { continue };
         println!(
             "{:>6} | {:>12} | {:>12} | {:>12} | {:>10.1} {:>10.1}",
             years,
-            fmt_duration(results[0]),
-            fmt_duration(results[1]),
-            fmt_duration(results[2]),
-            results[0].as_secs_f64() / results[1].as_secs_f64().max(1e-12),
-            results[1].as_secs_f64() / results[2].as_secs_f64().max(1e-12),
+            fmt_duration(f),
+            fmt_duration(o),
+            fmt_duration(full),
+            f.as_secs_f64() / o.as_secs_f64().max(1e-12),
+            o.as_secs_f64() / full.as_secs_f64().max(1e-12),
         );
     }
     println!(
         "\n(avg of {reps} one-cell queries; modeled disk 5 ms seek + 150 MB/s; cache {cache_slots} slots)"
     );
+    Ok(())
 }

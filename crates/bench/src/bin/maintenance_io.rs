@@ -12,10 +12,11 @@
 
 use rased_bench::{bench_dir, RecordSynth, Workload};
 use rased_core::{CacheConfig, DataCube, IoCostModel, TemporalIndex};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let w = Workload::years(1, 200, 0x3A10);
-    let dir = bench_dir("maintenance");
+    let dir = bench_dir("maintenance")?;
     let _ = std::fs::remove_dir_all(dir.join("index"));
     let index = TemporalIndex::create(
         &dir.join("index"),
@@ -23,15 +24,14 @@ fn main() {
         4,
         CacheConfig::disabled(),
         IoCostModel::free(),
-    )
-    .expect("create");
+    )?;
     let mut synth = RecordSynth::new(&w);
 
     // Per-level incremental ops: (total ops, occurrences, max).
     let mut levels = [(0usize, 0usize, 0usize); 4];
     for day in w.range.days() {
-        let cube = DataCube::from_records(w.schema, &synth.day(day)).expect("cube");
-        let report = index.ingest_day(day, &cube).expect("ingest");
+        let cube = DataCube::from_records(w.schema, &synth.day(day))?;
+        let report = index.ingest_day(day, &cube)?;
         for (slot, &ops) in levels.iter_mut().zip(report.ops_by_level.iter()) {
             if ops > 0 {
                 slot.0 += ops;
@@ -50,13 +50,14 @@ fn main() {
     ];
     println!("operation       | occurrences | avg ops | max ops | paper");
     println!("----------------+-------------+---------+---------+------");
-    for i in 0..4 {
-        let (ops, n, max) = levels[i];
+    for ((name, bound), &(ops, n, max)) in names.iter().zip(&bounds).zip(&levels) {
         let avg = if n == 0 { 0.0 } else { ops as f64 / n as f64 };
-        println!("{:<15} | {:>11} | {:>7.2} | {:>7} | {}", names[i], n, avg, max, bounds[i]);
+        println!("{:<15} | {:>11} | {:>7.2} | {:>7} | {}", name, n, avg, max, bound);
     }
-    assert_eq!(levels[0], (levels[0].1, levels[0].1, 1), "daily ingest is exactly one write");
-    assert!(levels[1].2 <= 8, "weekly roll-up bounded by 7 reads + 1 write");
-    assert!(levels[2].2 <= 15, "monthly roll-up bounded by ≤4 weeks + ≤6 edge days + ≤4 reads + 1 write");
-    assert!(levels[3].2 <= 13, "yearly roll-up bounded by 12 reads + 1 write");
+    let [daily, weekly, monthly, yearly] = levels;
+    assert_eq!(daily, (daily.1, daily.1, 1), "daily ingest is exactly one write");
+    assert!(weekly.2 <= 8, "weekly roll-up bounded by 7 reads + 1 write");
+    assert!(monthly.2 <= 15, "monthly roll-up bounded by ≤4 weeks + ≤6 edge days + ≤4 reads + 1 write");
+    assert!(yearly.2 <= 13, "yearly roll-up bounded by 12 reads + 1 write");
+    Ok(())
 }

@@ -8,10 +8,11 @@
 use rased_bench::{bench_dir, random_windows, Workload};
 use rased_core::{CacheConfig, CacheStrategy, IoCostModel, TemporalIndex};
 use rased_index::{with_planner, PlannerKind};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let w = Workload::years(4, 150, 0xAB1A);
-    let dir = bench_dir("planner");
+    let dir = bench_dir("planner")?;
     println!("# building a 4-year index...");
     {
         rased_bench::build_index(
@@ -20,7 +21,7 @@ fn main() {
             4,
             CacheConfig::disabled(),
             IoCostModel::free(),
-        );
+        )?;
     }
     let index = TemporalIndex::open(
         &dir.join("index"),
@@ -28,9 +29,8 @@ fn main() {
         4,
         CacheConfig { slots: 120, strategy: CacheStrategy::paper_default() },
         IoCostModel::free(),
-    )
-    .expect("open");
-    index.warm_cache().expect("warm");
+    )?;
+    index.warm_cache()?;
 
     println!("\n{:>8} | {:>12} | {:>12} | {:>10}", "window", "DP disk", "greedy disk", "greedy/DP");
     println!("{}", "-".repeat(52));
@@ -52,4 +52,5 @@ fn main() {
         );
     }
     println!("\n(avg disk cubes per query over 100 random windows; cache 120 slots warmed)");
+    Ok(())
 }

@@ -113,6 +113,18 @@ pub fn json_uint_field(body: &str, key: &str) -> Option<u64> {
     rest.get(..end)?.parse().ok()
 }
 
+/// Extract the first `"key": <number>` field from a JSON document as a
+/// float (accepts integer, decimal, and exponent forms).
+pub fn json_float_field(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)?;
+    let rest = body.get(at + needle.len()..)?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest.get(..end)?.parse().ok()
+}
+
 /// Extract the first `"key": "<string>"` field from a JSON document
 /// (returns the raw contents between the quotes; no unescaping).
 pub fn json_str_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
@@ -141,5 +153,15 @@ mod tests {
     #[test]
     fn json_field_without_space() {
         assert_eq!(json_uint_field(r#"{"cube_hits":7}"#, "cube_hits"), Some(7));
+    }
+
+    #[test]
+    fn json_float_extraction() {
+        let body = r#"{"qps":41377.14064063073,"neg":-1.5e3,"int":7,"s":"x"}"#;
+        assert_eq!(json_float_field(body, "qps"), Some(41377.14064063073));
+        assert_eq!(json_float_field(body, "neg"), Some(-1500.0));
+        assert_eq!(json_float_field(body, "int"), Some(7.0));
+        assert_eq!(json_float_field(body, "s"), None);
+        assert_eq!(json_float_field(body, "missing"), None);
     }
 }

@@ -204,8 +204,9 @@ impl DataCube {
         if &bytes[..8] != MAGIC {
             return Err(CubeError::Corrupt("bad magic".into()));
         }
-        let nc = u32::from_le_bytes(bytes[8..12].try_into().expect("len")) as usize;
-        let nr = u32::from_le_bytes(bytes[12..16].try_into().expect("len")) as usize;
+        let corrupt = || CubeError::Corrupt("short header".into());
+        let nc = read_le_u32(bytes, 8).ok_or_else(corrupt)? as usize;
+        let nr = read_le_u32(bytes, 12).ok_or_else(corrupt)? as usize;
         if nc != expected.n_countries() || nr != expected.n_road_types() {
             return Err(CubeError::SchemaMismatch);
         }
@@ -215,10 +216,18 @@ impl DataCube {
             .ok_or_else(|| CubeError::Corrupt("truncated cell data".into()))?;
         let cells = body
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk len")))
+            // chunks_exact guarantees 8-byte windows; a mismatch (impossible)
+            // decodes as 0 rather than panicking on the read path.
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap_or_default()))
             .collect();
         Ok(DataCube { schema: expected, cells })
     }
+}
+
+/// Bounds-checked little-endian u32 read — `None` instead of a panic on a
+/// short buffer, keeping `from_bytes` total on the warm-cache read path.
+fn read_le_u32(bytes: &[u8], off: usize) -> Option<u32> {
+    bytes.get(off..off.checked_add(4)?).and_then(|b| b.try_into().ok()).map(u32::from_le_bytes)
 }
 
 #[cfg(test)]

@@ -351,6 +351,7 @@ fn event_loop<'a>(server: &'a DashboardServer, bridge: &Bridge<'a>) -> std::io::
             return Ok(());
         }
         if !progress {
+            // lint: allow(nonblocking, "bounded poll backoff: POLL_SLEEP is 500us, taken only when no socket or completion made progress")
             std::thread::sleep(POLL_SLEEP);
         }
     }

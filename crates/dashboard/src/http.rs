@@ -369,6 +369,7 @@ pub fn write_response(
     let head = response_head(status, content_type, body.len(), keep_alive, extra_headers);
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
+    // lint: allow(nonblocking, "flush on TcpStream/Vec is a no-op, not disk I/O; the event loop's only path here is the 503 reject")
     w.flush()
 }
 

@@ -109,7 +109,9 @@ impl<T> RTree<T> {
 }
 
 fn cover<I: Iterator<Item = BBox>>(mut boxes: I) -> BBox {
-    let first = boxes.next().expect("cover of non-empty set");
+    // Both callers chunk with `take >= 1`, so the degenerate point box
+    // never surfaces; it replaces a panic on the build path.
+    let first = boxes.next().unwrap_or(BBox::new(0, 0, 0, 0));
     boxes.fold(first, |acc, b| acc.union(&b))
 }
 

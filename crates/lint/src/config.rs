@@ -25,8 +25,27 @@ pub struct Config {
     /// Lock rank table: `crate:field` → rank; nested acquisitions must
     /// strictly increase in rank.
     pub lock_ranks: HashMap<String, i64>,
+    /// Files (workspace-relative) opaque to interprocedural lock
+    /// propagation — the lock primitive's own internals, audited by the
+    /// intra-function pass and the runtime detector instead.
+    pub lock_exempt_files: Vec<String>,
     /// Dependency names that must not appear in any manifest.
     pub hermetic_banned: Vec<String>,
+    /// Event-loop root functions (`crate:fn` / `crate:Type::fn`) whose
+    /// reachable callees must not block.
+    pub nonblocking_roots: Vec<String>,
+    /// Lock ids the nonblocking context may acquire (the event loop's own
+    /// short-critical-section bridge).
+    pub nonblocking_allow_locks: Vec<String>,
+    /// Functions the nonblocking context must never call (render/query
+    /// entry points that belong on workers).
+    pub nonblocking_deny_calls: Vec<String>,
+    /// Files (workspace-relative) exempt from the nonblocking pass.
+    pub nonblocking_allow_files: Vec<String>,
+    /// Request-path root functions for panic reachability: panics in *any*
+    /// crate reachable from these are denied like request-path-crate
+    /// panics.
+    pub panic_reach_roots: Vec<String>,
 }
 
 impl Default for Config {
@@ -35,11 +54,17 @@ impl Default for Config {
             panic_deny_crates: Vec::new(),
             determinism_allow: Vec::new(),
             lock_ranks: HashMap::new(),
+            lock_exempt_files: Vec::new(),
             hermetic_banned: vec![
                 "proptest".to_string(),
                 "parking_lot".to_string(),
                 "criterion".to_string(),
             ],
+            nonblocking_roots: Vec::new(),
+            nonblocking_allow_locks: Vec::new(),
+            nonblocking_deny_calls: Vec::new(),
+            nonblocking_allow_files: Vec::new(),
+            panic_reach_roots: Vec::new(),
         }
     }
 }
@@ -101,11 +126,29 @@ impl Config {
                 ("panic", "deny_crates") => {
                     config.panic_deny_crates = parse_string_array(&value, lineno)?;
                 }
+                ("panic", "reach_roots") => {
+                    config.panic_reach_roots = parse_string_array(&value, lineno)?;
+                }
                 ("determinism", "allow") => {
                     config.determinism_allow = parse_string_array(&value, lineno)?;
                 }
                 ("hermetic", "banned") => {
                     config.hermetic_banned = parse_string_array(&value, lineno)?;
+                }
+                ("locks", "exempt_files") => {
+                    config.lock_exempt_files = parse_string_array(&value, lineno)?;
+                }
+                ("nonblocking", "roots") => {
+                    config.nonblocking_roots = parse_string_array(&value, lineno)?;
+                }
+                ("nonblocking", "allow_locks") => {
+                    config.nonblocking_allow_locks = parse_string_array(&value, lineno)?;
+                }
+                ("nonblocking", "deny_calls") => {
+                    config.nonblocking_deny_calls = parse_string_array(&value, lineno)?;
+                }
+                ("nonblocking", "allow_files") => {
+                    config.nonblocking_allow_files = parse_string_array(&value, lineno)?;
                 }
                 ("locks.rank", _) => {
                     let rank = value.trim().parse::<i64>().map_err(|_| ConfigError {
@@ -211,6 +254,30 @@ banned = ["proptest", "parking_lot"]
         let c = Config::parse(text).expect("parses");
         assert_eq!(c.determinism_allow, vec!["a.rs", "b.rs"]);
         assert!(Config::parse("[determinism]\nallow = [\n\"a.rs\",\n").is_err());
+    }
+
+    #[test]
+    fn interprocedural_sections_parse() {
+        let text = r#"
+[panic]
+reach_roots = ["dashboard:event_loop", "dashboard:Server::handle_connection"]
+
+[locks]
+exempt_files = ["crates/storage/src/sync.rs"]
+
+[nonblocking]
+roots = ["dashboard:event_loop"]
+allow_locks = ["dashboard:jobs", "dashboard:done"]
+deny_calls = ["dashboard:Server::route"]
+allow_files = ["crates/storage/src/sync.rs"]
+"#;
+        let c = Config::parse(text).expect("parses");
+        assert_eq!(c.panic_reach_roots.len(), 2);
+        assert_eq!(c.lock_exempt_files, vec!["crates/storage/src/sync.rs"]);
+        assert_eq!(c.nonblocking_roots, vec!["dashboard:event_loop"]);
+        assert_eq!(c.nonblocking_allow_locks, vec!["dashboard:jobs", "dashboard:done"]);
+        assert_eq!(c.nonblocking_deny_calls, vec!["dashboard:Server::route"]);
+        assert_eq!(c.nonblocking_allow_files, vec!["crates/storage/src/sync.rs"]);
     }
 
     #[test]

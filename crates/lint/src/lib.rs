@@ -26,12 +26,16 @@
 //! line above; suppressions are counted and reported, never silent.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod determinism;
 pub mod hermetic;
+pub mod items;
 pub mod lexer;
 pub mod locks;
+pub mod nonblocking;
 pub mod panics;
+pub mod reach;
 pub mod source;
 
 use baseline::Baseline;
@@ -48,6 +52,10 @@ pub enum Category {
     Lock,
     Determinism,
     Hermetic,
+    /// Blocking work reachable from an event-loop root ([`nonblocking`]).
+    Nonblocking,
+    /// A panic reachable from a request-path root ([`reach`]).
+    PanicReach,
 }
 
 impl Category {
@@ -59,6 +67,8 @@ impl Category {
             Category::Lock => "lock",
             Category::Determinism => "determinism",
             Category::Hermetic => "hermetic",
+            Category::Nonblocking => "nonblocking",
+            Category::PanicReach => "panic_reach",
         }
     }
 }
@@ -122,6 +132,76 @@ impl Report {
     pub fn ok(&self) -> bool {
         self.failures.is_empty()
     }
+
+    /// The report as a JSON document (`--format=json`): every finding with
+    /// its category/path/line/suppression, per-crate ratchet counts, and
+    /// the failure/notice lists — enough for trend tooling to consume a CI
+    /// artifact without re-running the lint.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ok\":");
+        out.push_str(if self.ok() { "true" } else { "false" });
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"category\":{},\"crate\":{},\"path\":{},\"line\":{},\"suppressed\":{},\"message\":{}}}",
+                json_str(f.category.name()),
+                json_str(&f.crate_name),
+                json_str(&f.path.display().to_string()),
+                f.line,
+                f.suppressed,
+                json_str(&f.message),
+            ));
+        }
+        out.push_str("],\"counts\":{");
+        for (i, (name, panic)) in self.panic_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let slices = self.slice_index_counts.get(name).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "{}:{{\"panic\":{panic},\"slice_index\":{slices}}}",
+                json_str(name)
+            ));
+        }
+        out.push_str("},\"failures\":[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(f));
+        }
+        out.push_str("],\"notices\":[");
+        for (i, n) in self.notices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string encoding: quotes, backslashes, and control bytes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Run every pass over the workspace at `root` and evaluate policy
@@ -143,6 +223,14 @@ pub fn run_workspace(root: &Path) -> Result<Report, Box<dyn std::error::Error>> 
     }
     hermetic::scan(root, &config, &mut report.findings)?;
 
+    // Interprocedural passes over the workspace call graph: cross-function
+    // lock-rank propagation, the nonblocking event-loop invariant, and
+    // panic reachability from the request path.
+    let graph = callgraph::Graph::build(&crates);
+    locks::propagate(&config, &graph, &mut report.findings);
+    nonblocking::scan(&config, &graph, &mut report.findings);
+    reach::scan(&config, &graph, &mut report.findings);
+
     for f in &report.findings {
         if f.suppressed {
             continue;
@@ -155,7 +243,11 @@ pub fn run_workspace(root: &Path) -> Result<Report, Box<dyn std::error::Error>> 
                 *report.slice_index_counts.entry(f.crate_name.clone()).or_default() += 1;
             }
             // Non-ratcheted categories fail outright.
-            Category::Lock | Category::Determinism | Category::Hermetic => {
+            Category::Lock
+            | Category::Determinism
+            | Category::Hermetic
+            | Category::Nonblocking
+            | Category::PanicReach => {
                 report.failures.push(f.to_string());
             }
         }
@@ -222,5 +314,44 @@ mod tests {
         assert_eq!(Category::Lock.name(), "lock");
         assert_eq!(Category::Determinism.name(), "determinism");
         assert_eq!(Category::Hermetic.name(), "hermetic");
+        assert_eq!(Category::Nonblocking.name(), "nonblocking");
+        assert_eq!(Category::PanicReach.name(), "panic_reach");
+    }
+
+    #[test]
+    fn json_report_escapes_and_round_trips_shape() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            category: Category::Panic,
+            crate_name: "rased-core".into(),
+            path: PathBuf::from("crates/core/src/lib.rs"),
+            line: 7,
+            message: "`.expect()` on \"weird\"\npath".into(),
+            suppressed: true,
+        });
+        r.panic_counts.insert("rased-core".into(), 1);
+        r.slice_index_counts.insert("rased-core".into(), 0);
+        r.notices.push("ratchet can tighten".into());
+        let j = r.to_json();
+        assert!(j.starts_with("{\"ok\":true,"));
+        assert!(j.contains(r#""category":"panic""#));
+        assert!(j.contains(r#""crate":"rased-core""#));
+        assert!(j.contains(r#""line":7"#));
+        assert!(j.contains(r#""suppressed":true"#));
+        // Embedded quote and newline are escaped, keeping the doc one line.
+        assert!(j.contains(r#"\"weird\""#));
+        assert!(j.contains(r"\npath"));
+        assert!(!j.contains('\n'));
+        assert!(j.contains(r#""rased-core":{"panic":1,"slice_index":0}"#));
+        assert!(j.ends_with(r#""failures":[],"notices":["ratchet can tighten"]}"#));
+    }
+
+    #[test]
+    fn json_report_failure_flag() {
+        let mut r = Report::default();
+        r.failures.push("rased-core: panic count 5 > baseline 4".into());
+        let j = r.to_json();
+        assert!(j.starts_with("{\"ok\":false,"));
+        assert!(j.contains("panic count 5 > baseline 4"));
     }
 }

@@ -2,19 +2,29 @@
 //!
 //! ```text
 //! rased-lint --workspace [--root DIR] [--write-baseline] [--verbose]
+//!            [--format=text|json]
 //! ```
 //!
 //! Exit status is the CI contract: 0 when every pass and the ratchet
 //! hold, 1 otherwise. `ci.sh` runs this before the test suites.
+//! `--format=json` swaps the human summary for one machine-readable JSON
+//! document on stdout (findings, per-crate counts, failures, notices) —
+//! `ci.sh` saves it as the `lint-findings.json` artifact.
 
 use rased_lint::baseline;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+}
+
 struct Options {
     root: PathBuf,
     write_baseline: bool,
     verbose: bool,
+    format: Format,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -22,18 +32,21 @@ fn parse_args() -> Result<Options, String> {
     let mut write_baseline = false;
     let mut verbose = false;
     let mut workspace = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--write-baseline" => write_baseline = true,
             "--verbose" | "-v" => verbose = true,
+            "--format=text" => format = Format::Text,
+            "--format=json" => format = Format::Json,
             "--root" => {
                 let v = args.next().ok_or("--root needs a directory argument")?;
                 root = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
-                return Err("usage: rased-lint --workspace [--root DIR] [--write-baseline] [--verbose]"
+                return Err("usage: rased-lint --workspace [--root DIR] [--write-baseline] [--verbose] [--format=text|json]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -54,7 +67,7 @@ fn parse_args() -> Result<Options, String> {
             Err(_) => PathBuf::from("."),
         },
     };
-    Ok(Options { root, write_baseline, verbose })
+    Ok(Options { root, write_baseline, verbose, format })
 }
 
 fn main() -> ExitCode {
@@ -73,6 +86,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Format::Json = options.format {
+        // One machine-readable document on stdout; the exit code still
+        // carries pass/fail, and failures stay visible on stderr below.
+        println!("{}", report.to_json());
+        if !report.ok() {
+            eprintln!("rased-lint FAILED:");
+            for f in &report.failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if options.verbose {
         for f in &report.findings {

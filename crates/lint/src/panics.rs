@@ -17,12 +17,12 @@ use crate::source::SourceFile;
 use crate::{Category, Finding};
 
 /// Method names whose failure path unwinds.
-fn is_panicking_method(name: &str) -> bool {
+pub(crate) fn is_panicking_method(name: &str) -> bool {
     matches!(name, "unwrap" | "unwrap_err" | "expect" | "expect_err")
 }
 
 /// Macro names that unconditionally unwind.
-fn is_panicking_macro(name: &str) -> bool {
+pub(crate) fn is_panicking_macro(name: &str) -> bool {
     matches!(name, "panic" | "unreachable" | "unimplemented" | "todo")
 }
 

@@ -1,0 +1,172 @@
+//! The panic-reachability pass.
+//!
+//! The per-crate deny list in `[panic] deny_crates` keeps the request
+//! path panic-free, but a `rased-cube` or `rased-temporal` panic that is
+//! *reachable* from a live request was only ratcheted, not denied. This
+//! pass closes that gap: starting from the request-path roots in
+//! `[panic] reach_roots` (event loop, connection handler, ingest
+//! controller), it walks the workspace call graph and re-scans every
+//! reachable function body in non-deny crates for the panicking
+//! method/macro family. Each hit is a `panic_reach` finding that fails
+//! outright, carrying the call chain that makes it reachable.
+//!
+//! Scope notes (also in DESIGN.md §12):
+//!
+//! * Only the `panic` family is propagated, not `slice_index` — indexing
+//!   is idiomatic enough in the math-heavy crates that reach-denying it
+//!   would drown the signal; the per-crate ratchet still covers it.
+//! * Crates already in `deny_crates` are skipped here: every panic in
+//!   them is denied unconditionally by the base pass, reachable or not.
+//! * A finding is suppressed by either a `panic` or a `panic_reach`
+//!   pragma — a site justified for the ratchet is justified for
+//!   reachability too.
+
+use crate::callgraph::Graph;
+use crate::config::Config;
+use crate::{panics, Category, Finding};
+
+/// Run the pass. No-op when `[panic] reach_roots` is empty.
+pub fn scan(config: &Config, graph: &Graph<'_>, out: &mut Vec<Finding>) {
+    if config.panic_reach_roots.is_empty() {
+        return;
+    }
+    let roots: Vec<usize> =
+        config.panic_reach_roots.iter().flat_map(|spec| graph.find_roots(spec)).collect();
+    let reach = graph.reachable(&roots);
+
+    for (&f, _) in &reach {
+        let crate_name = graph.crate_name(f);
+        if config.panic_deny_crates.iter().any(|c| c == crate_name) {
+            continue; // the base pass already denies every panic here
+        }
+        let Some((open, close)) = graph.fns.get(f).and_then(|n| n.item.body) else { continue };
+        let file = graph.file(f);
+        let text = |s: usize| file.stext(s);
+        for s in open + 1..close {
+            if file.skind(s) != Some(crate::lexer::TokenKind::Ident) {
+                continue;
+            }
+            let t = text(s);
+            let method_call = panics::is_panicking_method(&t)
+                && s >= 1
+                && text(s - 1) == "."
+                && s + 1 < close
+                && text(s + 1) == "(";
+            let macro_call =
+                panics::is_panicking_macro(&t) && s + 1 < close && text(s + 1) == "!";
+            if !method_call && !macro_call {
+                continue;
+            }
+            let line = file.sline(s);
+            let what = if method_call { format!(".{t}() call") } else { format!("{t}! macro") };
+            // A site justified for the panic ratchet is justified for
+            // reachability too.
+            let suppressed = file.suppressed(line, Category::PanicReach.name())
+                || file.suppressed(line, Category::Panic.name());
+            out.push(Finding {
+                category: Category::PanicReach,
+                crate_name: crate_name.to_string(),
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "{what} reachable from the request path [{}]",
+                    graph.chain(&reach, f)
+                ),
+                suppressed,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CrateSources, SourceFile};
+    use std::path::PathBuf;
+
+    fn crate_of(name: &str, files: &[(&str, &str)]) -> CrateSources {
+        CrateSources {
+            name: name.to_string(),
+            dir: PathBuf::from(name),
+            files: files
+                .iter()
+                .map(|(p, src)| SourceFile::new(PathBuf::from(p), src.as_bytes().to_vec()))
+                .collect(),
+        }
+    }
+
+    fn config() -> Config {
+        let mut c = Config::default();
+        c.panic_reach_roots = vec!["dashboard:event_loop".to_string()];
+        c.panic_deny_crates = vec!["rased-dashboard".to_string()];
+        c
+    }
+
+    #[test]
+    fn cross_crate_reachable_panic_is_flagged_with_chain() {
+        // The intra-crate deny can't see this: rased-cube is not a deny
+        // crate, but its panic is one call away from the event loop.
+        let crates = vec![
+            crate_of(
+                "rased-dashboard",
+                &[("crates/dashboard/src/evloop.rs", "fn event_loop() { decode(bytes); }")],
+            ),
+            crate_of(
+                "rased-cube",
+                &[("crates/cube/src/cube.rs", "fn decode(b: &[u8]) { b.first().expect(\"nonempty\"); }")],
+            ),
+        ];
+        let g = Graph::build(&crates);
+        let mut out = Vec::new();
+        scan(&config(), &g, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("event_loop → cube:decode"), "{}", out[0].message);
+        assert_eq!(out[0].crate_name, "rased-cube");
+    }
+
+    #[test]
+    fn deny_crate_panics_are_left_to_the_base_pass() {
+        let crates = vec![crate_of(
+            "rased-dashboard",
+            &[("crates/dashboard/src/evloop.rs", "fn event_loop() { x.unwrap(); }")],
+        )];
+        let g = Graph::build(&crates);
+        let mut out = Vec::new();
+        scan(&config(), &g, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unreachable_panics_are_not_flagged() {
+        let crates = vec![
+            crate_of("rased-dashboard", &[("crates/dashboard/src/evloop.rs", "fn event_loop() {}")]),
+            crate_of("rased-cube", &[("crates/cube/src/cube.rs", "fn decode() { panic!(); }")]),
+        ];
+        let g = Graph::build(&crates);
+        let mut out = Vec::new();
+        scan(&config(), &g, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn panic_pragma_suppresses_reach_findings_too() {
+        let crates = vec![
+            crate_of(
+                "rased-dashboard",
+                &[("crates/dashboard/src/evloop.rs", "fn event_loop() { decode(b); }")],
+            ),
+            crate_of(
+                "rased-cube",
+                &[(
+                    "crates/cube/src/cube.rs",
+                    "fn decode(b: B) {\n    // lint: allow(panic, \"len checked above\")\n    b.x.unwrap();\n}",
+                )],
+            ),
+        ];
+        let g = Graph::build(&crates);
+        let mut out = Vec::new();
+        scan(&config(), &g, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].suppressed);
+    }
+}

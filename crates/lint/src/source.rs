@@ -74,6 +74,31 @@ impl SourceFile {
         self.tokens[idx].text(&self.src)
     }
 
+    /// The token behind shipped index `s`, if in range.
+    fn stoken(&self, s: usize) -> Option<&Token> {
+        self.shipped.get(s).and_then(|&i| self.tokens.get(i))
+    }
+
+    /// The text of shipped token `s`; empty past the end. The bounds-safe
+    /// walker the token-stream passes use — a clamped read beats an
+    /// out-of-bounds panic inside the lint itself.
+    pub fn stext(&self, s: usize) -> std::borrow::Cow<'_, str> {
+        match self.stoken(s) {
+            Some(t) => t.text(&self.src),
+            None => std::borrow::Cow::Borrowed(""),
+        }
+    }
+
+    /// The kind of shipped token `s`; `None` past the end.
+    pub fn skind(&self, s: usize) -> Option<TokenKind> {
+        self.stoken(s).map(|t| t.kind)
+    }
+
+    /// 1-based line of shipped token `s`; 0 past the end.
+    pub fn sline(&self, s: usize) -> u32 {
+        self.stoken(s).map_or(0, |t| self.line_of(t.start))
+    }
+
     /// Is a finding of `category` at `line` suppressed by a pragma on the
     /// same line or the line directly above?
     pub fn suppressed(&self, line: u32, category: &str) -> bool {
@@ -133,7 +158,7 @@ impl SourceFile {
 
     /// For `sig[open]` an opening bracket, the index (into `sig`) of its
     /// matching close; saturates at the end of input.
-    fn matching_close(&self, sig: &[usize], open: usize) -> usize {
+    pub(crate) fn matching_close(&self, sig: &[usize], open: usize) -> usize {
         let open_text = self.tokens[sig[open]].text(&self.src).into_owned();
         let close_text = match open_text.as_str() {
             "(" => ")",

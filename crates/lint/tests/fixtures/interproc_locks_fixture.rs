@@ -1,0 +1,33 @@
+//! Interprocedural lock-rank fixture. `outer` holds the high-rank lock
+//! `hi` across a call into `inner`, which acquires the low-rank `lo`:
+//! each function is clean on its own — only rank propagation along the
+//! call edge sees the inversion. `justified`/`pardoned` repeat the shape
+//! with a pragma on the acquisition line.
+//!
+//! The test's lint.toml ranks `app:lo` = 10 and `app:hi` = 20.
+
+pub struct Hub {
+    hi: Mutex<u64>,
+    lo: Mutex<u64>,
+}
+
+impl Hub {
+    pub fn outer(&self) {
+        let _g = self.hi.lock();
+        self.inner();
+    }
+
+    pub fn inner(&self) {
+        let _x = self.lo.lock();
+    }
+
+    pub fn justified(&self) {
+        let _g = self.hi.lock();
+        self.pardoned();
+    }
+
+    pub fn pardoned(&self) {
+        // lint: allow(lock, "fixture: sanctioned downward pair")
+        let _x = self.lo.lock();
+    }
+}

@@ -1,0 +1,8 @@
+//! Request-path root for the panic-reachability fixture: `handle` calls
+//! across the crate boundary into `util` (see `reach_util_fixture.rs`),
+//! which is *not* a `[panic] deny_crates` member — only the reachability
+//! pass can deny its panics.
+
+pub fn handle(input: &str) -> u32 {
+    util::parse(input) + util::guarded(input)
+}

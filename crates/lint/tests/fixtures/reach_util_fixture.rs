@@ -1,0 +1,13 @@
+//! Leaf crate for the panic-reachability fixture: ratchet-only on its
+//! own, but reachable from `app:handle` — `parse`'s unwrap must be
+//! denied, `guarded`'s pragma'd unwrap must stay suppressed (a `panic`
+//! pragma covers `panic_reach` too).
+
+pub fn parse(s: &str) -> u32 {
+    s.len().try_into().unwrap()
+}
+
+pub fn guarded(s: &str) -> u32 {
+    // lint: allow(panic, "fixture: length always fits")
+    s.len().try_into().unwrap()
+}

@@ -201,15 +201,11 @@ impl HeapFile {
         }
         if rid.0 >= self.tail_first_row() {
             let slot = (rid.0 - self.tail_first_row()) as usize;
-            let start = slot * UPDATE_RECORD_BYTES;
-            let chunk: &[u8; UPDATE_RECORD_BYTES] =
-                self.tail[start..start + UPDATE_RECORD_BYTES].try_into().expect("slot bounds");
+            let chunk = record_chunk(&self.tail, slot)?;
             return Ok(UpdateRecord::decode(chunk));
         }
         let page = self.pool.read(rid.page())?;
-        let start = rid.slot() * UPDATE_RECORD_BYTES;
-        let chunk: &[u8; UPDATE_RECORD_BYTES] =
-            page[start..start + UPDATE_RECORD_BYTES].try_into().expect("slot bounds");
+        let chunk = record_chunk(page.as_slice(), rid.slot())?;
         Ok(UpdateRecord::decode(chunk))
     }
 
@@ -226,9 +222,7 @@ impl HeapFile {
                 if rid >= full_rows {
                     break;
                 }
-                let start = slot * UPDATE_RECORD_BYTES;
-                let chunk: &[u8; UPDATE_RECORD_BYTES] =
-                    page[start..start + UPDATE_RECORD_BYTES].try_into().expect("slot bounds");
+                let chunk = record_chunk(page.as_slice(), slot)?;
                 if let Some(rec) = UpdateRecord::decode(chunk) {
                     visit(RowId(rid), &rec);
                 }
@@ -236,9 +230,7 @@ impl HeapFile {
             }
         }
         for slot in 0..self.tail_rows {
-            let start = slot * UPDATE_RECORD_BYTES;
-            let chunk: &[u8; UPDATE_RECORD_BYTES] =
-                self.tail[start..start + UPDATE_RECORD_BYTES].try_into().expect("slot bounds");
+            let chunk = record_chunk(&self.tail, slot)?;
             if let Some(rec) = UpdateRecord::decode(chunk) {
                 visit(RowId(rid), &rec);
             }
@@ -246,6 +238,19 @@ impl HeapFile {
         }
         Ok(())
     }
+}
+
+/// The fixed-size record slice at `slot` in `buf`, bounds-checked: a slot
+/// beyond the buffer means a corrupt page or tail and surfaces as an error
+/// instead of a panic on the request path.
+fn record_chunk(buf: &[u8], slot: usize) -> Result<&[u8; UPDATE_RECORD_BYTES], StorageError> {
+    slot.checked_mul(UPDATE_RECORD_BYTES)
+        .and_then(|start| buf.get(start..start.checked_add(UPDATE_RECORD_BYTES)?))
+        .and_then(|c| <&[u8; UPDATE_RECORD_BYTES]>::try_from(c).ok())
+        .ok_or(StorageError::WrongBufferSize {
+            expected: (slot + 1) * UPDATE_RECORD_BYTES,
+            got: buf.len(),
+        })
 }
 
 #[cfg(test)]

@@ -27,8 +27,10 @@ fn small_workload() -> Workload {
 fn fig8_shape_extra_levels_are_cheap() {
     let w = small_workload();
     let dir = tmpdir("fig8");
-    let flat = build_index(&dir.join("l1"), &w, 1, CacheConfig::disabled(), IoCostModel::free());
-    let full = build_index(&dir.join("l4"), &w, 4, CacheConfig::disabled(), IoCostModel::free());
+    let flat =
+        build_index(&dir.join("l1"), &w, 1, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+    let full =
+        build_index(&dir.join("l4"), &w, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
     let ratio = full.storage_bytes() as f64 / flat.storage_bytes() as f64;
     assert!(
         (1.0..1.30).contains(&ratio),
@@ -40,7 +42,7 @@ fn fig8_shape_extra_levels_are_cheap() {
 fn fig9_shape_each_component_helps() {
     let w = small_workload();
     let dir = tmpdir("fig9");
-    build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::free());
+    build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
     let range = DateRange::new(Date::new(2021, 1, 1).unwrap(), w.range.end());
     let query = one_cell_query(range);
 
@@ -68,8 +70,8 @@ fn fig9_shape_each_component_helps() {
 fn fig10_shape_dbms_cost_is_constant_rased_is_not() {
     let w = small_workload();
     let dir = tmpdir("fig10");
-    build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::free());
-    let heap = build_heap(&dir.join("heap.pg"), &w, IoCostModel::free(), 0);
+    build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
+    let heap = build_heap(&dir.join("heap.pg"), &w, IoCostModel::free(), 0).unwrap();
     let index = TemporalIndex::open(
         &dir.join("index"),
         w.schema,
@@ -104,7 +106,7 @@ fn fig10_shape_dbms_cost_is_constant_rased_is_not() {
 fn fig7_shape_more_cache_never_more_disk() {
     let w = small_workload();
     let dir = tmpdir("fig7");
-    build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::free());
+    build_index(&dir.join("index"), &w, 4, CacheConfig::disabled(), IoCostModel::free()).unwrap();
     let query = one_cell_query(DateRange::new(w.range.end().add_days(-180), w.range.end()));
 
     let mut last_disk = usize::MAX;
