@@ -56,6 +56,18 @@ DETTEST_SEED=20260808 timeout 120 cargo test -q --offline --locked --test respca
 timeout 300 cargo test -q --offline --locked -p rased-bench --test workload_props
 BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig13_slo_load
 
+# Sharded-store gate: the scatter-gather equivalence suite (sharded at
+# every shard count x thread count == single store == record-scan oracle,
+# including under a concurrent publisher), per-shard WAL crash containment
+# (a torn tail in one shard must not cost the others a single unit), and a
+# smoke run of the Fig. 14 shard-scaling harness. The harness exits
+# non-zero if a country-filtered query reads a non-owning shard or the
+# fan-out pool shows no speedup at 4 shards, so it is a routing regression
+# gate, not just a build check.
+timeout 300 cargo test -q --offline --locked -p rased-query --test shard_props
+timeout 300 cargo test -q --offline --locked -p rased-index --test shard_recovery
+BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig14_shard_scaling
+
 # Cross-commit bench trajectory gate: the two most recent committed
 # BENCH_fig13.json points must not show an order-of-magnitude collapse in
 # qps or p99 (loose tolerances absorb hardware noise; see the bin's docs).

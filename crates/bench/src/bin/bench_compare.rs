@@ -173,4 +173,18 @@ mod tests {
         assert_eq!(p.qps, 41377.14);
         assert_eq!(p.p99_micros, 2365);
     }
+
+    #[test]
+    fn appended_report_sections_do_not_move_the_gated_point() {
+        // The report schema grows over time (the open-loop section is one
+        // such addition, and more will follow). New sections append after
+        // the full-run aggregates, so the first-"qps"/first-"p99" scan
+        // must parse a grown document identically to the original shape —
+        // comparing a pre-growth point against a post-growth point stays
+        // apples-to-apples.
+        let body = r#"{"bench":"fig13_slo_load","qps":41377.14,"latency_micros":{"p50":10,"p99":2365,"p999":3347},"epochs":[{"epoch":0,"qps":0,"p99_micros":1906}],"open_loop":{"offered_rps":150,"achieved_rps":149.2,"ok_p99_micros":901,"lag_p99_micros":77},"slo":{"p99_bound_micros":120000}}"#;
+        let p = parse_point("def5678", body).unwrap();
+        assert_eq!(p.qps, 41377.14);
+        assert_eq!(p.p99_micros, 2365);
+    }
 }

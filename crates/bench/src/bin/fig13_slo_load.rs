@@ -29,6 +29,14 @@
 //! render, and the hit-path p99 must sit strictly below the miss-path
 //! p99 — the cache is a memcpy, not a second render.
 //!
+//! Finally an **open-loop** phase offers a *fixed arrival rate* to the
+//! quiet server: dispatcher threads fire requests on an absolute schedule
+//! regardless of completions, recording both response latency and how far
+//! each dispatch slipped past its scheduled instant. Closed-loop users
+//! self-throttle to the service rate and so under-report queueing delay;
+//! the open-loop section of `BENCH_fig13.json` is the complementary
+//! offered-load view.
+//!
 //! The run fails (non-zero exit) if any SLO gate is violated:
 //!
 //! 1. zero non-503 5xx anywhere;
@@ -109,6 +117,12 @@ struct Params {
     burst_requests: usize,
     probe_misses: usize,
     probe_hits: usize,
+    /// Open-loop phase: offered arrival rate (requests/second) …
+    ol_rate: u64,
+    /// … sustained for this long …
+    ol_secs: Duration,
+    /// … spread over this many dispatcher threads.
+    ol_threads: usize,
 }
 
 impl Params {
@@ -128,6 +142,9 @@ impl Params {
                 burst_requests: 6,
                 probe_misses: 6,
                 probe_hits: 40,
+                ol_rate: 60,
+                ol_secs: Duration::from_millis(250),
+                ol_threads: 2,
             }
         } else {
             Params {
@@ -141,6 +158,9 @@ impl Params {
                 burst_requests: 25,
                 probe_misses: 12,
                 probe_hits: 150,
+                ol_rate: 150,
+                ol_secs: Duration::from_secs(3),
+                ol_threads: 4,
             }
         }
     }
@@ -320,6 +340,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map(|resp| (admission_counters(&resp.body), resp_cache_counters(&resp.body)))
         .unwrap_or_default();
 
+    // Open-loop phase: a fixed arrival rate offered to the quiet server.
+    // Unlike the closed-loop users (whose request rate self-throttles to
+    // the server's service rate, hiding queueing delay), the dispatchers
+    // fire on an absolute schedule and record how far behind it they
+    // fall — latency under *offered* load, the complementary view the
+    // open-vs-closed-loop literature insists on.
+    let open_loop = run_open_loop(addr, &vocab, p.ol_rate, p.ol_secs, p.ol_threads);
+
     stop_poll.store(true, Ordering::Relaxed);
     let (snaps, final_counters) = poller.join().map_err(|_| "poller thread panicked")?;
     let ingest_status = ingest.status();
@@ -334,6 +362,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     report.admission = admission;
     report.resp_totals = resp_totals;
     report.probe = probe;
+    report.open_loop = open_loop;
     print_report(&report);
 
     // Persist the trajectory point (full mode: into the working directory,
@@ -492,6 +521,121 @@ fn run_cache_probe(addr: SocketAddr, target: &str, misses: usize, hits: usize) -
     out
 }
 
+/// Open-loop phase result: what a fixed offered rate did to latency, and
+/// how far the dispatchers fell behind their own schedule.
+#[derive(Debug, Default)]
+struct OpenLoopResult {
+    offered_rps: u64,
+    secs: f64,
+    issued: usize,
+    /// Sorted µs per 2xx response.
+    ok_lat: Vec<u64>,
+    shed_503: usize,
+    status_4xx: usize,
+    other_5xx: usize,
+    /// Requests that never got a response (dead connection twice over).
+    failed: usize,
+    /// Sorted µs of schedule lag (actual dispatch − scheduled dispatch).
+    lag: Vec<u64>,
+}
+
+/// Per-dispatcher tally, merged into [`OpenLoopResult`] at join.
+#[derive(Debug, Default)]
+struct OpenLoopShard {
+    issued: usize,
+    ok_lat: Vec<u64>,
+    shed_503: usize,
+    status_4xx: usize,
+    other_5xx: usize,
+    failed: usize,
+    lag: Vec<u64>,
+}
+
+/// Drive the server open-loop: `threads` dispatchers share a target of
+/// `rate` requests/second for `secs`, each firing on an absolute schedule
+/// (`t0 + i·interval`) whether or not the previous request has returned.
+/// This is the bounded-concurrency approximation of a true open loop —
+/// one in-flight request per dispatcher — so when the server can't keep
+/// up the honest signal is schedule *lag*, recorded per request, not a
+/// silently reduced offered rate. Each dispatcher presents its own
+/// identity: admission's per-client cap never structurally sheds it.
+fn run_open_loop(
+    addr: SocketAddr,
+    vocab: &Vocab,
+    rate: u64,
+    secs: Duration,
+    threads: usize,
+) -> OpenLoopResult {
+    let threads = threads.max(1);
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let vocab = vocab.clone();
+        handles.push(std::thread::spawn(move || {
+            // Distinct stream per dispatcher, disjoint from the closed-loop
+            // users' (user ids 0..users) so request sequences don't alias.
+            let mut session = UserSession::new(SEED ^ 0x0F14, 1_000 + t as u64, vocab, DEFAULT_SKEW);
+            let fwd = format!("203.0.113.{}", 210 + t);
+            let headers = [("X-Forwarded-For", fwd.as_str())];
+            let mut client = HttpClient::connect(addr).ok();
+            let interval = Duration::from_secs_f64(threads as f64 / rate.max(1) as f64);
+            let t0 = Instant::now();
+            let mut next = t0;
+            let mut shard = OpenLoopShard::default();
+            while next.duration_since(t0) < secs {
+                let now = Instant::now();
+                if let Some(wait) = next.checked_duration_since(now) {
+                    std::thread::sleep(wait);
+                }
+                shard.lag.push(Instant::now().saturating_duration_since(next).as_micros() as u64);
+                let req = session.next_request();
+                shard.issued += 1;
+                let ts = Instant::now();
+                let status = match client.as_mut().map(|c| c.get(&req.target, &headers)) {
+                    Some(Ok(resp)) => Some(resp.status),
+                    _ => {
+                        client = HttpClient::connect(addr).ok();
+                        match client.as_mut().map(|c| c.get(&req.target, &headers)) {
+                            Some(Ok(resp)) => Some(resp.status),
+                            _ => None,
+                        }
+                    }
+                };
+                match status {
+                    Some(s @ 200..=299) => {
+                        let _ = s;
+                        shard.ok_lat.push(ts.elapsed().as_micros() as u64);
+                    }
+                    Some(503) => shard.shed_503 += 1,
+                    Some(400..=499) => shard.status_4xx += 1,
+                    Some(_) => shard.other_5xx += 1,
+                    None => shard.failed += 1,
+                }
+                next += interval;
+            }
+            shard
+        }));
+    }
+    let mut out = OpenLoopResult {
+        offered_rps: rate,
+        secs: secs.as_secs_f64(),
+        ..OpenLoopResult::default()
+    };
+    for h in handles {
+        if let Ok(shard) = h.join() {
+            out.issued += shard.issued;
+            out.ok_lat.extend(shard.ok_lat);
+            out.shed_503 += shard.shed_503;
+            out.status_4xx += shard.status_4xx;
+            out.other_5xx += shard.other_5xx;
+            out.failed += shard.failed;
+            out.lag.extend(shard.lag);
+        }
+    }
+    out.ok_lat.sort_unstable();
+    out.lag.sort_unstable();
+    out
+}
+
 /// Poll `/api/metrics`, publishing the live epoch and snapshotting the
 /// cumulative cube- and response-cache counters at every epoch
 /// transition. Returns the transition log and the final counters.
@@ -619,6 +763,7 @@ struct Report {
     /// Server-side response-cache totals after the probe.
     resp_totals: CacheCounters,
     probe: ProbeResult,
+    open_loop: OpenLoopResult,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -766,6 +911,7 @@ fn build_report(
         admission: AdmissionCounters::default(),
         resp_totals: CacheCounters::default(),
         probe: ProbeResult::default(),
+        open_loop: OpenLoopResult::default(),
     }
 }
 
@@ -849,6 +995,23 @@ fn print_report(r: &Report) {
             "no keyed requests".into()
         }
     );
+    let ol = &r.open_loop;
+    let achieved = if ol.secs > 0.0 { ol.issued as f64 / ol.secs } else { 0.0 };
+    println!(
+        "# open loop: offered {} rps for {:.2} s → {} issued ({:.0} rps achieved), \
+         ok p50 {} p99 {}, {} shed, {} 4xx, {} other-5xx, {} failed, lag p99 {}",
+        ol.offered_rps,
+        ol.secs,
+        ol.issued,
+        achieved,
+        fmt_us(pctl(&ol.ok_lat, 0.50)),
+        fmt_us(pctl(&ol.ok_lat, 0.99)),
+        ol.shed_503,
+        ol.status_4xx,
+        ol.other_5xx,
+        ol.failed,
+        fmt_us(pctl(&ol.lag, 0.99)),
+    );
 }
 
 fn report_json(r: &Report, p99_bound: Duration, shed_bound: Duration) -> String {
@@ -931,6 +1094,25 @@ fn report_json(r: &Report, p99_bound: Duration, shed_bound: Duration) -> String 
     j.kv_uint("probe_hit_p50_micros", pctl(&r.probe.hit_lat, 0.50));
     j.kv_uint("probe_hit_p99_micros", pctl(&r.probe.hit_lat, 0.99));
     j.end_object();
+    // Appended after every pre-existing section: the perf-gate parser
+    // (`bench_compare`) reads the *first* `qps`/`p99` in the document, so
+    // new trailing sections never perturb the compared point.
+    let ol = &r.open_loop;
+    j.key("open_loop").begin_object();
+    j.kv_uint("offered_rps", ol.offered_rps);
+    j.key("duration_secs").number(ol.secs);
+    j.kv_uint("issued", ol.issued as u64);
+    j.key("achieved_rps").number(if ol.secs > 0.0 { ol.issued as f64 / ol.secs } else { 0.0 });
+    j.kv_uint("ok", ol.ok_lat.len() as u64);
+    j.kv_uint("ok_p50_micros", pctl(&ol.ok_lat, 0.50));
+    j.kv_uint("ok_p99_micros", pctl(&ol.ok_lat, 0.99));
+    j.kv_uint("shed_503", ol.shed_503 as u64);
+    j.kv_uint("status_4xx", ol.status_4xx as u64);
+    j.kv_uint("other_5xx", ol.other_5xx as u64);
+    j.kv_uint("failed", ol.failed as u64);
+    j.kv_uint("lag_p50_micros", pctl(&ol.lag, 0.50));
+    j.kv_uint("lag_p99_micros", pctl(&ol.lag, 0.99));
+    j.end_object();
     j.key("slo").begin_object();
     j.kv_uint("p99_bound_micros", p99_bound.as_micros() as u64);
     j.kv_uint("shed_p99_bound_micros", shed_bound.as_micros() as u64);
@@ -950,11 +1132,16 @@ fn enforce_slos(
     let mut violations: Vec<String> = Vec::new();
     let p99_bound_us = p99_bound.as_micros() as u64;
     let shed_bound_us = shed_bound.as_micros() as u64;
-    if r.other_5xx > 0 || r.burst_other_5xx > 0 {
+    if r.other_5xx > 0 || r.burst_other_5xx > 0 || r.open_loop.other_5xx > 0 {
         violations.push(format!(
-            "non-503 5xx responses: {} main, {} burst (want 0)",
-            r.other_5xx, r.burst_other_5xx
+            "non-503 5xx responses: {} main, {} burst, {} open-loop (want 0)",
+            r.other_5xx, r.burst_other_5xx, r.open_loop.other_5xx
         ));
+    }
+    if r.open_loop.issued == 0 {
+        violations.push("open-loop phase issued no requests".to_string());
+    } else if r.open_loop.ok_lat.is_empty() {
+        violations.push("open-loop phase got no successful responses".to_string());
     }
     if r.status_2xx == 0 {
         violations.push("no successful requests in the main phase".to_string());

@@ -27,6 +27,7 @@ mod exec_config;
 mod ingest;
 mod ingest_controller;
 mod server_config;
+mod shard_config;
 mod system;
 
 pub use exec_config::ExecConfig;
@@ -35,14 +36,15 @@ pub use ingest_controller::{
     IngestController, IngestPhase, IngestStatus, QueueFull, DEFAULT_QUEUE_CAPACITY,
 };
 pub use server_config::ServerConfig;
+pub use shard_config::ShardConfig;
 pub use system::{Rased, RasedConfig, RasedError};
 
 // Re-export the public API surface so downstream users (examples, the
 // dashboard, the root crate) can reach every subsystem through one import.
 pub use rased_cube::{CubeSchema, DataCube, DimSelection};
 pub use rased_index::{
-    CacheConfig, CacheStrategy, CubeCache, LevelPlanner, MaintenanceReport, PlannerKind,
-    TemporalIndex,
+    shard_for, CacheConfig, CacheStrategy, CubeCache, LevelPlanner, MaintenanceReport, PlannerKind,
+    ShardedIndex, TemporalIndex,
 };
 pub use rased_osm_model as model;
 pub use rased_query::{

@@ -1,0 +1,65 @@
+//! [`ShardConfig`] — knobs for the country-sharded cube store.
+//!
+//! Lives in `rased-core` next to [`crate::ExecConfig`] for the same
+//! reason: every front end (CLI `--shards`, dashboard `serve`, tests, the
+//! bench harness) should share one vocabulary for "how many partitions
+//! does this system's cube store have". Unlike `ExecConfig`, the shard
+//! count is *structural*: it shapes the on-disk layout, so
+//! [`crate::RasedConfig::save`] persists it and reopening with a
+//! different count is an error.
+
+use rased_osm_model::CountryId;
+
+/// Configuration for the country-sharded cube store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of independent `TemporalIndex` shards the country space is
+    /// partitioned across. `1` (the default) keeps the classic monolithic
+    /// store — and an on-disk layout bit-compatible with it. `0` is
+    /// normalized to `1`.
+    pub shards: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig { shards: 1 }
+    }
+}
+
+impl ShardConfig {
+    /// The effective shard count (at least 1).
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    /// The shard owning `country`'s cells — the single assignment
+    /// function shared by ingest splitting, query routing, and
+    /// response-cache stamping (delegates to [`rased_index::shard_for`]).
+    pub fn assign(&self, country: CountryId) -> usize {
+        rased_index::shard_for(country, self.effective_shards())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_monolithic() {
+        assert_eq!(ShardConfig::default().effective_shards(), 1);
+    }
+
+    #[test]
+    fn zero_normalizes_to_one() {
+        assert_eq!(ShardConfig { shards: 0 }.effective_shards(), 1);
+    }
+
+    #[test]
+    fn assignment_matches_index_routing() {
+        let c = ShardConfig { shards: 4 };
+        for id in 0..16u16 {
+            assert_eq!(c.assign(CountryId(id)), rased_index::shard_for(CountryId(id), 4));
+            assert!(c.assign(CountryId(id)) < 4);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use rased_cube::CubeSchema;
 use rased_geo::BBox;
-use rased_index::{CacheConfig, IndexError, PlannerKind, TemporalIndex};
+use rased_index::{CacheConfig, IndexError, PlannerKind, ShardedIndex};
 use rased_osm_model::{ChangesetId, CountryTable, RoadTypeTable, UpdateRecord, ZoneMap};
 use rased_query::{AnalysisQuery, NetworkSizes, QueryEngine, QueryError, QueryResult};
 use rased_storage::sync::RwLock;
@@ -96,6 +96,10 @@ pub struct RasedConfig {
     /// Query-executor knobs (per-query worker threads). Per-process tuning,
     /// not persisted by [`RasedConfig::save`].
     pub exec: crate::ExecConfig,
+    /// Cube-store sharding (country-partitioned stores). *Structural*: it
+    /// shapes the on-disk layout, so [`RasedConfig::save`] persists it and
+    /// [`RasedConfig::load`] restores it.
+    pub shard: crate::ShardConfig,
 }
 
 impl RasedConfig {
@@ -115,6 +119,7 @@ impl RasedConfig {
             zones: ZoneMap::none(),
             server: crate::ServerConfig::default(),
             exec: crate::ExecConfig::default(),
+            shard: crate::ShardConfig::default(),
         }
     }
 
@@ -143,11 +148,12 @@ impl RasedConfig {
     /// persisted — they are per-process choices.
     pub fn save(&self) -> std::io::Result<()> {
         let body = format!(
-            "n_countries={}\nn_road_types={}\nlevels={}\nzones={}\n",
+            "n_countries={}\nn_road_types={}\nlevels={}\nzones={}\nshards={}\n",
             self.schema.n_countries(),
             self.schema.n_road_types(),
             self.levels,
             if self.zones.is_empty() { "none" } else { "continents" },
+            self.shard.effective_shards(),
         );
         std::fs::write(self.dir.join("rased.manifest"), body)
     }
@@ -161,6 +167,8 @@ impl RasedConfig {
         let mut n_road_types = 40usize;
         let mut levels = 4u8;
         let mut zones_kind = "none";
+        // Absent in pre-sharding manifests: those stores are monolithic.
+        let mut shards = 1usize;
         for line in body.lines() {
             if let Some((k, v)) = line.split_once('=') {
                 match k {
@@ -168,12 +176,14 @@ impl RasedConfig {
                     "n_road_types" => n_road_types = v.parse().map_err(bad_manifest)?,
                     "levels" => levels = v.parse().map_err(bad_manifest)?,
                     "zones" if v == "continents" => zones_kind = "continents",
+                    "shards" => shards = v.parse().map_err(bad_manifest)?,
                     _ => {}
                 }
             }
         }
         let mut config = RasedConfig::new(dir).with_schema(CubeSchema::new(n_countries, n_road_types));
         config.levels = levels;
+        config.shard = crate::ShardConfig { shards: shards.max(1) };
         if zones_kind == "continents" {
             config.zones = ZoneMap::continents(&CountryTable::with_cardinality(n_countries));
         }
@@ -202,7 +212,7 @@ pub(crate) struct NetworkState {
 /// [`RwLock`] here.
 pub struct Rased {
     pub(crate) config: RasedConfig,
-    pub(crate) index: TemporalIndex,
+    pub(crate) index: ShardedIndex,
     pub(crate) warehouse: Warehouse,
     pub(crate) country_table: CountryTable,
     pub(crate) road_table: RoadTypeTable,
@@ -223,8 +233,9 @@ impl Rased {
     pub fn create(config: RasedConfig) -> Result<Rased, RasedError> {
         std::fs::create_dir_all(&config.dir)?;
         config.save()?;
-        let index = TemporalIndex::create(
+        let index = ShardedIndex::create(
             &config.dir.join("index"),
+            config.shard.effective_shards(),
             config.schema,
             config.levels,
             config.cache,
@@ -238,10 +249,13 @@ impl Rased {
         Ok(Self::assemble(config, index, warehouse))
     }
 
-    /// Reopen an existing system.
+    /// Reopen an existing system. Each shard recovers independently: a
+    /// torn WAL tail in one shard is truncated there without blocking the
+    /// others.
     pub fn open(config: RasedConfig) -> Result<Rased, RasedError> {
-        let index = TemporalIndex::open(
+        let index = ShardedIndex::open(
             &config.dir.join("index"),
+            config.shard.effective_shards(),
             config.schema,
             config.levels,
             config.cache,
@@ -266,7 +280,7 @@ impl Rased {
         Ok(system)
     }
 
-    fn assemble(config: RasedConfig, index: TemporalIndex, warehouse: Warehouse) -> Rased {
+    fn assemble(config: RasedConfig, index: ShardedIndex, warehouse: Warehouse) -> Rased {
         Rased {
             country_table: CountryTable::with_cardinality(config.n_countries),
             road_table: RoadTypeTable::with_cardinality(config.n_road_types),
@@ -288,8 +302,8 @@ impl Rased {
         &self.config
     }
 
-    /// The cube index.
-    pub fn index(&self) -> &TemporalIndex {
+    /// The cube index (a country-sharded store; one shard by default).
+    pub fn index(&self) -> &ShardedIndex {
         &self.index
     }
 
@@ -318,7 +332,7 @@ impl Rased {
     /// network sizes taken now, so a query's percentage denominators cannot
     /// shift mid-execution under concurrent ingest.
     pub fn engine(&self) -> QueryEngine<'_> {
-        QueryEngine::new(&self.index)
+        QueryEngine::over_shards(&self.index)
             .with_planner(self.config.planner)
             .with_network_sizes(self.network_sizes())
             .with_threads(self.config.exec.effective_threads())

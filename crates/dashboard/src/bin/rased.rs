@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! rased generate --out DIR [--seed N] [--countries N] [--start YYYY-MM-DD] [--end YYYY-MM-DD] [--edits N]
-//! rased ingest   --data DIR --system DIR [--verbose]
+//! rased ingest   --data DIR --system DIR [--shards N] [--verbose]
 //! rased query    --system DIR --start YYYY-MM-DD --end YYYY-MM-DD [--group country,element,...]
 //!                [--countries US,DE] [--updates create,update] [--value percentage] [--chart bar|table|series]
 //!                [--threads N]
@@ -61,10 +61,10 @@ fn print_usage() {
         "rased — scalable monitoring of OSM road-network updates (ICDE 2022 reproduction)\n\n\
          commands:\n\
          \x20 generate --out DIR [--seed N] [--countries N] [--start D] [--end D] [--edits N]\n\
-         \x20 ingest   --data DIR --system DIR [--verbose]\n\
+         \x20 ingest   --data DIR --system DIR [--shards N] [--verbose]\n\
          \x20 query    --system DIR --start D --end D [--group country,element,road,update,day,week,month,year]\n\
-         \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv] [--threads N]\n\
-         \x20 serve    --system DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20          [--countries US,DE] [--updates create,update] [--value percentage] [--chart table|bar|series|choropleth|csv] [--threads N] [--shards N]\n\
+         \x20 serve    --system DIR [--addr HOST:PORT] [--workers N] [--queue N] [--shards N]\n\
          \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]\n\
          \x20          [--max-active-per-client N] [--shed-threshold N] [--trust-forwarded-for] [--follow DATA_DIR]\n\
          \x20          [--no-response-cache] [--response-cache-mb N] [--response-cache-entries N]\n\
@@ -134,11 +134,26 @@ fn open_or_create_system(
     // `--threads N` sizes the parallel query executor (0 = all cores);
     // per-process tuning, never persisted in the manifest.
     let threads: Option<usize> = flags.get("threads").map(|s| s.parse()).transpose()?;
+    // `--shards N` partitions the cube store by country. Structural: it
+    // shapes the on-disk layout, so it binds at create time and is
+    // persisted in the manifest; reopening with a different value is an
+    // error rather than a silent re-layout.
+    let shards: Option<usize> = flags.get("shards").map(|s| s.parse()).transpose()?;
     let path = std::path::Path::new(dir);
     if path.join("rased.manifest").exists() {
         let mut config = RasedConfig::load(path)?;
         if let Some(t) = threads {
             config.exec.threads = t;
+        }
+        if let Some(s) = shards {
+            if s.max(1) != config.shard.effective_shards() {
+                return Err(format!(
+                    "--shards {s} conflicts with existing store ({} shards); \
+                     the shard count is fixed at create time",
+                    config.shard.effective_shards()
+                )
+                .into());
+            }
         }
         Ok(Rased::open(config)?)
     } else {
@@ -151,6 +166,9 @@ fn open_or_create_system(
         }
         if let Some(t) = threads {
             config.exec.threads = t;
+        }
+        if let Some(s) = shards {
+            config.shard = rased_core::ShardConfig { shards: s.max(1) };
         }
         Ok(Rased::create(config)?)
     }

@@ -525,12 +525,12 @@ fn dispatch<'a>(
         && !server.stop.load(Ordering::SeqCst);
 
     // The response cache covers the expensive GETs only: their bodies are
-    // pure functions of (path, params, epoch). The cheap endpoints either
+    // pure functions of (path, params, stamp). The cheap endpoints either
     // embed volatile state (`/api/metrics`, `/api/meta`'s live row count)
     // or are too cheap to be worth a cache line.
     let cache_key = match &server.respcache {
         Some(_) if req.method == "GET" && endpoint.is_expensive() => {
-            Some(RespKey::new(path, query, server.system.index().epoch()))
+            Some(RespKey::with_stamp(path, query, cache_stamp(server, query)))
         }
         _ => None,
     };
@@ -572,6 +572,46 @@ fn dispatch<'a>(
     };
     conn.state = ConnState::Executing;
     bridge.submit(Job { conn_id: id, req, keep, endpoint, start, permit, cache_key });
+}
+
+/// The composite stamp for a request: the `(shard, epoch)` pairs its
+/// render will read. Over a sharded store, a query filtered to resolvable
+/// countries stamps only the owning shards — mirroring the scatter-gather
+/// planner's predicate pushdown — so the cached tile survives publishes on
+/// every other shard. Anything else (no filter, unresolvable name, single
+/// shard) stamps the full epoch vector, which on a 1-shard store is
+/// exactly the old scalar `[(0, epoch)]` key.
+fn cache_stamp(server: &DashboardServer, query: &str) -> Vec<(u16, u64)> {
+    let index = server.system.index();
+    let epochs = index.epochs();
+    let n = epochs.len();
+    if n > 1 {
+        if let Some(owned) = routed_shards(server, query, n) {
+            return owned
+                .into_iter()
+                .filter_map(|s| epochs.get(s).map(|&e| (s as u16, e)))
+                .collect();
+        }
+    }
+    epochs.iter().enumerate().map(|(s, &e)| (s as u16, e)).collect()
+}
+
+/// The index shards owned by the request's `countries` filter, sorted and
+/// deduplicated — `None` when the request has no such filter or names a
+/// country the registry can't resolve (the render will fan out or fail;
+/// either way the full stamp is the safe key).
+fn routed_shards(server: &DashboardServer, query: &str, n: usize) -> Option<Vec<usize>> {
+    let params = crate::parse_query_string(query);
+    let list = params.iter().find(|(k, _)| k == "countries").map(|(_, v)| v.as_str())?;
+    let registry = server.system.countries();
+    let mut shards: Vec<usize> = Vec::new();
+    for name in list.split(',') {
+        let id = registry.resolve(name)?;
+        shards.push(rased_core::shard_for(id, n));
+    }
+    shards.sort_unstable();
+    shards.dedup();
+    Some(shards)
 }
 
 fn write_step(conn: &mut Conn) {

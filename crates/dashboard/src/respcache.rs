@@ -12,6 +12,17 @@
 //! become unreachable garbage that [`ResponseCache::invalidate_to`]
 //! sweeps out.
 //!
+//! With the country-sharded store (`rased_index::ShardedIndex`) the
+//! "epoch" in the key generalizes to a *composite stamp*: a sorted list
+//! of `(shard, epoch)` pairs covering exactly the shards the response
+//! read ([`RespKey::with_stamp`]). A publish on shard `S` then calls
+//! [`ResponseCache::invalidate_shard`]`(S, e)` and sweeps only entries
+//! whose stamp includes an older epoch *of that shard* — a
+//! country-filtered tile keyed to shard 2 survives a publish that only
+//! touched shard 0. The scalar [`RespKey::new`] / `invalidate_to` API is
+//! sugar for a single-entry stamp on shard 0, which is exactly the
+//! monolithic (1-shard) store's behavior.
+//!
 //! What is cached is the *wire form*: pre-serialized status line + headers
 //! + body, built by the same [`crate::http::response_head`] the cold path
 //! uses, so a cached response is byte-identical to a fresh render by
@@ -42,20 +53,31 @@ use std::sync::Arc;
 /// 8 event-loop-facing workers from serializing in the worst case.
 const SHARDS: usize = 8;
 
-/// A cache key: request path + canonicalized query + the catalog epoch
-/// the response was rendered under.
+/// A cache key: request path + canonicalized query + the composite
+/// *stamp* — the sorted `(shard, epoch)` pairs the response was rendered
+/// under. A monolithic store stamps every response `[(0, epoch)]`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RespKey {
     path: String,
     params: String,
-    epoch: u64,
+    stamp: Vec<(u16, u64)>,
 }
 
 impl RespKey {
+    /// Build a key stamped with a single epoch on shard 0 — the
+    /// monolithic-store form, and sugar for
+    /// `with_stamp(path, query, vec![(0, epoch)])`.
+    pub fn new(path: &str, query: &str, epoch: u64) -> RespKey {
+        RespKey::with_stamp(path, query, vec![(0, epoch)])
+    }
+
     /// Build a key with the query string *normalized*: parameters are
     /// decoded, sorted by name (then value), and re-encoded, so
     /// `?a=1&b=2` and `?b=2&a=1` — or `%61=1` — land on one cache line.
-    pub fn new(path: &str, query: &str, epoch: u64) -> RespKey {
+    /// The stamp is canonicalized the same way (sorted, deduplicated) so
+    /// equal read sets land on one cache line regardless of the order
+    /// the caller enumerated the shards in.
+    pub fn with_stamp(path: &str, query: &str, mut stamp: Vec<(u16, u64)>) -> RespKey {
         let mut params = crate::parse_query_string(query);
         params.sort();
         let mut canon = String::new();
@@ -67,20 +89,36 @@ impl RespKey {
             canon.push('=');
             canon.push_str(&crate::form_urlencode(v));
         }
-        RespKey { path: path.to_string(), params: canon, epoch }
+        stamp.sort_unstable();
+        stamp.dedup();
+        RespKey { path: path.to_string(), params: canon, stamp }
     }
 
-    /// The epoch this key was rendered under.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
+    /// The `(shard, epoch)` pairs this key was rendered under.
+    pub fn stamp(&self) -> &[(u16, u64)] {
+        &self.stamp
     }
 
-    /// Display form for metrics: `path?params @ epoch`.
+    /// Display form for metrics: `path?params @ epoch` for the scalar
+    /// form, `path?params @ s:e+s:e` for a multi-shard stamp.
     fn display(&self) -> String {
+        let at = match self.stamp.as_slice() {
+            [(0, e)] => format!("{e}"),
+            pairs => {
+                let mut s = String::new();
+                for (shard, e) in pairs {
+                    if !s.is_empty() {
+                        s.push('+');
+                    }
+                    s.push_str(&format!("{shard}:{e}"));
+                }
+                s
+            }
+        };
         if self.params.is_empty() {
-            format!("{} @ {}", self.path, self.epoch)
+            format!("{} @ {at}", self.path)
         } else {
-            format!("{}?{} @ {}", self.path, self.params, self.epoch)
+            format!("{}?{} @ {at}", self.path, self.params)
         }
     }
 }
@@ -173,10 +211,13 @@ pub struct ResponseCache {
     shard_entries: usize,
     /// Logical clock: bumped once per lookup, stamps `last_accessed`.
     tick: AtomicU64,
-    /// Entries below this epoch are dead; `insert` refuses them so a
-    /// render that straddles an invalidation sweep cannot resurrect a
-    /// stale epoch.
-    min_epoch: AtomicU64,
+    /// Per-shard invalidation floors, indexed by index-shard id (grown on
+    /// demand). An entry stamped `(s, e)` with `e < floors[s]` is dead;
+    /// `insert` refuses such keys so a render that straddles an
+    /// invalidation sweep cannot resurrect a stale epoch. A strict leaf
+    /// lock (rank `dashboard:floors`): held for a `Vec` probe only, never
+    /// across a cache-shard lock.
+    floors: Mutex<Vec<u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -200,7 +241,7 @@ impl ResponseCache {
             shard_bytes: (max_bytes / SHARDS).max(1),
             shard_entries: (max_entries / SHARDS).max(1),
             tick: AtomicU64::new(0),
-            min_epoch: AtomicU64::new(0),
+            floors: Mutex::new_named(Vec::new(), "dashboard.respcache_floors"),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -293,12 +334,21 @@ impl ResponseCache {
         guard.lru.peek(key).map(|e| e.resp.clone())
     }
 
+    /// True when any `(shard, epoch)` pair of `stamp` is below that
+    /// shard's invalidation floor.
+    fn is_dead(&self, stamp: &[(u16, u64)]) -> bool {
+        let floors = self.floors.lock();
+        stamp
+            .iter()
+            .any(|&(shard, epoch)| epoch < floors.get(shard as usize).copied().unwrap_or(0))
+    }
+
     /// Insert a rendered response, evicting LRU entries past the shard's
-    /// byte/entry budgets. Refused (a no-op) when the key's epoch is
-    /// already below the invalidation floor or the response alone exceeds
-    /// the shard budget.
+    /// byte/entry budgets. Refused (a no-op) when any epoch in the key's
+    /// stamp is already below its shard's invalidation floor or the
+    /// response alone exceeds the shard budget.
     pub fn insert(&self, key: &RespKey, resp: &CachedResponse) {
-        if key.epoch < self.min_epoch.load(Relaxed) {
+        if self.is_dead(&key.stamp) {
             return;
         }
         let cost = resp.cost();
@@ -335,17 +385,36 @@ impl ResponseCache {
     }
 
     /// Drop every entry rendered under an epoch older than `epoch` and
-    /// raise the insertion floor. Driven by the catalog publish hook; the
-    /// sweep is surgical — entries at the new epoch (already re-rendered
-    /// by a racing miss) survive.
+    /// raise the insertion floor. The monolithic-store form of
+    /// [`ResponseCache::invalidate_shard`]: sweeps index shard 0.
     pub fn invalidate_to(&self, epoch: u64) {
-        self.min_epoch.fetch_max(epoch, Relaxed);
+        self.invalidate_shard(0, epoch);
+    }
+
+    /// Drop every entry whose stamp reads index shard `index_shard` at an
+    /// epoch older than `epoch`, and raise that shard's insertion floor.
+    /// Driven by the catalog publish hook; the sweep is surgical twice
+    /// over — entries already re-rendered at the new epoch survive, and
+    /// so do entries that never read the published shard at all (a
+    /// country tile pinned to another shard stays hot across this
+    /// publish).
+    pub fn invalidate_shard(&self, index_shard: u16, epoch: u64) {
+        {
+            let mut floors = self.floors.lock();
+            let slot = index_shard as usize;
+            if floors.len() <= slot {
+                floors.resize(slot + 1, 0);
+            }
+            if let Some(floor) = floors.get_mut(slot) {
+                *floor = (*floor).max(epoch);
+            }
+        }
         let mut swept = 0u64;
         for shard in &self.shards {
             let mut guard = shard.lock();
             let mut dead: Vec<RespKey> = Vec::new();
             guard.lru.for_each(|k, _| {
-                if k.epoch < epoch {
+                if k.stamp.iter().any(|&(s, e)| s == index_shard && e < epoch) {
                     dead.push(k.clone());
                 }
             });
@@ -395,7 +464,7 @@ impl ResponseCache {
     /// "response_cache": {"enabled":true,"entries":N,"bytes":N,
     ///   "capacity_bytes":N,"capacity_entries":N,
     ///   "hits":N,"misses":N,"insertions":N,"evictions":N,
-    ///   "invalidations":N,"min_epoch":N,
+    ///   "invalidations":N,"min_epoch":N,"floors":[N,…],
     ///   "top":[{"key":"/api/analysis?… @ E","requests":N,
     ///           "last_accessed":N,"bytes":N},…]}
     /// ```
@@ -430,7 +499,13 @@ impl ResponseCache {
         j.kv_uint("insertions", self.insertions.load(Relaxed));
         j.kv_uint("evictions", self.evictions.load(Relaxed));
         j.kv_uint("invalidations", self.invalidations_total());
-        j.kv_uint("min_epoch", self.min_epoch.load(Relaxed));
+        let floors = { self.floors.lock().clone() };
+        j.kv_uint("min_epoch", floors.first().copied().unwrap_or(0));
+        j.key("floors").begin_array();
+        for f in &floors {
+            j.uint(*f);
+        }
+        j.end_array();
         j.key("top").begin_array();
         for t in &top {
             j.begin_object();
@@ -523,6 +598,58 @@ mod tests {
         // straddled the sweep).
         cache.insert(&old, &resp("zombie"));
         assert!(cache.lookup(&old).is_none());
+    }
+
+    #[test]
+    fn scalar_key_is_sugar_for_shard_zero_stamp() {
+        let scalar = RespKey::new("/api/analysis", "a=1", 7);
+        let stamped = RespKey::with_stamp("/api/analysis", "a=1", vec![(0, 7)]);
+        assert_eq!(scalar, stamped);
+        assert_eq!(scalar.stamp(), &[(0, 7)]);
+        // Stamp canonicalization: order and duplicates don't split keys.
+        let a = RespKey::with_stamp("/api/analysis", "a=1", vec![(2, 9), (0, 7)]);
+        let b = RespKey::with_stamp("/api/analysis", "a=1", vec![(0, 7), (2, 9), (2, 9)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalidate_shard_spares_entries_on_other_shards() {
+        let cache = ResponseCache::new(1 << 20, 64);
+        // Three tiles: one pinned to shard 0, one to shard 2, one fanned
+        // out across both.
+        let s0 = RespKey::with_stamp("/api/analysis", "c=de", vec![(0, 5)]);
+        let s2 = RespKey::with_stamp("/api/analysis", "c=fr", vec![(2, 8)]);
+        let fan = RespKey::with_stamp("/api/analysis", "", vec![(0, 5), (2, 8)]);
+        cache.insert(&s0, &resp("de"));
+        cache.insert(&s2, &resp("fr"));
+        cache.insert(&fan, &resp("all"));
+        // A publish on shard 0 (epoch 5 → 6) must kill exactly the keys
+        // that *read* shard 0 below epoch 6.
+        cache.invalidate_shard(0, 6);
+        assert!(cache.lookup(&s0).is_none(), "shard-0 tile must be swept");
+        assert!(cache.lookup(&fan).is_none(), "fan-out tile read shard 0, must be swept");
+        assert!(cache.lookup(&s2).is_some(), "shard-2 tile never read shard 0, must survive");
+        assert_eq!(cache.invalidations_total(), 2);
+        // The per-shard floor blocks late inserts of dead stamps only.
+        cache.insert(&s0, &resp("zombie"));
+        assert!(cache.lookup(&s0).is_none());
+        let s2b = RespKey::with_stamp("/api/analysis", "c=es", vec![(2, 8)]);
+        cache.insert(&s2b, &resp("es"));
+        assert!(cache.lookup(&s2b).is_some(), "shard-2 floor untouched, insert must land");
+    }
+
+    #[test]
+    fn floors_metric_reports_per_shard_state() {
+        let cache = ResponseCache::new(1 << 20, 64);
+        cache.invalidate_shard(2, 9);
+        cache.invalidate_shard(0, 4);
+        let mut j = Json::new();
+        j.begin_object();
+        cache.write_section(&mut j);
+        j.end_object();
+        let json = j.finish();
+        assert!(json.contains("\"min_epoch\":4"), "{json}");
+        assert!(json.contains("\"floors\":[4,0,9]"), "{json}");
     }
 
     #[test]

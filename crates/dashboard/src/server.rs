@@ -130,13 +130,15 @@ impl DashboardServer {
                 config.effective_response_cache_entries(),
             ));
             // Invalidation rides the catalog publish hook: every committed
-            // unit bumps the epoch and (with no index locks held) sweeps
-            // the entries the bump made unreachable. `Weak` so a retired
-            // server's cache is dropped, not pinned by the index.
+            // unit bumps its shard's epoch and (with no index locks held)
+            // sweeps exactly the entries stamped with an older epoch of
+            // that shard — tiles pinned to other shards stay hot. `Weak`
+            // so a retired server's cache is dropped, not pinned by the
+            // index.
             let weak = Arc::downgrade(&cache);
-            system.index().set_publish_hook(Arc::new(move |epoch| {
+            system.index().set_publish_hook(Arc::new(move |shard, epoch| {
                 if let Some(cache) = weak.upgrade() {
-                    cache.invalidate_to(epoch);
+                    cache.invalidate_shard(shard as u16, epoch);
                 }
             }));
             Some(cache)
@@ -520,11 +522,29 @@ impl DashboardServer {
         // cumulative, so per-epoch rates are deltas between polls.
         let index = self.system.index();
         j.key("cache").begin_object();
-        let (hits, misses) = index.cache().counters();
-        j.kv_uint("cube_slots", index.cache().slots() as u64);
+        let (hits, misses) = index.cache_counters();
+        j.kv_uint("cube_slots", index.cache_slots() as u64);
         j.kv_uint("cube_hits", hits);
         j.kv_uint("cube_misses", misses);
         j.end_object();
+        // Per-shard view of the cube store: one row per `TemporalIndex`
+        // partition, so an operator can see skew (hot countries piling
+        // onto one shard) and verify that a publish moved exactly one
+        // shard's epoch.
+        j.key("shards").begin_array();
+        for shard in index.stores() {
+            let (s_hits, s_misses) = shard.cache().counters();
+            j.begin_object();
+            j.kv_uint("cubes", shard.cube_count() as u64);
+            j.kv_uint("epoch", shard.epoch());
+            j.kv_uint("published_units", shard.published_units());
+            j.kv_uint("invalidations", shard.invalidations());
+            j.kv_uint("cache_hits", s_hits);
+            j.kv_uint("cache_misses", s_misses);
+            j.kv_uint("storage_bytes", shard.storage_bytes());
+            j.end_object();
+        }
+        j.end_array();
         j.key("ingest").begin_object();
         j.kv_uint("epoch", index.epoch());
         j.kv_uint("published_units", index.published_units());
@@ -589,7 +609,8 @@ fn meta_json(system: &Rased) -> String {
     j.kv_uint("countries", system.countries().len() as u64);
     j.kv_uint("road_types", system.roads().len() as u64);
     j.kv_uint("index_levels", system.index().levels() as u64);
-    j.kv_uint("cache_slots", system.index().cache().slots() as u64);
+    j.kv_uint("cache_slots", system.index().cache_slots() as u64);
+    j.kv_uint("index_shards", system.index().shard_count() as u64);
     j.end_object();
     j.finish()
 }

@@ -15,14 +15,19 @@
 //! * [`CubeCache`] — the caching strategy (§VII-A): N memory slots split
 //!   across levels by the (α, β, γ, θ) ratios, preloaded with each level's
 //!   most recent cubes. A plain global-LRU mode exists for ablation.
+//! * [`ShardedIndex`] — N independent `TemporalIndex` instances partitioned
+//!   by country ([`shard_for`]), each with its own WAL, caches, and epoch
+//!   stream; the scatter-gather substrate for `rased-query`.
 
 mod cache;
 mod planner;
+mod shard;
 mod store;
 mod wal;
 
 pub use cache::{CacheConfig, CacheStrategy, CubeCache};
 pub use planner::{CubeSource, LevelPlanner, PlannedCube, PlannerKind, QueryPlan};
+pub use shard::{marker_shard, shard_for, ShardedIndex};
 pub use store::{
     with_planner, CatalogVersion, FetchOutcome, IndexError, MaintenanceReport, TemporalIndex,
 };

@@ -1,0 +1,138 @@
+//! Per-shard crash isolation: each shard of a [`ShardedIndex`] owns an
+//! independent WAL, so a torn tail in one shard's log must cost *only*
+//! that shard's uncommitted suffix — every other shard reopens with its
+//! full publish history, and the merged store keeps answering fetches.
+//! (The single-store byte-by-byte recovery oracle lives in
+//! `rased-core/tests/crash_recovery.rs`; this suite covers what sharding
+//! adds: fault containment.)
+
+use dettest::{Rng, TempDir};
+use rased_cube::{CubeSchema, DataCube};
+use rased_index::{CacheConfig, ShardedIndex};
+use rased_osm_model::{ChangesetId, CountryId, ElementType, RoadTypeId, UpdateRecord, UpdateType};
+use rased_storage::IoCostModel;
+use rased_temporal::{Date, Period};
+use std::path::Path;
+
+const SHARDS: usize = 3;
+
+fn day_records(rng: &mut Rng, schema: CubeSchema, date: Date) -> Vec<UpdateRecord> {
+    (0..(2 + rng.below(6)))
+        .map(|_| UpdateRecord {
+            element_type: ElementType::ALL[rng.below(ElementType::ALL.len() as u64) as usize],
+            update_type: UpdateType::ALL[rng.below(UpdateType::ALL.len() as u64) as usize],
+            country: CountryId(rng.below(schema.n_countries() as u64) as u16),
+            road_type: RoadTypeId(rng.below(schema.n_road_types() as u64) as u16),
+            date,
+            lat7: 0,
+            lon7: 0,
+            changeset: ChangesetId(rng.below(1 << 40)),
+        })
+        .collect()
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn open_sharded(dir: &Path, schema: CubeSchema) -> ShardedIndex {
+    ShardedIndex::open(dir, SHARDS, schema, 4, CacheConfig::disabled(), IoCostModel::free())
+        .expect("open sharded index")
+}
+
+#[test]
+fn torn_wal_in_one_shard_does_not_block_the_others() {
+    let schema = CubeSchema::new(6, 3);
+    let mut rng = Rng::new(0x7EA2_0FF5_4A2D);
+    let start = Date::new(2021, 1, 3).expect("date");
+    let days: Vec<(Date, DataCube)> = (0..12)
+        .map(|i| {
+            let date = start.add_days(i);
+            let recs = day_records(&mut rng, schema, date);
+            (date, DataCube::from_records(schema, &recs).expect("cube"))
+        })
+        .collect();
+
+    let full = TempDir::new("shard-crash-full");
+    {
+        let idx = ShardedIndex::create(
+            full.path(),
+            SHARDS,
+            schema,
+            4,
+            CacheConfig::disabled(),
+            IoCostModel::free(),
+        )
+        .expect("create");
+        for (day, cube) in &days {
+            idx.ingest_day(*day, cube).expect("ingest");
+        }
+        // No sync(): every shard's publish history lives only in its WAL.
+    }
+    let baseline = {
+        let idx = open_sharded(full.path(), schema);
+        (idx.epochs(), idx.cube_count())
+    };
+    assert_eq!(baseline.0.len(), SHARDS);
+    assert!(baseline.0.iter().all(|&e| e > 0), "every shard must have published: {:?}", baseline.0);
+
+    for victim in 0..SHARDS {
+        let wal_rel = format!("shard-{victim:03}");
+        let full_wal =
+            std::fs::read(full.path().join(&wal_rel).join("wal.log")).expect("read victim wal");
+        // Tear at a few points: empty, ragged mid-record, one byte short.
+        for cut in [0, full_wal.len() / 3, full_wal.len() / 2, full_wal.len() - 1] {
+            let scratch = TempDir::new(&format!("shard-crash-{victim}-{cut}"));
+            copy_dir(full.path(), scratch.path());
+            let wal_path = scratch.path().join(&wal_rel).join("wal.log");
+            let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+            f.set_len(cut as u64).unwrap();
+            f.sync_all().unwrap();
+            drop(f);
+
+            let idx = open_sharded(scratch.path(), schema);
+            let epochs = idx.epochs();
+            for (i, (&got, &want)) in epochs.iter().zip(&baseline.0).enumerate() {
+                if i == victim {
+                    assert!(
+                        got <= want,
+                        "victim shard {i} cut at {cut}: recovered beyond its own history"
+                    );
+                } else {
+                    assert_eq!(
+                        got, want,
+                        "shard {i} lost units to a tear in shard {victim} (cut {cut})"
+                    );
+                }
+            }
+            // The merged store still serves: every ingested day fetches
+            // without error (possibly missing the victim's cells), and
+            // days whose marker landed on an intact shard with an intact
+            // split are still visible.
+            for (day, _) in &days {
+                let _ = idx.fetch_uncached(Period::Day(*day)).expect("fetch must not error");
+            }
+            // A full-length cut (len-1 at most tears the last record):
+            // at least the days fully committed before the tear survive.
+            assert!(
+                idx.cube_count() > 0,
+                "victim {victim} cut {cut}: containment left no cubes at all"
+            );
+
+            // Recovery is a fixpoint: reopening the repaired store changes
+            // nothing.
+            drop(idx);
+            let again = open_sharded(scratch.path(), schema);
+            assert_eq!(again.epochs(), epochs, "second open must see repaired state");
+        }
+    }
+}

@@ -16,13 +16,15 @@ use crate::model::{
 };
 use rased_cube::DimSelection;
 use rased_index::{
-    CatalogVersion, CubeSource, FetchOutcome, IndexError, LevelPlanner, PlannerKind, QueryPlan,
-    TemporalIndex,
+    shard_for, CatalogVersion, CubeSource, FetchOutcome, IndexError, LevelPlanner, PlannerKind,
+    QueryPlan, ShardedIndex, TemporalIndex,
 };
 use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
 use rased_storage::sync::Mutex;
+use rased_storage::IoSnapshot;
 use rased_temporal::{DateRange, Period};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Query execution error.
@@ -51,8 +53,16 @@ impl From<IndexError> for QueryError {
 }
 
 /// The cube-based query engine.
+///
+/// Over a single [`TemporalIndex`] ([`QueryEngine::new`]) this is the
+/// classic engine. Over a [`ShardedIndex`] ([`QueryEngine::over_shards`])
+/// it becomes a scatter-gather executor: each shard is planned against its
+/// own pinned catalog snapshot, country filters are pushed down so only
+/// the owning shards are routed at all, and per-shard partial aggregates
+/// merge by the same commutative addition the thread pool already uses —
+/// rows stay byte-identical at any shard count × thread count.
 pub struct QueryEngine<'a> {
-    index: &'a TemporalIndex,
+    stores: Vec<&'a TemporalIndex>,
     planner: PlannerKind,
     sizes: Option<NetworkSizes>,
     threads: usize,
@@ -61,7 +71,20 @@ pub struct QueryEngine<'a> {
 impl<'a> QueryEngine<'a> {
     /// An engine over `index` using the exact DP planner, sequential.
     pub fn new(index: &'a TemporalIndex) -> QueryEngine<'a> {
-        QueryEngine { index, planner: PlannerKind::ExactDp, sizes: None, threads: 1 }
+        QueryEngine { stores: vec![index], planner: PlannerKind::ExactDp, sizes: None, threads: 1 }
+    }
+
+    /// A scatter-gather engine over every shard of `index`. Country-
+    /// filtered queries route to the owning shards only (the filter ids
+    /// and the ingest split share [`shard_for`], so the pushdown is
+    /// exact); unfiltered queries fan out across all shards.
+    pub fn over_shards(index: &'a ShardedIndex) -> QueryEngine<'a> {
+        QueryEngine {
+            stores: index.stores().iter().collect(),
+            planner: PlannerKind::ExactDp,
+            sizes: None,
+            threads: 1,
+        }
     }
 
     /// Switch planning algorithm (the greedy variant exists for ablation).
@@ -86,18 +109,45 @@ impl<'a> QueryEngine<'a> {
         self
     }
 
+    /// The stores a query must visit: country filters route to owning
+    /// shards only (predicate pushdown), everything else fans out. With a
+    /// single store this is always just that store.
+    fn route(&self, q: &AnalysisQuery) -> Vec<&'a TemporalIndex> {
+        let n = self.stores.len();
+        if n <= 1 {
+            return self.stores.clone();
+        }
+        let Some(countries) = &q.countries else { return self.stores.clone() };
+        let mut wanted = vec![false; n];
+        for c in countries {
+            if let Some(w) = wanted.get_mut(shard_for(*c, n)) {
+                *w = true;
+            }
+        }
+        self.stores.iter().zip(wanted).filter_map(|(s, hit)| hit.then_some(*s)).collect()
+    }
+
     /// Execute an analysis query.
     pub fn execute(&self, q: &AnalysisQuery) -> Result<QueryResult, QueryError> {
         let start = Instant::now();
-        let io_before = self.index.file().stats().snapshot();
 
-        // Pin the catalog epoch for the whole plan + execute: concurrent
-        // publishes swap in new versions but never mutate this one, so the
-        // query sees one consistent state — never a half-published day or
-        // a blend of two epochs.
-        let snap = self.index.snapshot();
+        // Scatter: route to the stores this query can touch at all, then
+        // pin one catalog snapshot per routed store for the whole plan +
+        // execute. Concurrent publishes swap in new versions but never
+        // mutate a pinned one, so each store contributes one consistent
+        // state — never a half-published unit or a blend of two epochs.
+        let routed: Vec<(&'a TemporalIndex, Arc<CatalogVersion>)> =
+            self.route(q).into_iter().map(|s| (s, s.snapshot())).collect();
+        let io_before: Vec<IoSnapshot> =
+            routed.iter().map(|(s, _)| s.file().stats().snapshot()).collect();
         let selection = self.selection(q);
-        let mut stats = QueryStats { epoch: snap.epoch(), ..QueryStats::default() };
+        let mut stats = QueryStats {
+            // The composite epoch of everything pinned: with one store
+            // this is exactly its snapshot epoch; sharded, it is the sum
+            // over routed shards (each term individually monotonic).
+            epoch: routed.iter().map(|(_, snap)| snap.epoch()).sum(),
+            ..QueryStats::default()
+        };
 
         // A filter that selects no cell (e.g. only out-of-schema ids) can
         // never match; skip planning and cube fetches entirely.
@@ -107,35 +157,41 @@ impl<'a> QueryEngine<'a> {
         }
 
         // Phase 1 (planning, pure metadata): collect every cube to fetch,
-        // tagged with the date group it lands in. Empty days are settled
-        // here so the worker phase only sees real fetches.
-        let mut items: Vec<(Option<Period>, Period)> = Vec::new();
-        match q.date_granularity() {
-            None => {
-                self.collect_plan(&snap, q.range, None, &mut items, &mut stats);
-            }
-            Some(g) => {
-                // Date grouping: evaluate each period of granularity `g`
-                // that intersects the range on its clipped sub-range, so
-                // partial periods at the edges only count in-range days.
-                let mut p = Period::containing(g, q.range.start());
-                while p.start() <= q.range.end() {
-                    // The loop condition keeps p overlapping q.range, but a
-                    // typed break beats a panic if Period arithmetic drifts.
-                    let Some(sub) = p.range().intersect(q.range) else { break };
-                    self.collect_plan(&snap, sub, Some(p), &mut items, &mut stats);
-                    p = p.succ();
+        // tagged with its store slot and the date group it lands in. Each
+        // store plans against its own catalog + cache state. Empty days
+        // are settled here so the worker phase only sees real fetches.
+        let mut items: Vec<(usize, Option<Period>, Period)> = Vec::new();
+        for (slot, (store, snap)) in routed.iter().enumerate() {
+            match q.date_granularity() {
+                None => {
+                    self.collect_plan(store, snap, q.range, None, slot, &mut items, &mut stats);
+                }
+                Some(g) => {
+                    // Date grouping: evaluate each period of granularity
+                    // `g` that intersects the range on its clipped
+                    // sub-range, so partial periods at the edges only
+                    // count in-range days.
+                    let mut p = Period::containing(g, q.range.start());
+                    while p.start() <= q.range.end() {
+                        // The loop condition keeps p overlapping q.range,
+                        // but a typed break beats a panic if Period
+                        // arithmetic drifts.
+                        let Some(sub) = p.range().intersect(q.range) else { break };
+                        self.collect_plan(store, snap, sub, Some(p), slot, &mut items, &mut stats);
+                        p = p.succ();
+                    }
                 }
             }
         }
 
-        // Phase 2 (fetch + aggregate): sequential inline, or strided over
-        // the worker pool. Merging is commutative addition, so the final
-        // map is identical either way.
+        // Phase 2 (gather: fetch + aggregate): sequential inline, or
+        // strided over the worker pool — cross-shard fan-out and
+        // intra-shard parallelism share the same pool. Merging is
+        // commutative addition, so the final map is identical either way.
         let groups = if self.threads <= 1 || items.len() <= 1 {
-            self.run_sequential(&snap, &items, &selection, q, &mut stats)?
+            self.run_sequential(&routed, &items, &selection, q, &mut stats)?
         } else {
-            self.run_parallel(&snap, &items, &selection, q, &mut stats)?
+            self.run_parallel(&routed, &items, &selection, q, &mut stats)?
         };
 
         let grand_total: u64 = groups.values().sum();
@@ -154,20 +210,30 @@ impl<'a> QueryEngine<'a> {
             .collect();
         rows.sort_by_key(|r| r.key);
 
-        stats.io = self.index.file().stats().snapshot().since(&io_before);
+        for ((store, _), before) in routed.iter().zip(io_before.iter()) {
+            let delta = store.file().stats().snapshot().since(before);
+            stats.io.reads += delta.reads;
+            stats.io.writes += delta.writes;
+            stats.io.bytes_read += delta.bytes_read;
+            stats.io.bytes_written += delta.bytes_written;
+            stats.io.modeled = stats.io.modeled.saturating_add(delta.modeled);
+        }
         stats.wall = start.elapsed();
         Ok(QueryResult { rows, stats })
     }
 
-    fn plan(&self, snap: &CatalogVersion, range: DateRange) -> QueryPlan {
+    fn plan(&self, store: &TemporalIndex, snap: &CatalogVersion, range: DateRange) -> QueryPlan {
         let exists = |p: Period| snap.contains(p);
-        let cached = |p: Period| self.index.cache().contains(p);
-        let planner = LevelPlanner::new(self.index.levels(), &exists, &cached);
+        let cached = |p: Period| store.cache().contains(p);
+        let planner = LevelPlanner::new(store.levels(), &exists, &cached);
         planner.plan(range, self.planner)
     }
 
     fn selection(&self, q: &AnalysisQuery) -> DimSelection {
-        let mut sel = DimSelection::all(self.index.schema());
+        let Some(first) = self.stores.first() else {
+            return DimSelection::all(rased_cube::CubeSchema::tiny()).with_countries(&[]);
+        };
+        let mut sel = DimSelection::all(first.schema());
         if let Some(f) = &q.element_types {
             sel = sel.with_element_types(f);
         }
@@ -183,38 +249,49 @@ impl<'a> QueryEngine<'a> {
         sel
     }
 
-    /// Plan `range` and append its fetchable cubes to `items`; days the
-    /// planner proves empty are settled into `stats` immediately.
+    /// Plan `range` on one store and append its fetchable cubes to
+    /// `items`; days the planner proves empty are settled into `stats`
+    /// immediately. (Sharded, a day empty on k routed shards counts k
+    /// times — `empty_days` is a per-store planning statistic.)
+    #[allow(clippy::too_many_arguments)]
     fn collect_plan(
         &self,
+        store: &TemporalIndex,
         snap: &CatalogVersion,
         range: DateRange,
         date_key: Option<Period>,
-        items: &mut Vec<(Option<Period>, Period)>,
+        slot: usize,
+        items: &mut Vec<(usize, Option<Period>, Period)>,
         stats: &mut QueryStats,
     ) {
-        let plan = self.plan(snap, range);
+        let plan = self.plan(store, snap, range);
         for planned in &plan.cubes {
             if planned.source == CubeSource::Empty {
                 stats.empty_days += 1;
             } else {
-                items.push((date_key, planned.period));
+                items.push((slot, date_key, planned.period));
             }
         }
     }
 
-    /// Fetch one planned cube and fold its selected cells into `groups`.
+    /// Fetch one planned cube from its store and fold its selected cells
+    /// into `groups`.
+    #[allow(clippy::too_many_arguments)]
     fn fetch_and_aggregate(
         &self,
-        snap: &CatalogVersion,
+        routed: &[(&'a TemporalIndex, Arc<CatalogVersion>)],
+        slot: usize,
         period: Period,
         selection: &DimSelection,
         q: &AnalysisQuery,
         date_key: Option<Period>,
         groups: &mut HashMap<GroupKey, u64>,
     ) -> Result<FetchOutcome, QueryError> {
+        // `slot` indexes `routed` by construction; a typed error beats a
+        // panic if that invariant ever drifts.
+        let (store, snap) = routed.get(slot).ok_or(QueryError::PlanRace(period))?;
         let (cube, outcome) =
-            self.index.fetch_at(snap, period)?.ok_or(QueryError::PlanRace(period))?;
+            store.fetch_at(snap, period)?.ok_or(QueryError::PlanRace(period))?;
         cube.for_each_selected(selection, |et, c, r, u, v| {
             let mut key = GroupKey { date: date_key, ..GroupKey::default() };
             for dim in &q.group_by {
@@ -238,15 +315,17 @@ impl<'a> QueryEngine<'a> {
     /// Sequential phase 2: one pass over the items on the calling thread.
     fn run_sequential(
         &self,
-        snap: &CatalogVersion,
-        items: &[(Option<Period>, Period)],
+        routed: &[(&'a TemporalIndex, Arc<CatalogVersion>)],
+        items: &[(usize, Option<Period>, Period)],
         selection: &DimSelection,
         q: &AnalysisQuery,
         stats: &mut QueryStats,
     ) -> Result<HashMap<GroupKey, u64>, QueryError> {
         let mut groups = HashMap::new();
-        for (date_key, period) in items {
-            match self.fetch_and_aggregate(snap, *period, selection, q, *date_key, &mut groups)? {
+        for (slot, date_key, period) in items {
+            match self
+                .fetch_and_aggregate(routed, *slot, *period, selection, q, *date_key, &mut groups)?
+            {
                 FetchOutcome::Cache => stats.cubes_from_cache += 1,
                 FetchOutcome::Disk => stats.cubes_from_disk += 1,
             }
@@ -261,8 +340,8 @@ impl<'a> QueryEngine<'a> {
     /// the sequential map regardless of scheduling.
     fn run_parallel(
         &self,
-        snap: &CatalogVersion,
-        items: &[(Option<Period>, Period)],
+        routed: &[(&'a TemporalIndex, Arc<CatalogVersion>)],
+        items: &[(usize, Option<Period>, Period)],
         selection: &DimSelection,
         q: &AnalysisQuery,
         stats: &mut QueryStats,
@@ -278,10 +357,10 @@ impl<'a> QueryEngine<'a> {
                     let mut groups: HashMap<GroupKey, u64> = HashMap::new();
                     let (mut from_cache, mut from_disk) = (0usize, 0usize);
                     let mut verdict: Result<(), QueryError> = Ok(());
-                    for (date_key, period) in items.iter().skip(w).step_by(workers) {
-                        match self
-                            .fetch_and_aggregate(snap, *period, selection, q, *date_key, &mut groups)
-                        {
+                    for (slot, date_key, period) in items.iter().skip(w).step_by(workers) {
+                        match self.fetch_and_aggregate(
+                            routed, *slot, *period, selection, q, *date_key, &mut groups,
+                        ) {
                             Ok(FetchOutcome::Cache) => from_cache += 1,
                             Ok(FetchOutcome::Disk) => from_disk += 1,
                             Err(e) => {
@@ -313,10 +392,16 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// The modeled cost of one cube-page read — the unit `io_critical` is
-    /// denominated in.
+    /// denominated in. Shards share one cost model + page size, so the
+    /// first store's is representative.
     fn unit_io_cost(&self) -> std::time::Duration {
-        let file = self.index.file();
-        file.cost_model().cost(file.page_size() as u64)
+        match self.stores.first() {
+            Some(store) => {
+                let file = store.file();
+                file.cost_model().cost(file.page_size() as u64)
+            }
+            None => std::time::Duration::ZERO,
+        }
     }
 }
 
@@ -549,6 +634,87 @@ mod tests {
         assert_eq!(got.stats.io.reads, 0);
         // Same answer as the oracle.
         assert_eq!(naive_execute(&records, &q, None).rows, got.rows);
+    }
+
+    /// Ingest `records` into a fresh `n`-way sharded index, one full daily
+    /// cube per day (the facade splits internally).
+    fn build_sharded(tag: &str, records: &[UpdateRecord], n: usize) -> (TempDir, ShardedIndex) {
+        let dir = TempDir::new(&format!("query-{tag}-{n}"));
+        let schema = CubeSchema::tiny();
+        let idx = ShardedIndex::create(
+            dir.path(),
+            n,
+            schema,
+            4,
+            CacheConfig::disabled(),
+            IoCostModel::free(),
+        )
+        .unwrap();
+        let mut by_day: HashMap<Date, Vec<&UpdateRecord>> = HashMap::new();
+        for r in records {
+            by_day.entry(r.date).or_default().push(r);
+        }
+        let mut days: Vec<_> = by_day.keys().copied().collect();
+        days.sort();
+        for day in days {
+            let cube = DataCube::from_records(schema, by_day[&day].iter().copied()).unwrap();
+            idx.ingest_day(day, &cube).unwrap();
+        }
+        (dir, idx)
+    }
+
+    #[test]
+    fn scatter_gather_matches_single_store_at_every_count() {
+        let records = dataset();
+        let (_dir, single) = build_index("sg-base", &records);
+        let queries = [
+            AnalysisQuery::over(DateRange::new(d("2021-01-05"), d("2021-03-20")))
+                .group(GroupDim::Country)
+                .group(GroupDim::UpdateType),
+            AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+                .countries(vec![CountryId(1), CountryId(2)])
+                .group(GroupDim::Date(Granularity::Week)),
+        ];
+        for q in &queries {
+            let want = QueryEngine::new(&single).execute(q).unwrap().rows;
+            for n in [1usize, 2, 4, 7] {
+                let (_sdir, sharded) = build_sharded("sg", &records, n);
+                for threads in [1usize, 3] {
+                    let got = QueryEngine::over_shards(&sharded)
+                        .with_threads(threads)
+                        .execute(q)
+                        .unwrap();
+                    assert_eq!(
+                        got.rows, want,
+                        "rows diverge at shards={n} threads={threads} for {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn country_filter_touches_only_owning_shards() {
+        let records = dataset();
+        let n = 4;
+        let (_dir, sharded) = build_sharded("route", &records, n);
+        let target = CountryId(1);
+        let owner = rased_index::shard_for(target, n);
+        let before: Vec<u64> =
+            (0..n).map(|i| sharded.shard(i).unwrap().file().stats().snapshot().reads).collect();
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .countries(vec![target]);
+        let res = QueryEngine::over_shards(&sharded).execute(&q).unwrap();
+        assert!(!res.rows.is_empty());
+        for i in 0..n {
+            let delta =
+                sharded.shard(i).unwrap().file().stats().snapshot().reads - before[i];
+            if i == owner {
+                assert!(delta > 0, "owning shard must be read");
+            } else {
+                assert_eq!(delta, 0, "shard {i} must not be touched by a pushed-down filter");
+            }
+        }
     }
 
     #[test]
