@@ -68,6 +68,20 @@ timeout 300 cargo test -q --offline --locked -p rased-query --test shard_props
 timeout 300 cargo test -q --offline --locked -p rased-index --test shard_recovery
 BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig14_shard_scaling
 
+# Spatial-lattice gate: the geo primitive property suite (grid cover
+# exactness, bbox algebra), the lattice equivalence suite (banked viewport
+# == grid scan == record-scan oracle, under publishes and ragged covers),
+# and a smoke run of the Fig. 15 viewport harness. The harness exits
+# non-zero if banked and scanned rows diverge, a single-band viewport
+# reads a foreign band, a marked day falls back to a scan, the month
+# roll-up never engages, or the warm block cache fails to beat the
+# grid-scan baseline's modeled I/O — so this line is the spatial routing
+# and planner regression gate. It appends BENCH_fig15.json to its scratch
+# dir in smoke mode (full runs refresh the committed copy).
+timeout 300 cargo test -q --offline --locked -p rased-geo --test geo_props
+timeout 300 cargo test -q --offline --locked -p rased-query --test lattice_props
+BENCH_MEASURE_MS=20 timeout 120 ./target/release/fig15_viewport
+
 # Cross-commit bench trajectory gate: the two most recent committed
 # BENCH_fig13.json points must not show an order-of-magnitude collapse in
 # qps or p99 (loose tolerances absorb hardware noise; see the bin's docs).

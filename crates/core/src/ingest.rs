@@ -164,6 +164,14 @@ impl Rased {
             });
         match published {
             Ok(maint) => {
+                // Bank blocks publish strictly last: a crash here leaves the
+                // day on the warehouse-scan fallback path, never a block for
+                // a day the index lacks. Blocks are built from the
+                // *original* records — geography is explicit in the cell
+                // key, so no zone expansion (viewport counts attribute to
+                // the actual country, matching the warehouse rows the scan
+                // fallback would return).
+                self.bank.publish_day(day, records)?;
                 self.track_network(&expanded);
                 Ok(maint.total_ops())
             }
@@ -195,6 +203,17 @@ impl Rased {
             );
         }
         let maint = self.index.rebuild_month(y, m, &cubes)?;
+        // The warehouse rows keep the refined types too — otherwise a
+        // viewport query's scan fallback (and §IV-B sample drill-downs)
+        // would disagree with the rebuilt cubes and blocks.
+        let flat: Vec<rased_osm_model::UpdateRecord> =
+            by_day.values().flat_map(|rs| rs.iter().copied()).collect();
+        self.warehouse.refine_types(&flat)?;
+        // Refine the bank's blocks last (original records, same as
+        // `apply_day`); only bands with a stake in the month republish.
+        let refined: std::collections::BTreeMap<Date, Vec<rased_osm_model::UpdateRecord>> =
+            by_day.iter().map(|(d, rs)| (*d, rs.clone())).collect();
+        self.bank.rebuild_month(y, m, &refined)?;
         Ok(maint.total_ops())
     }
 }
@@ -269,6 +288,27 @@ mod tests {
             .rows
             .iter()
             .all(|r| r.key.update_type != Some(UpdateType::Unclassified)));
+    }
+
+    #[test]
+    fn viewport_query_matches_ground_truth() {
+        let dataset = small_dataset("vp");
+        let rased = system_for("vp", &dataset);
+        rased.ingest_dataset(&dataset).unwrap();
+        let atlas = dataset.atlas();
+        // One country's box (boundary-heavy cover) and a wide box spanning
+        // several countries (interior cells served from bank blocks).
+        let one = atlas.countries()[0].polygon.bbox();
+        let all = atlas.countries().iter().fold(one, |b, z| b.union(&z.polygon.bbox()));
+        for bbox in [one, all] {
+            let q = AnalysisQuery::over(dataset.config.range)
+                .within(bbox)
+                .group(GroupDim::UpdateType)
+                .group(GroupDim::Country);
+            let got = rased.query(&q).unwrap();
+            let want = naive_execute(&dataset.truth, &q, None);
+            assert_eq!(got.rows, want.rows, "viewport {bbox:?} diverged from ground truth");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod ingest;
 mod ingest_controller;
 mod server_config;
 mod shard_config;
+mod spatial_config;
 mod system;
 
 pub use exec_config::ExecConfig;
@@ -37,14 +38,15 @@ pub use ingest_controller::{
 };
 pub use server_config::ServerConfig;
 pub use shard_config::ShardConfig;
+pub use spatial_config::SpatialConfig;
 pub use system::{Rased, RasedConfig, RasedError};
 
 // Re-export the public API surface so downstream users (examples, the
 // dashboard, the root crate) can reach every subsystem through one import.
 pub use rased_cube::{CubeSchema, DataCube, DimSelection};
 pub use rased_index::{
-    shard_for, CacheConfig, CacheStrategy, CubeCache, LevelPlanner, MaintenanceReport, PlannerKind,
-    ShardedIndex, TemporalIndex,
+    marker_shard, shard_for, spatial_shard_for, CacheConfig, CacheStrategy, CubeCache,
+    LevelPlanner, MaintenanceReport, PlannerKind, ShardedIndex, SpatialBank, TemporalIndex,
 };
 pub use rased_osm_model as model;
 pub use rased_query::{

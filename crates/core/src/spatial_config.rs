@@ -1,0 +1,84 @@
+//! [`SpatialConfig`] — knobs for the spatial block bank.
+//!
+//! Like [`crate::ShardConfig`], the grid geometry and band count are
+//! *structural*: they key the blocks on disk (a cell's region code is a
+//! function of the grid dimensions) and shape the band layout, so
+//! [`crate::RasedConfig::save`] persists them and reopening with different
+//! values is an error. The block-cache size is per-process tuning and is
+//! not persisted.
+
+use rased_geo::{BBox, CellId, GridSpec};
+
+/// Configuration for the spatial block bank (viewport drill-down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialConfig {
+    /// Grid rows over the world extent. Structural.
+    pub grid_rows: u32,
+    /// Grid columns over the world extent. Structural.
+    pub grid_cols: u32,
+    /// Longitude-band shards the cell space is partitioned across.
+    /// Structural. `0` is normalized to `1`.
+    pub shards: usize,
+    /// Decoded-block cache capacity (entries). Per-process tuning.
+    pub cache_blocks: usize,
+}
+
+impl Default for SpatialConfig {
+    fn default() -> SpatialConfig {
+        // 32×64 world cells ≈ 5.6°×5.6° at the equator: coarse enough that
+        // a country is a handful of cells, fine enough that a city viewport
+        // covers one.
+        SpatialConfig { grid_rows: 32, grid_cols: 64, shards: 4, cache_blocks: 256 }
+    }
+}
+
+impl SpatialConfig {
+    /// The effective band count (at least 1).
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    /// The warehouse grid over the full world extent.
+    pub fn grid(&self) -> GridSpec {
+        GridSpec::new(BBox::world(), self.grid_rows.max(1), self.grid_cols.max(1))
+    }
+
+    /// The band owning `cell` — the single assignment function shared by
+    /// bank publishing, viewport routing, and response-cache stamping
+    /// (delegates to [`rased_index::spatial_shard_for`]).
+    pub fn assign(&self, cell: CellId) -> usize {
+        rased_index::spatial_shard_for(cell, self.grid_cols.max(1), self.effective_shards())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rased_geo::Point;
+
+    #[test]
+    fn default_grid_covers_the_world() {
+        let c = SpatialConfig::default();
+        let grid = c.grid();
+        for p in [Point::new(0, 0), Point::new(899_999_999, -1_799_999_999)] {
+            assert!(grid.cell_of(p).is_some());
+        }
+    }
+
+    #[test]
+    fn assignment_matches_index_routing() {
+        let c = SpatialConfig { grid_rows: 4, grid_cols: 8, shards: 3, cache_blocks: 16 };
+        for col in 0..8u16 {
+            let cell = CellId { row: 1, col };
+            assert_eq!(c.assign(cell), rased_index::spatial_shard_for(cell, 8, 3));
+            assert!(c.assign(cell) < 3);
+        }
+    }
+
+    #[test]
+    fn zero_shards_normalizes_to_one() {
+        let c = SpatialConfig { shards: 0, ..SpatialConfig::default() };
+        assert_eq!(c.effective_shards(), 1);
+        assert_eq!(c.assign(CellId { row: 0, col: 63 }), 0);
+    }
+}

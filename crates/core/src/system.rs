@@ -2,9 +2,9 @@
 
 use rased_cube::CubeSchema;
 use rased_geo::BBox;
-use rased_index::{CacheConfig, IndexError, PlannerKind, ShardedIndex};
+use rased_index::{CacheConfig, IndexError, PlannerKind, ShardedIndex, SpatialBank};
 use rased_osm_model::{ChangesetId, CountryTable, RoadTypeTable, UpdateRecord, ZoneMap};
-use rased_query::{AnalysisQuery, NetworkSizes, QueryEngine, QueryError, QueryResult};
+use rased_query::{AnalysisQuery, NetworkSizes, QueryEngine, QueryError, QueryResult, SpatialExec};
 use rased_storage::sync::RwLock;
 use rased_storage::IoCostModel;
 use rased_warehouse::{Warehouse, WarehouseError};
@@ -100,6 +100,10 @@ pub struct RasedConfig {
     /// shapes the on-disk layout, so [`RasedConfig::save`] persists it and
     /// [`RasedConfig::load`] restores it.
     pub shard: crate::ShardConfig,
+    /// Spatial block bank (viewport drill-down): warehouse-grid geometry
+    /// and longitude-band count are structural (persisted); the block
+    /// cache size is per-process tuning.
+    pub spatial: crate::SpatialConfig,
 }
 
 impl RasedConfig {
@@ -120,6 +124,7 @@ impl RasedConfig {
             server: crate::ServerConfig::default(),
             exec: crate::ExecConfig::default(),
             shard: crate::ShardConfig::default(),
+            spatial: crate::SpatialConfig::default(),
         }
     }
 
@@ -148,12 +153,15 @@ impl RasedConfig {
     /// persisted — they are per-process choices.
     pub fn save(&self) -> std::io::Result<()> {
         let body = format!(
-            "n_countries={}\nn_road_types={}\nlevels={}\nzones={}\nshards={}\n",
+            "n_countries={}\nn_road_types={}\nlevels={}\nzones={}\nshards={}\nspatial_rows={}\nspatial_cols={}\nspatial_shards={}\n",
             self.schema.n_countries(),
             self.schema.n_road_types(),
             self.levels,
             if self.zones.is_empty() { "none" } else { "continents" },
             self.shard.effective_shards(),
+            self.spatial.grid_rows,
+            self.spatial.grid_cols,
+            self.spatial.effective_shards(),
         );
         std::fs::write(self.dir.join("rased.manifest"), body)
     }
@@ -169,6 +177,7 @@ impl RasedConfig {
         let mut zones_kind = "none";
         // Absent in pre-sharding manifests: those stores are monolithic.
         let mut shards = 1usize;
+        let mut spatial = crate::SpatialConfig::default();
         for line in body.lines() {
             if let Some((k, v)) = line.split_once('=') {
                 match k {
@@ -177,6 +186,9 @@ impl RasedConfig {
                     "levels" => levels = v.parse().map_err(bad_manifest)?,
                     "zones" if v == "continents" => zones_kind = "continents",
                     "shards" => shards = v.parse().map_err(bad_manifest)?,
+                    "spatial_rows" => spatial.grid_rows = v.parse().map_err(bad_manifest)?,
+                    "spatial_cols" => spatial.grid_cols = v.parse().map_err(bad_manifest)?,
+                    "spatial_shards" => spatial.shards = v.parse().map_err(bad_manifest)?,
                     _ => {}
                 }
             }
@@ -184,6 +196,7 @@ impl RasedConfig {
         let mut config = RasedConfig::new(dir).with_schema(CubeSchema::new(n_countries, n_road_types));
         config.levels = levels;
         config.shard = crate::ShardConfig { shards: shards.max(1) };
+        config.spatial = spatial;
         if zones_kind == "continents" {
             config.zones = ZoneMap::continents(&CountryTable::with_cardinality(n_countries));
         }
@@ -214,6 +227,7 @@ pub struct Rased {
     pub(crate) config: RasedConfig,
     pub(crate) index: ShardedIndex,
     pub(crate) warehouse: Warehouse,
+    pub(crate) bank: SpatialBank,
     pub(crate) country_table: CountryTable,
     pub(crate) road_table: RoadTypeTable,
     pub(crate) network: RwLock<NetworkState>,
@@ -246,7 +260,15 @@ impl Rased {
             config.io_model,
             config.warehouse_pool_pages,
         )?;
-        Ok(Self::assemble(config, index, warehouse))
+        let bank = SpatialBank::create(
+            &config.dir.join("spatial"),
+            config.spatial.effective_shards(),
+            config.spatial.grid(),
+            config.schema,
+            config.io_model,
+            config.spatial.cache_blocks,
+        )?;
+        Ok(Self::assemble(config, index, warehouse, bank))
     }
 
     /// Reopen an existing system. Each shard recovers independently: a
@@ -274,13 +296,43 @@ impl Rased {
         if let Some(mark) = index.durable_mark() {
             warehouse.truncate_rows(mark)?;
         }
-        let system = Self::assemble(config, index, warehouse);
+        // Bank blocks publish strictly *after* the cube commit, so the bank
+        // never holds a day the index lacks; a crash in between just leaves
+        // that day on the warehouse-scan fallback path. Pre-spatial stores
+        // have no bank directory — start one empty (blocks backfill as new
+        // days publish).
+        let spatial_dir = config.dir.join("spatial");
+        let bank = if spatial_dir.exists() {
+            SpatialBank::open(
+                &spatial_dir,
+                config.spatial.effective_shards(),
+                config.spatial.grid(),
+                config.schema,
+                config.io_model,
+                config.spatial.cache_blocks,
+            )?
+        } else {
+            SpatialBank::create(
+                &spatial_dir,
+                config.spatial.effective_shards(),
+                config.spatial.grid(),
+                config.schema,
+                config.io_model,
+                config.spatial.cache_blocks,
+            )?
+        };
+        let system = Self::assemble(config, index, warehouse, bank);
         system.recount_network_sizes()?;
         system.index.warm_cache()?;
         Ok(system)
     }
 
-    fn assemble(config: RasedConfig, index: ShardedIndex, warehouse: Warehouse) -> Rased {
+    fn assemble(
+        config: RasedConfig,
+        index: ShardedIndex,
+        warehouse: Warehouse,
+        bank: SpatialBank,
+    ) -> Rased {
         Rased {
             country_table: CountryTable::with_cardinality(config.n_countries),
             road_table: RoadTypeTable::with_cardinality(config.n_road_types),
@@ -294,6 +346,7 @@ impl Rased {
             config,
             index,
             warehouse,
+            bank,
         }
     }
 
@@ -310,6 +363,11 @@ impl Rased {
     /// The sample warehouse.
     pub fn warehouse(&self) -> &Warehouse {
         &self.warehouse
+    }
+
+    /// The spatial block bank (viewport drill-down pre-aggregates).
+    pub fn spatial_bank(&self) -> &SpatialBank {
+        &self.bank
     }
 
     /// Country id ↔ name table.
@@ -336,6 +394,7 @@ impl Rased {
             .with_planner(self.config.planner)
             .with_network_sizes(self.network_sizes())
             .with_threads(self.config.exec.effective_threads())
+            .with_spatial(SpatialExec::banked(&self.warehouse, &self.bank))
     }
 
     /// Execute an analysis query (§IV-A).
@@ -407,10 +466,12 @@ impl Rased {
         Ok(())
     }
 
-    /// Persist everything (index catalog checkpoint + warehouse tail).
+    /// Persist everything (index catalog checkpoint + warehouse tail +
+    /// bank catalogs).
     pub fn sync(&self) -> Result<(), RasedError> {
         self.index.sync()?;
         self.warehouse.flush()?;
+        self.bank.sync()?;
         Ok(())
     }
 }

@@ -101,21 +101,36 @@ impl DataCube {
             });
         }
         let i = self.schema.cell_index(r.element_type.index(), c, rt, r.update_type.index());
-        self.cells[i] += 1;
-        Ok(())
+        match self.cells.get_mut(i) {
+            Some(cell) => {
+                *cell += 1;
+                Ok(())
+            }
+            // Unreachable after the dimension checks above; kept total so a
+            // schema bug surfaces as a typed error, not an index panic.
+            None => Err(CubeError::CoordOutOfRange {
+                dim: "cell",
+                index: i,
+                cardinality: self.schema.cell_count(),
+            }),
+        }
     }
 
-    /// Read one cell.
+    /// Read one cell. Out-of-schema coordinates read as 0.
     #[inline]
     pub fn get(&self, et: usize, country: usize, road: usize, update: usize) -> u64 {
-        self.cells[self.schema.cell_index(et, country, road, update)]
+        self.cells.get(self.schema.cell_index(et, country, road, update)).copied().unwrap_or(0)
     }
 
-    /// Overwrite one cell.
+    /// Overwrite one cell. Out-of-schema coordinates are ignored (the
+    /// debug assertions in [`CubeSchema::cell_index`] catch misuse in
+    /// tests; release builds stay total).
     #[inline]
     pub fn set(&mut self, et: usize, country: usize, road: usize, update: usize, v: u64) {
         let i = self.schema.cell_index(et, country, road, update);
-        self.cells[i] = v;
+        if let Some(cell) = self.cells.get_mut(i) {
+            *cell = v;
+        }
     }
 
     /// Sum of all cells — the total number of updates in the time window.
@@ -159,7 +174,7 @@ impl DataCube {
                 for &r in sel.road_types() {
                     let base = s.cell_index(et, c, r, 0);
                     for &u in sel.update_types() {
-                        let v = self.cells[base + u];
+                        let Some(&v) = self.cells.get(base + u) else { continue };
                         if v != 0 {
                             visit(et, c, r, u, v);
                         }
@@ -177,7 +192,9 @@ impl DataCube {
             for c in 0..s.n_countries() {
                 for r in 0..s.n_road_types() {
                     let i = s.cell_index(et, c, r, update);
-                    self.cells[i] = 0;
+                    if let Some(cell) = self.cells.get_mut(i) {
+                        *cell = 0;
+                    }
                 }
             }
         }
@@ -201,7 +218,7 @@ impl DataCube {
         if bytes.len() < CUBE_HEADER_BYTES {
             return Err(CubeError::Corrupt("short header".into()));
         }
-        if &bytes[..8] != MAGIC {
+        if bytes.get(..8) != Some(MAGIC.as_slice()) {
             return Err(CubeError::Corrupt("bad magic".into()));
         }
         let corrupt = || CubeError::Corrupt("short header".into());

@@ -89,6 +89,17 @@ impl DimSelection {
         &self.update_types
     }
 
+    /// True when the cell at `(et, country, road, update)` is selected on
+    /// every dimension — the membership test sparse spatial blocks filter
+    /// with (dense cubes iterate the selection instead; see
+    /// `DataCube::for_each_selected`).
+    pub fn contains(&self, et: usize, country: usize, road: usize, update: usize) -> bool {
+        self.element_types.binary_search(&et).is_ok()
+            && self.countries.binary_search(&country).is_ok()
+            && self.road_types.binary_search(&road).is_ok()
+            && self.update_types.binary_search(&update).is_ok()
+    }
+
     /// True when any dimension selects nothing (the query matches no cell).
     pub fn is_empty(&self) -> bool {
         self.element_types.is_empty()

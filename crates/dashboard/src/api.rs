@@ -87,7 +87,10 @@ pub fn parse_query_string(qs: &str) -> Vec<(String, String)> {
 /// * `roads` — comma-separated `highway=*` values;
 /// * `updates` — comma-separated of `create,delete,geometry,metadata,update`;
 /// * `group` — comma-separated of `country,element,road,update,day,week,month,year`;
-/// * `value` — `count` (default) or `percentage`.
+/// * `value` — `count` (default) or `percentage`;
+/// * `bbox` (alias `viewport`) — `min_lat,min_lon,max_lat,max_lon` in
+///   degrees: restrict to updates inside the box (spatial drill-down,
+///   answered from the spatial block bank where materialized).
 pub fn parse_analysis_query(system: &Rased, params: &[(String, String)]) -> Result<AnalysisQuery, ApiError> {
     let get = |k: &str| params.iter().find(|(pk, _)| pk == k).map(|(_, v)| v.as_str());
     let start: rased_core::Date = get("start")
@@ -151,7 +154,26 @@ pub fn parse_analysis_query(system: &Rased, params: &[(String, String)]) -> Resu
         Some("percentage") => q = q.percentage(),
         Some(other) => return Err(bad(format!("unknown value mode `{other}`"))),
     }
+    if let Some(bs) = get("bbox").or_else(|| get("viewport")) {
+        q = q.within(parse_bbox(bs)?);
+    }
     Ok(q)
+}
+
+/// Parse `min_lat,min_lon,max_lat,max_lon` (degrees) into a [`BBox`].
+pub fn parse_bbox(s: &str) -> Result<rased_geo::BBox, ApiError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    let [a, b, c, d] = parts.as_slice() else {
+        return Err(bad(format!("bad bbox `{s}`: expected min_lat,min_lon,max_lat,max_lon")));
+    };
+    let deg = |v: &str| -> Result<f64, ApiError> {
+        let x: f64 = v.trim().parse().map_err(|e| bad(format!("bad bbox coordinate `{v}`: {e}")))?;
+        if !x.is_finite() || x.abs() > 360.0 {
+            return Err(bad(format!("bbox coordinate `{v}` out of range")));
+        }
+        Ok(x)
+    };
+    Ok(rased_geo::BBox::from_deg(deg(a)?, deg(b)?, deg(c)?, deg(d)?))
 }
 
 /// Serialize a query result (rows + execution stats) to JSON.
@@ -185,6 +207,10 @@ pub fn result_to_json(system: &Rased, result: &QueryResult) -> String {
     j.key("cubes_from_cache").uint(result.stats.cubes_from_cache as u64);
     j.key("cubes_from_disk").uint(result.stats.cubes_from_disk as u64);
     j.key("empty_days").uint(result.stats.empty_days as u64);
+    j.key("blocks_from_cache").uint(result.stats.blocks_from_cache as u64);
+    j.key("blocks_from_disk").uint(result.stats.blocks_from_disk as u64);
+    j.key("scan_days").uint(result.stats.scan_days as u64);
+    j.key("scan_rows").uint(result.stats.scan_rows);
     j.key("physical_reads").uint(result.stats.io.reads);
     j.key("modeled_io_micros").uint(result.stats.io.modeled.as_micros() as u64);
     j.key("io_critical_micros").uint(result.stats.io_critical.as_micros() as u64);
@@ -297,5 +323,50 @@ mod tests {
                 ("c".to_string(), ",".to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn parse_bbox_accepts_degree_boxes() {
+        let b = parse_bbox("-10.5, 20, 30.25 ,40").expect("box");
+        assert_eq!(b, rased_geo::BBox::from_deg(-10.5, 20.0, 30.25, 40.0));
+        // Whole-world and point boxes are fine; ordering is the caller's
+        // contract (BBox normalizes nothing — an empty box matches nothing).
+        assert!(parse_bbox("-90,-180,90,180").is_ok());
+        assert!(parse_bbox("1,2,1,2").is_ok());
+    }
+
+    #[test]
+    fn parse_bbox_rejects_malformed_boxes() {
+        for bad in [
+            "",
+            "1,2,3",          // wrong arity
+            "1,2,3,4,5",      // wrong arity
+            "1,2,3,north",    // non-numeric
+            "1,2,3,NaN",      // non-finite
+            "1,2,3,inf",      // non-finite
+            "1,2,3,400",      // out of range
+            "-361,2,3,4",     // out of range
+        ] {
+            assert!(parse_bbox(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn bbox_and_viewport_params_attach_a_spatial_filter() {
+        let system = empty_system("bbox");
+        let base = [("start", "2021-01-01"), ("end", "2021-01-31")];
+        for key in ["bbox", "viewport"] {
+            let mut p = params(&base);
+            p.push((key.to_string(), "10,20,30,40".to_string()));
+            let q = parse_analysis_query(&system, &p).expect(key);
+            assert_eq!(q.bbox, Some(rased_geo::BBox::from_deg(10.0, 20.0, 30.0, 40.0)), "{key}");
+        }
+        // Without either key the query stays purely temporal.
+        let q = parse_analysis_query(&system, &params(&base)).expect("plain");
+        assert_eq!(q.bbox, None);
+        // A malformed box is a 400-class parse error, not a silent scan.
+        let mut p = params(&base);
+        p.push(("bbox".to_string(), "10,20,30".to_string()));
+        assert!(parse_analysis_query(&system, &p).is_err());
     }
 }

@@ -10,7 +10,8 @@
 //! rased serve    --system DIR [--addr 127.0.0.1:7878] [--workers N] [--queue N]
 //!                [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]
 //!                [--max-active-per-client N] [--shed-threshold N] [--trust-forwarded-for]
-//!                [--follow DATA_DIR]
+//!                [--follow DATA_DIR] [--grid-rows N] [--grid-cols N] [--spatial-shards N]
+//!                [--spatial-cache-blocks N]
 //! rased demo     --dir DIR  (generate + ingest + serve in one step)
 //! ```
 
@@ -68,6 +69,7 @@ fn print_usage() {
          \x20          [--read-timeout-ms N] [--write-timeout-ms N] [--max-body-kb N] [--threads N]\n\
          \x20          [--max-active-per-client N] [--shed-threshold N] [--trust-forwarded-for] [--follow DATA_DIR]\n\
          \x20          [--no-response-cache] [--response-cache-mb N] [--response-cache-entries N]\n\
+         \x20          [--grid-rows N] [--grid-cols N] [--spatial-shards N] [--spatial-cache-blocks N]\n\
          \x20 demo     --dir DIR [--seed N]"
     );
 }
@@ -132,18 +134,30 @@ fn open_or_create_system(
     flags: &HashMap<String, String>,
 ) -> Result<Rased, AnyError> {
     // `--threads N` sizes the parallel query executor (0 = all cores);
-    // per-process tuning, never persisted in the manifest.
+    // per-process tuning, never persisted in the manifest. So is
+    // `--spatial-cache-blocks N`, the bank's block-LRU capacity.
     let threads: Option<usize> = flags.get("threads").map(|s| s.parse()).transpose()?;
-    // `--shards N` partitions the cube store by country. Structural: it
-    // shapes the on-disk layout, so it binds at create time and is
-    // persisted in the manifest; reopening with a different value is an
-    // error rather than a silent re-layout.
+    let cache_blocks: Option<usize> =
+        flags.get("spatial-cache-blocks").map(|s| s.parse()).transpose()?;
+    // `--shards N` partitions the cube store by country; `--grid-rows`,
+    // `--grid-cols` and `--spatial-shards` shape the viewport grid and
+    // its longitude bands. All structural: they shape the on-disk layout,
+    // so they bind at create time and are persisted in the manifest;
+    // reopening with a different value is an error rather than a silent
+    // re-layout.
     let shards: Option<usize> = flags.get("shards").map(|s| s.parse()).transpose()?;
+    let grid_rows: Option<u32> = flags.get("grid-rows").map(|s| s.parse()).transpose()?;
+    let grid_cols: Option<u32> = flags.get("grid-cols").map(|s| s.parse()).transpose()?;
+    let spatial_shards: Option<usize> =
+        flags.get("spatial-shards").map(|s| s.parse()).transpose()?;
     let path = std::path::Path::new(dir);
     if path.join("rased.manifest").exists() {
         let mut config = RasedConfig::load(path)?;
         if let Some(t) = threads {
             config.exec.threads = t;
+        }
+        if let Some(b) = cache_blocks {
+            config.spatial.cache_blocks = b;
         }
         if let Some(s) = shards {
             if s.max(1) != config.shard.effective_shards() {
@@ -153,6 +167,21 @@ fn open_or_create_system(
                     config.shard.effective_shards()
                 )
                 .into());
+            }
+        }
+        for (flag, want, have) in [
+            ("grid-rows", grid_rows.map(|v| v as usize), config.spatial.grid_rows as usize),
+            ("grid-cols", grid_cols.map(|v| v as usize), config.spatial.grid_cols as usize),
+            ("spatial-shards", spatial_shards.map(|v| v.max(1)), config.spatial.effective_shards()),
+        ] {
+            if let Some(want) = want {
+                if want != have {
+                    return Err(format!(
+                        "--{flag} {want} conflicts with existing store ({have}); \
+                         spatial layout is fixed at create time"
+                    )
+                    .into());
+                }
             }
         }
         Ok(Rased::open(config)?)
@@ -169,6 +198,18 @@ fn open_or_create_system(
         }
         if let Some(s) = shards {
             config.shard = rased_core::ShardConfig { shards: s.max(1) };
+        }
+        if let Some(r) = grid_rows {
+            config.spatial.grid_rows = r.max(1);
+        }
+        if let Some(c) = grid_cols {
+            config.spatial.grid_cols = c.max(1);
+        }
+        if let Some(s) = spatial_shards {
+            config.spatial.shards = s.max(1);
+        }
+        if let Some(b) = cache_blocks {
+            config.spatial.cache_blocks = b;
         }
         Ok(Rased::create(config)?)
     }

@@ -578,15 +578,22 @@ fn dispatch<'a>(
 /// render will read. Over a sharded store, a query filtered to resolvable
 /// countries stamps only the owning shards — mirroring the scatter-gather
 /// planner's predicate pushdown — so the cached tile survives publishes on
-/// every other shard. Anything else (no filter, unresolvable name, single
+/// every other shard. A viewport request (`bbox=`/`viewport=`) reads the
+/// *spatial* hierarchy instead and stamps the bands owning its cover (see
+/// [`spatial_stamp`]). Anything else (no filter, unresolvable name, single
 /// shard) stamps the full epoch vector, which on a 1-shard store is
 /// exactly the old scalar `[(0, epoch)]` key.
 fn cache_stamp(server: &DashboardServer, query: &str) -> Vec<(u16, u64)> {
+    let params = crate::parse_query_string(query);
+    let find = |k: &str| params.iter().find(|(pk, _)| pk == k).map(|(_, v)| v.as_str());
+    if let Some(raw) = find("bbox").or_else(|| find("viewport")) {
+        return spatial_stamp(server, raw);
+    }
     let index = server.system.index();
     let epochs = index.epochs();
     let n = epochs.len();
     if n > 1 {
-        if let Some(owned) = routed_shards(server, query, n) {
+        if let Some(owned) = routed_shards(server, &params, n) {
             return owned
                 .into_iter()
                 .filter_map(|s| epochs.get(s).map(|&e| (s as u16, e)))
@@ -596,12 +603,47 @@ fn cache_stamp(server: &DashboardServer, query: &str) -> Vec<(u16, u64)> {
     epochs.iter().enumerate().map(|(s, &e)| (s as u16, e)).collect()
 }
 
+/// The stamp for a viewport render: the spatial bands owning the
+/// viewport's cover cells (interior *and* boundary — boundary cells are
+/// answered by warehouse scans, whose rows change exactly when a publish
+/// lands records in those cells), each namespaced at
+/// [`crate::respcache::SPATIAL_STAMP_BASE`] and carrying the band's
+/// current publish epoch. The country cubes are never read on this path,
+/// so no temporal shard appears in the stamp — a cube-only publish keeps
+/// every viewport tile, and a bank publish in one region keeps every
+/// other region's tiles. An unparseable box stamps every band: the render
+/// will answer 400, which the cache refuses to store, so the stamp only
+/// has to be a *safe* lookup key, not a minimal one.
+fn spatial_stamp(server: &DashboardServer, raw: &str) -> Vec<(u16, u64)> {
+    let bank = server.system.spatial_bank();
+    let epochs = bank.epochs();
+    let pair = |band: usize| {
+        epochs.get(band).map(|&e| (crate::respcache::SPATIAL_STAMP_BASE | band as u16, e))
+    };
+    let Ok(bbox) = crate::api::parse_bbox(raw) else {
+        return (0..epochs.len()).filter_map(pair).collect();
+    };
+    let cover = bank.grid().cover(&bbox);
+    let mut bands: Vec<usize> = cover
+        .interior
+        .iter()
+        .chain(cover.boundary.iter())
+        .map(|&cell| bank.shard_of(cell))
+        .collect();
+    bands.sort_unstable();
+    bands.dedup();
+    bands.into_iter().filter_map(pair).collect()
+}
+
 /// The index shards owned by the request's `countries` filter, sorted and
 /// deduplicated — `None` when the request has no such filter or names a
 /// country the registry can't resolve (the render will fan out or fail;
 /// either way the full stamp is the safe key).
-fn routed_shards(server: &DashboardServer, query: &str, n: usize) -> Option<Vec<usize>> {
-    let params = crate::parse_query_string(query);
+fn routed_shards(
+    server: &DashboardServer,
+    params: &[(String, String)],
+    n: usize,
+) -> Option<Vec<usize>> {
     let list = params.iter().find(|(k, _)| k == "countries").map(|(_, v)| v.as_str())?;
     let registry = server.system.countries();
     let mut shards: Vec<usize> = Vec::new();
@@ -745,9 +787,169 @@ fn ready_to_parse(buf: &[u8], limits: &Limits) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::respcache::{RespKey, SPATIAL_STAMP_BASE};
+    use rased_core::{Rased, RasedConfig, ServerConfig};
+    use rased_osm_model::{ChangesetId, CountryId, ElementType, RoadTypeId, UpdateRecord, UpdateType};
+    use std::sync::Arc;
 
     fn limits() -> Limits {
         Limits { max_request_line_bytes: 64, max_header_bytes: 128, max_body_bytes: 16 }
+    }
+
+    fn test_server(tag: &str) -> DashboardServer {
+        let dir = std::env::temp_dir().join(format!(
+            "rased-evloop-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let system = Arc::new(Rased::create(RasedConfig::new(&dir)).expect("create"));
+        DashboardServer::bind_with(system, "127.0.0.1:0", ServerConfig::default()).expect("bind")
+    }
+
+    fn rec(lon_deg: f64) -> UpdateRecord {
+        UpdateRecord {
+            element_type: ElementType::Way,
+            update_type: UpdateType::Create,
+            country: CountryId(1),
+            road_type: RoadTypeId(0),
+            date: "2021-03-02".parse().unwrap(),
+            lat7: 0,
+            lon7: (lon_deg * 1e7) as i32,
+            changeset: ChangesetId(1),
+        }
+    }
+
+    /// The regression the routing module exists to prevent: the ingest
+    /// splitter (where `ShardedIndex` physically places a country's
+    /// cubes) and the dashboard's cache stamper (which shard a
+    /// country-filtered tile is keyed to) must agree for *every* country
+    /// — a disagreement means a publish bumps one shard's epoch while the
+    /// stale tile sits keyed to another, and the dashboard serves
+    /// pre-publish numbers forever.
+    #[test]
+    fn country_tiles_are_stamped_where_the_index_placed_them() {
+        let dir = std::env::temp_dir().join(format!(
+            "rased-evloop-routing-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = RasedConfig::new(&dir);
+        config.shard = rased_core::ShardConfig { shards: 3 };
+        let system = Arc::new(Rased::create(config).expect("create"));
+        let server =
+            DashboardServer::bind_with(Arc::clone(&system), "127.0.0.1:0", ServerConfig::default())
+                .expect("bind");
+        let index = system.index();
+        let schema = index.schema();
+        let mut day: rased_core::Date = "2021-01-01".parse().unwrap();
+        for c in 0..schema.n_countries().min(system.countries().len()) {
+            // Publish a day whose cube touches only country `c`; the
+            // splitter commits it to exactly one store.
+            let mut cube = rased_core::DataCube::zeroed(schema);
+            cube.set(0, c, 0, 0, 7);
+            index.ingest_day(day, &cube).expect("ingest");
+            // `has(Day)` is true on the owning shard and on the day's
+            // marker shard (which always commits a bookkeeping cube);
+            // the *data* holder is whatever remains.
+            let marker = rased_core::marker_shard(day, 3);
+            let holders: Vec<usize> = index
+                .stores()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.has(rased_core::Period::Day(day)))
+                .map(|(i, _)| i)
+                .collect();
+            let name = system.countries().name(rased_osm_model::CountryId(c as u16)).unwrap();
+            let stamp = cache_stamp(
+                &server,
+                &format!("start=2021-01-01&end=2021-12-31&countries={name}"),
+            );
+            assert_eq!(stamp.len(), 1, "{name}: filtered tile must stamp one shard");
+            let stamped = stamp.first().map(|&(s, _)| s as usize).unwrap_or(usize::MAX);
+            assert!(
+                holders.contains(&stamped),
+                "{name}: cache stamp ({stamped}) must point at a shard holding the data \
+                 (holders {holders:?})"
+            );
+            assert!(
+                holders.iter().all(|&h| h == stamped || h == marker),
+                "{name}: solo cube leaked beyond its owner and the marker \
+                 (holders {holders:?}, marker {marker})"
+            );
+            day = day.succ();
+        }
+        // And the spatial hierarchy: the core config's band assignment
+        // (what `rased serve` persists) and the bank's own routing (what
+        // publishes and viewport fetches use) agree for every grid cell.
+        let bank = system.spatial_bank();
+        let grid = bank.grid();
+        for row in 0..grid.rows() as u16 {
+            for col in 0..grid.cols() as u16 {
+                let cell = rased_geo::CellId { row, col };
+                assert_eq!(
+                    system.config().spatial.assign(cell),
+                    bank.shard_of(cell),
+                    "cell ({row},{col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn viewport_stamps_cover_only_their_bands() {
+        let server = test_server("stamp");
+        // Default spatial config: 4 longitude bands over the world grid.
+        // A west-quadrant box and an east-quadrant box land on different
+        // bands; both stamps live entirely in the spatial namespace.
+        let west = cache_stamp(&server, "start=2021-01-01&end=2021-03-31&bbox=-10,-170,10,-100");
+        let east = cache_stamp(&server, "start=2021-01-01&end=2021-03-31&viewport=-10,100,10,170");
+        for stamp in [&west, &east] {
+            assert!(!stamp.is_empty());
+            assert!(stamp.iter().all(|&(s, _)| s >= SPATIAL_STAMP_BASE), "{stamp:?}");
+        }
+        assert!(
+            west.iter().all(|w| east.iter().all(|e| e.0 != w.0)),
+            "disjoint quadrants must stamp disjoint bands: {west:?} vs {east:?}"
+        );
+        // No bbox → the temporal stamp, untouched by the spatial namespace.
+        let plain = cache_stamp(&server, "start=2021-01-01&end=2021-03-31");
+        assert!(!plain.is_empty());
+        assert!(plain.iter().all(|&(s, _)| s < SPATIAL_STAMP_BASE), "{plain:?}");
+        // An unparseable box falls back to every band — safe, never stale.
+        let bad = cache_stamp(&server, "bbox=not-a-box");
+        assert_eq!(bad.len(), server.system.spatial_bank().shard_count());
+    }
+
+    #[test]
+    fn spatial_publish_evicts_only_the_touched_regions_tiles() {
+        let server = test_server("confine");
+        let cache = server.response_cache().expect("cache on by default");
+        let key = |q: &str| RespKey::with_stamp("/api/analysis", q, cache_stamp(&server, q));
+        let west_q = "start=2021-01-01&end=2021-03-31&bbox=-10,-170,10,-100";
+        let east_q = "start=2021-01-01&end=2021-03-31&bbox=-10,100,10,170";
+        let plain_q = "start=2021-01-01&end=2021-03-31";
+        let tile = CachedResponse::new(200, "application/json", b"{}".to_vec());
+        for q in [west_q, east_q, plain_q] {
+            cache.insert(&key(q), &tile);
+            assert!(cache.lookup(&key(q)).is_some(), "{q}");
+        }
+        // Publish a day whose records all sit in the west quadrant. The
+        // bank's publish hook must sweep the west tile and nothing else.
+        let records = vec![rec(-160.0), rec(-120.0)];
+        server
+            .system
+            .spatial_bank()
+            .publish_day("2021-03-02".parse().unwrap(), &records)
+            .expect("publish");
+        assert!(cache.lookup(&key(west_q)).is_none(), "west tile must be re-keyed and swept");
+        assert!(cache.lookup(&key(east_q)).is_some(), "east tile must survive a west publish");
+        assert!(cache.lookup(&key(plain_q)).is_some(), "temporal tile never reads the bank");
+        // The fresh west stamp carries the bumped band epoch, so the next
+        // render lands on a new key rather than resurrecting the old one.
+        let swept = cache.lookup(&key(west_q));
+        assert!(swept.is_none());
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //! sugar for a single-entry stamp on shard 0, which is exactly the
 //! monolithic (1-shard) store's behavior.
 //!
+//! Viewport (`bbox=`) responses read the *spatial* hierarchy — bank
+//! blocks and warehouse rows of the viewport's cover cells — never the
+//! country cubes, so their stamps live in a disjoint id namespace:
+//! [`SPATIAL_STAMP_BASE`]`| band` at the band's publish epoch. A bank
+//! publish that lands records in longitude band `b` sweeps exactly the
+//! tiles whose cover touches `b`; viewports over other regions, and every
+//! temporal tile, stay hot.
+//!
 //! What is cached is the *wire form*: pre-serialized status line + headers
 //! + body, built by the same [`crate::http::response_head`] the cold path
 //! uses, so a cached response is byte-identical to a fresh render by
@@ -43,10 +51,20 @@ use crate::http::response_head;
 use crate::json::Json;
 use rased_storage::sync::Mutex;
 use rased_storage::{FlightGroup, LruCache};
+use std::collections::BTreeMap;
 use std::convert::Infallible;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+
+/// The stamp-id namespace for *spatial* bands: a viewport tile rendered
+/// from the spatial bank's longitude band `b` is stamped
+/// `(SPATIAL_STAMP_BASE | b, band_epoch)`. Temporal index shards use the
+/// low id space directly, so the two hierarchies share one invalidation
+/// mechanism without colliding — a cube publish on index shard 2 sweeps
+/// stamp id 2, a bank publish on band 2 sweeps stamp id `0x8002`, and
+/// neither touches the other's tiles.
+pub const SPATIAL_STAMP_BASE: u16 = 0x8000;
 
 /// Shard count. Fixed and small: the cache lock is held for a hash-map
 /// probe and an LRU splice, so contention is already light; 8 shards keep
@@ -100,7 +118,8 @@ impl RespKey {
     }
 
     /// Display form for metrics: `path?params @ epoch` for the scalar
-    /// form, `path?params @ s:e+s:e` for a multi-shard stamp.
+    /// form, `path?params @ s:e+s:e` for a multi-shard stamp. Spatial
+    /// bands display as `g<band>` rather than their raw namespaced id.
     fn display(&self) -> String {
         let at = match self.stamp.as_slice() {
             [(0, e)] => format!("{e}"),
@@ -110,7 +129,11 @@ impl RespKey {
                     if !s.is_empty() {
                         s.push('+');
                     }
-                    s.push_str(&format!("{shard}:{e}"));
+                    if *shard >= SPATIAL_STAMP_BASE {
+                        s.push_str(&format!("g{}:{e}", shard - SPATIAL_STAMP_BASE));
+                    } else {
+                        s.push_str(&format!("{shard}:{e}"));
+                    }
                 }
                 s
             }
@@ -211,13 +234,14 @@ pub struct ResponseCache {
     shard_entries: usize,
     /// Logical clock: bumped once per lookup, stamps `last_accessed`.
     tick: AtomicU64,
-    /// Per-shard invalidation floors, indexed by index-shard id (grown on
-    /// demand). An entry stamped `(s, e)` with `e < floors[s]` is dead;
-    /// `insert` refuses such keys so a render that straddles an
-    /// invalidation sweep cannot resurrect a stale epoch. A strict leaf
-    /// lock (rank `dashboard:floors`): held for a `Vec` probe only, never
-    /// across a cache-shard lock.
-    floors: Mutex<Vec<u64>>,
+    /// Per-stamp-id invalidation floors, keyed by stamp id so the sparse
+    /// spatial namespace ([`SPATIAL_STAMP_BASE`]`| band`) costs one map
+    /// entry instead of a 32k-slot vector. An entry stamped `(s, e)` with
+    /// `e < floors[s]` is dead; `insert` refuses such keys so a render
+    /// that straddles an invalidation sweep cannot resurrect a stale
+    /// epoch. A strict leaf lock (rank `dashboard:floors`): held for a
+    /// map probe only, never across a cache-shard lock.
+    floors: Mutex<BTreeMap<u16, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -241,7 +265,7 @@ impl ResponseCache {
             shard_bytes: (max_bytes / SHARDS).max(1),
             shard_entries: (max_entries / SHARDS).max(1),
             tick: AtomicU64::new(0),
-            floors: Mutex::new_named(Vec::new(), "dashboard.respcache_floors"),
+            floors: Mutex::new_named(BTreeMap::new(), "dashboard.respcache_floors"),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -338,9 +362,7 @@ impl ResponseCache {
     /// shard's invalidation floor.
     fn is_dead(&self, stamp: &[(u16, u64)]) -> bool {
         let floors = self.floors.lock();
-        stamp
-            .iter()
-            .any(|&(shard, epoch)| epoch < floors.get(shard as usize).copied().unwrap_or(0))
+        stamp.iter().any(|&(shard, epoch)| epoch < floors.get(&shard).copied().unwrap_or(0))
     }
 
     /// Insert a rendered response, evicting LRU entries past the shard's
@@ -401,13 +423,8 @@ impl ResponseCache {
     pub fn invalidate_shard(&self, index_shard: u16, epoch: u64) {
         {
             let mut floors = self.floors.lock();
-            let slot = index_shard as usize;
-            if floors.len() <= slot {
-                floors.resize(slot + 1, 0);
-            }
-            if let Some(floor) = floors.get_mut(slot) {
-                *floor = (*floor).max(epoch);
-            }
+            let floor = floors.entry(index_shard).or_insert(0);
+            *floor = (*floor).max(epoch);
         }
         let mut swept = 0u64;
         for shard in &self.shards {
@@ -500,12 +517,28 @@ impl ResponseCache {
         j.kv_uint("evictions", self.evictions.load(Relaxed));
         j.kv_uint("invalidations", self.invalidations_total());
         let floors = { self.floors.lock().clone() };
-        j.kv_uint("min_epoch", floors.first().copied().unwrap_or(0));
-        j.key("floors").begin_array();
-        for f in &floors {
-            j.uint(*f);
-        }
-        j.end_array();
+        j.kv_uint("min_epoch", floors.get(&0).copied().unwrap_or(0));
+        // Dense arrays per hierarchy: `floors[i]` is temporal index shard
+        // `i`'s floor, `spatial_floors[b]` is band `b`'s.
+        let dense = |j: &mut Json, name: &str, ids: &dyn Fn(&u16) -> Option<usize>| {
+            j.key(name).begin_array();
+            let last = floors.keys().filter_map(|k| ids(k)).max();
+            if let Some(last) = last {
+                for i in 0..=last {
+                    let floor = floors
+                        .iter()
+                        .find(|(k, _)| ids(k) == Some(i))
+                        .map(|(_, &f)| f)
+                        .unwrap_or(0);
+                    j.uint(floor);
+                }
+            }
+            j.end_array();
+        };
+        dense(j, "floors", &|k| (*k < SPATIAL_STAMP_BASE).then_some(*k as usize));
+        dense(j, "spatial_floors", &|k| {
+            (*k >= SPATIAL_STAMP_BASE).then(|| (*k - SPATIAL_STAMP_BASE) as usize)
+        });
         j.key("top").begin_array();
         for t in &top {
             j.begin_object();
@@ -650,6 +683,49 @@ mod tests {
         let json = j.finish();
         assert!(json.contains("\"min_epoch\":4"), "{json}");
         assert!(json.contains("\"floors\":[4,0,9]"), "{json}");
+        assert!(json.contains("\"spatial_floors\":[]"), "{json}");
+    }
+
+    #[test]
+    fn spatial_band_invalidation_is_confined_to_its_hierarchy() {
+        let cache = ResponseCache::new(1 << 20, 64);
+        let band = |b: u16| SPATIAL_STAMP_BASE | b;
+        // Two viewport tiles in different bands, one temporal tile whose
+        // scalar stamp id (2) numerically matches one of the bands.
+        let west = RespKey::with_stamp("/api/analysis", "bbox=a", vec![(band(2), 5)]);
+        let east = RespKey::with_stamp("/api/analysis", "bbox=b", vec![(band(3), 7)]);
+        let cube = RespKey::with_stamp("/api/analysis", "c=de", vec![(2, 5)]);
+        cache.insert(&west, &resp("west"));
+        cache.insert(&east, &resp("east"));
+        cache.insert(&cube, &resp("cube"));
+        // A bank publish on band 2 sweeps the band-2 viewport only.
+        cache.invalidate_shard(band(2), 6);
+        assert!(cache.lookup(&west).is_none(), "band-2 tile must be swept");
+        assert!(cache.lookup(&east).is_some(), "band-3 tile must survive");
+        assert!(cache.lookup(&cube).is_some(), "temporal shard 2 is a different id space");
+        // And the reverse: a cube publish on index shard 2 spares viewports.
+        cache.invalidate_shard(2, 6);
+        assert!(cache.lookup(&cube).is_none());
+        assert!(cache.lookup(&east).is_some());
+        // The band floor blocks zombie inserts without a 32k-slot table.
+        cache.insert(&west, &resp("zombie"));
+        assert!(cache.lookup(&west).is_none());
+    }
+
+    #[test]
+    fn spatial_floors_metric_and_display_use_band_numbers() {
+        let cache = ResponseCache::new(1 << 20, 64);
+        let key = RespKey::with_stamp("/api/analysis", "bbox=x", vec![(SPATIAL_STAMP_BASE | 1, 9)]);
+        cache.insert(&key, &resp("tile"));
+        assert!(cache.lookup(&key).is_some());
+        cache.invalidate_shard(SPATIAL_STAMP_BASE | 1, 9);
+        let mut j = Json::new();
+        j.begin_object();
+        cache.write_section(&mut j);
+        j.end_object();
+        let json = j.finish();
+        assert!(json.contains("\"spatial_floors\":[0,9]"), "{json}");
+        assert!(json.contains("g1:9"), "band display form, got {json}");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! * `GET /` — the embedded single-page dashboard;
 //! * `GET /api/meta` — dataset coverage, taxonomy sizes, cube statistics;
 //! * `GET /api/analysis?...` — run an analysis query (see
-//!   [`crate::parse_analysis_query`] for parameters);
+//!   [`crate::parse_analysis_query`] for parameters, including the
+//!   spatial `bbox=`/`viewport=` drill-down);
 //! * `GET /api/sample?min_lat=&min_lon=&max_lat=&max_lon=&limit=` — sample
 //!   updates in a region (§IV-B); add `start`/`end` and any analysis
 //!   filters to scope the sample to a query;
@@ -139,6 +140,20 @@ impl DashboardServer {
             system.index().set_publish_hook(Arc::new(move |shard, epoch| {
                 if let Some(cache) = weak.upgrade() {
                     cache.invalidate_shard(shard as u16, epoch);
+                }
+            }));
+            // The spatial bank's publish hook sweeps the *other* stamp
+            // namespace: a publish landing records in longitude band `b`
+            // invalidates exactly the viewport tiles whose cover touches
+            // `b` — tiles over other regions, and every temporal tile,
+            // stay hot (see `crate::respcache::SPATIAL_STAMP_BASE`).
+            let weak = Arc::downgrade(&cache);
+            system.spatial_bank().set_publish_hook(Arc::new(move |band, epoch| {
+                if let Some(cache) = weak.upgrade() {
+                    cache.invalidate_shard(
+                        crate::respcache::SPATIAL_STAMP_BASE | band as u16,
+                        epoch,
+                    );
                 }
             }));
             Some(cache)
@@ -545,6 +560,22 @@ impl DashboardServer {
             j.end_object();
         }
         j.end_array();
+        // The spatial bank: one row of counters for the viewport path —
+        // per-band epochs (bumped only by publishes that land records in
+        // that longitude band) and the pre-aggregated block cache.
+        let bank = self.system.spatial_bank();
+        j.key("spatial").begin_object();
+        let (b_hits, b_misses) = bank.cache_counters();
+        j.kv_uint("bands", bank.shard_count() as u64);
+        j.kv_uint("blocks", bank.block_count() as u64);
+        j.kv_uint("block_cache_hits", b_hits);
+        j.kv_uint("block_cache_misses", b_misses);
+        j.key("band_epochs").begin_array();
+        for e in bank.epochs() {
+            j.uint(e);
+        }
+        j.end_array();
+        j.end_object();
         j.key("ingest").begin_object();
         j.kv_uint("epoch", index.epoch());
         j.kv_uint("published_units", index.published_units());

@@ -5,44 +5,43 @@
 //! handful of cell scans. Points cluster by country but queries are
 //! region-scoped too, so a grid's worst case (all points in one cell) only
 //! occurs for queries that would scan those points anyway.
+//!
+//! The cell geometry itself lives in [`GridSpec`] so the spatial-block bank
+//! and the lattice planner share the exact assignment this index uses.
 
 use crate::bbox::{BBox, Point};
+use crate::gridspec::GridSpec;
 
 /// A uniform grid over a fixed world extent, mapping points to payloads.
 pub struct GridIndex<T> {
-    extent: BBox,
-    cols: u32,
-    rows: u32,
-    cell_h: i64,
-    cell_w: i64,
+    spec: GridSpec,
     cells: Vec<Vec<(Point, T)>>,
     len: usize,
 }
 
 impl<T: Copy> GridIndex<T> {
-    /// Create a grid of `rows × cols` cells covering `extent`.
-    ///
-    /// # Panics
-    /// Panics when `rows` or `cols` is zero.
+    /// Create a grid of `rows × cols` cells covering `extent`. Dimensions
+    /// are clamped into [`GridSpec`]'s supported range rather than
+    /// panicking.
     pub fn new(extent: BBox, rows: u32, cols: u32) -> GridIndex<T> {
-        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
-        let h = (extent.max_lat7 as i64 - extent.min_lat7 as i64).max(1);
-        let w = (extent.max_lon7 as i64 - extent.min_lon7 as i64).max(1);
-        GridIndex {
-            extent,
-            cols,
-            rows,
-            // div_ceil is unstable for signed ints; h and w are positive.
-            cell_h: (h + rows as i64 - 1) / rows as i64,
-            cell_w: (w + cols as i64 - 1) / cols as i64,
-            cells: (0..rows as usize * cols as usize).map(|_| Vec::new()).collect(),
-            len: 0,
-        }
+        GridIndex::from_spec(GridSpec::new(extent, rows, cols))
+    }
+
+    /// Create a grid over an existing [`GridSpec`] — the constructor the
+    /// warehouse uses so its grid provably shares the bank's geometry.
+    pub fn from_spec(spec: GridSpec) -> GridIndex<T> {
+        GridIndex { spec, cells: (0..spec.n_cells()).map(|_| Vec::new()).collect(), len: 0 }
     }
 
     /// A 256×256 grid over the whole globe — the warehouse default.
     pub fn world_default() -> GridIndex<T> {
-        GridIndex::new(BBox::world(), 256, 256)
+        GridIndex::from_spec(GridSpec::world_default())
+    }
+
+    /// The cell geometry this index assigns points with.
+    #[inline]
+    pub fn spec(&self) -> GridSpec {
+        self.spec
     }
 
     /// Number of indexed points.
@@ -55,22 +54,12 @@ impl<T: Copy> GridIndex<T> {
         self.len == 0
     }
 
-    fn cell_of(&self, p: Point) -> Option<usize> {
-        if !self.extent.contains(p) {
-            return None;
-        }
-        let r = ((p.lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
-            .min(self.rows as i64 - 1) as usize;
-        let c = ((p.lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
-            .min(self.cols as i64 - 1) as usize;
-        Some(r * self.cols as usize + c)
-    }
-
     /// Insert a point. Points outside the extent are rejected with `false`.
     pub fn insert(&mut self, p: Point, payload: T) -> bool {
-        match self.cell_of(p) {
-            Some(i) => {
-                self.cells[i].push((p, payload));
+        let Some(cell) = self.spec.cell_of(p) else { return false };
+        match self.cells.get_mut(self.spec.index(cell)) {
+            Some(bucket) => {
+                bucket.push((p, payload));
                 self.len += 1;
                 true
             }
@@ -80,21 +69,11 @@ impl<T: Copy> GridIndex<T> {
 
     /// Visit every `(point, payload)` inside `q`.
     pub fn query(&self, q: &BBox, visit: &mut impl FnMut(Point, &T)) {
-        let Some(q) = clip(q, &self.extent) else { return };
-        let r0 = ((q.min_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
-            .clamp(0, self.rows as i64 - 1) as usize;
-        let r1 = ((q.max_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
-            .clamp(0, self.rows as i64 - 1) as usize;
-        let c0 = ((q.min_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
-            .clamp(0, self.cols as i64 - 1) as usize;
-        let c1 = ((q.max_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
-            .clamp(0, self.cols as i64 - 1) as usize;
-        for r in r0..=r1 {
-            for c in c0..=c1 {
-                for (p, t) in &self.cells[r * self.cols as usize + c] {
-                    if q.contains(*p) {
-                        visit(*p, t);
-                    }
+        let cover = self.spec.cover(q);
+        for cell in cover.interior.iter().chain(cover.boundary.iter()) {
+            for (p, t) in self.cells.get(self.spec.index(*cell)).into_iter().flatten() {
+                if q.contains(*p) {
+                    visit(*p, t);
                 }
             }
         }
@@ -107,41 +86,19 @@ impl<T: Copy> GridIndex<T> {
             return out;
         }
         // A visitor cannot early-exit, so scan cells manually.
-        let Some(qc) = clip(q, &self.extent) else { return out };
-        let r0 = ((qc.min_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
-            .clamp(0, self.rows as i64 - 1) as usize;
-        let r1 = ((qc.max_lat7 as i64 - self.extent.min_lat7 as i64) / self.cell_h)
-            .clamp(0, self.rows as i64 - 1) as usize;
-        let c0 = ((qc.min_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
-            .clamp(0, self.cols as i64 - 1) as usize;
-        let c1 = ((qc.max_lon7 as i64 - self.extent.min_lon7 as i64) / self.cell_w)
-            .clamp(0, self.cols as i64 - 1) as usize;
-        for r in r0..=r1 {
-            for c in c0..=c1 {
-                for (p, t) in &self.cells[r * self.cols as usize + c] {
-                    if qc.contains(*p) {
-                        out.push(*t);
-                        if out.len() == limit {
-                            return out;
-                        }
+        let cover = self.spec.cover(q);
+        for cell in cover.interior.iter().chain(cover.boundary.iter()) {
+            for (p, t) in self.cells.get(self.spec.index(*cell)).into_iter().flatten() {
+                if q.contains(*p) {
+                    out.push(*t);
+                    if out.len() == limit {
+                        return out;
                     }
                 }
             }
         }
         out
     }
-}
-
-fn clip(q: &BBox, extent: &BBox) -> Option<BBox> {
-    if !q.intersects(extent) {
-        return None;
-    }
-    Some(BBox::new(
-        q.min_lat7.max(extent.min_lat7),
-        q.min_lon7.max(extent.min_lon7),
-        q.max_lat7.min(extent.max_lat7),
-        q.max_lon7.min(extent.max_lon7),
-    ))
 }
 
 #[cfg(test)]
@@ -229,5 +186,19 @@ mod tests {
         g.query(&q, &mut |_, &i| got.push(i));
         got.sort_unstable();
         assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn index_agrees_with_its_spec() {
+        let mut g = GridIndex::world_default();
+        let spec = g.spec();
+        let p = Point::from_deg(48.8, 2.3);
+        assert!(g.insert(p, 1usize));
+        let cell = spec.cell_of(p).unwrap();
+        let b = spec.cell_bbox(cell).unwrap();
+        // Querying exactly the point's cell box finds it.
+        let mut hits = Vec::new();
+        g.query(&b, &mut |_, &i| hits.push(i));
+        assert_eq!(hits, vec![1]);
     }
 }

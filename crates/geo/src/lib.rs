@@ -13,10 +13,12 @@
 
 mod bbox;
 mod grid;
+mod gridspec;
 mod polygon;
 mod rtree;
 
 pub use bbox::{BBox, Point};
 pub use grid::GridIndex;
+pub use gridspec::{CellCover, CellId, GridSpec};
 pub use polygon::{Polygon, PolygonIndex};
 pub use rtree::RTree;

@@ -18,8 +18,9 @@ impl Polygon {
     /// Panics when fewer than three vertices are supplied.
     pub fn new(vertices: Vec<Point>) -> Polygon {
         assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
-        let mut bbox = BBox::of_point(vertices[0]);
-        for &v in &vertices[1..] {
+        let mut verts = vertices.iter();
+        let mut bbox = verts.next().copied().map_or(BBox::new(0, 0, 0, 0), BBox::of_point);
+        for &v in verts {
             bbox.expand_to(v);
         }
         Polygon { vertices, bbox }
@@ -55,11 +56,11 @@ impl Polygon {
         if !self.bbox.contains(p) {
             return false;
         }
-        let n = self.vertices.len();
         let mut inside = false;
-        for i in 0..n {
-            let a = self.vertices[i];
-            let b = self.vertices[(i + 1) % n];
+        // Edge (v[i], v[i+1]) for every i, closing with (v[n-1], v[0]):
+        // zip against the ring rotated by one, no index arithmetic.
+        let next = self.vertices.iter().cycle().skip(1);
+        for (&a, &b) in self.vertices.iter().zip(next) {
             if on_segment(a, b, p) {
                 return true; // border counts as inside
             }
@@ -131,8 +132,9 @@ impl<T: Copy> PolygonIndex<T> {
         self.tree.query_point(p, &mut |&i| hits.push(i));
         hits.sort_unstable();
         hits.into_iter()
-            .find(|&i| self.regions[i].0.contains(p))
-            .map(|i| self.regions[i].1)
+            .filter_map(|i| self.regions.get(i))
+            .find(|(poly, _)| poly.contains(p))
+            .map(|(_, t)| *t)
     }
 
     /// Every region containing `p`, in insertion order.
@@ -141,8 +143,9 @@ impl<T: Copy> PolygonIndex<T> {
         self.tree.query_point(p, &mut |&i| hits.push(i));
         hits.sort_unstable();
         hits.into_iter()
-            .filter(|&i| self.regions[i].0.contains(p))
-            .map(|i| self.regions[i].1)
+            .filter_map(|i| self.regions.get(i))
+            .filter(|(poly, _)| poly.contains(p))
+            .map(|(_, t)| *t)
             .collect()
     }
 }

@@ -18,16 +18,28 @@
 //! * [`ShardedIndex`] — N independent `TemporalIndex` instances partitioned
 //!   by country ([`shard_for`]), each with its own WAL, caches, and epoch
 //!   stream; the scatter-gather substrate for `rased-query`.
+//! * [`SpatialBank`] — the spatial arm of the lattice: per-grid-cell
+//!   pre-aggregated sparse blocks ([`spatial_shard_for`] longitude bands)
+//!   keyed in the same catalogs via [`CubeKey::regional`], giving viewport
+//!   queries the same page-per-answer economics as temporal ones.
 
 mod cache;
 mod planner;
+mod routing;
 mod shard;
+mod spatial;
 mod store;
 mod wal;
 
 pub use cache::{CacheConfig, CacheStrategy, CubeCache};
-pub use planner::{CubeSource, LevelPlanner, PlannedCube, PlannerKind, QueryPlan};
-pub use shard::{marker_shard, shard_for, ShardedIndex};
+pub use planner::{
+    BlockSource, CubeSource, LatticePlanner, LevelPlanner, PlannedBlock, PlannedCube, PlannerKind,
+    QueryPlan, RegionPlan, ViewportPlan,
+};
+pub use routing::{marker_shard, shard_for, spatial_shard_for};
+pub use shard::ShardedIndex;
+pub use spatial::{SpatialBank, SpatialPublishReport, BLOCK_PAGE_BYTES};
 pub use store::{
-    with_planner, CatalogVersion, FetchOutcome, IndexError, MaintenanceReport, TemporalIndex,
+    with_planner, CatalogVersion, CubeKey, FetchOutcome, IndexError, MaintenanceReport,
+    TemporalIndex, WORLD_REGION,
 };

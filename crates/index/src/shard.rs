@@ -36,6 +36,7 @@
 //! country's cells live in one shard.
 
 use crate::cache::CacheConfig;
+use crate::routing::{marker_shard, shard_for};
 use crate::store::{IndexError, MaintenanceReport, TemporalIndex};
 use rased_cube::{CubeSchema, DataCube};
 use rased_osm_model::CountryId;
@@ -44,20 +45,6 @@ use rased_temporal::{Date, Period};
 use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-
-/// The shard owning `country`'s cells when the store is split `shards`
-/// ways. This is *the* assignment function: ingest splitting, query
-/// routing, and response-cache stamping must all agree on it.
-pub fn shard_for(country: CountryId, shards: usize) -> usize {
-    country.index() % shards.max(1)
-}
-
-/// The shard that always commits `day` (possibly with an all-zero cube)
-/// and commits it last, carrying the durable row watermark. Round-robin by
-/// day ordinal so no single shard accumulates every bookkeeping cube.
-pub fn marker_shard(day: Date, shards: usize) -> usize {
-    day.days().rem_euclid(shards.max(1) as i32) as usize
-}
 
 /// Directory of shard `i` under `dir`. A single-shard store lives at `dir`
 /// itself so the on-disk layout (and WAL path) stays bit-compatible with a

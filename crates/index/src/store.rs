@@ -56,6 +56,9 @@ pub enum IndexError {
     BadCatalog(String),
     /// A level that the index was configured without.
     LevelDisabled(Granularity),
+    /// A raw block exceeds the store's page size (the caller should have
+    /// skipped materializing it and left the region to scan fallback).
+    BlockTooLarge { have: usize, page: usize },
 }
 
 impl fmt::Display for IndexError {
@@ -68,6 +71,9 @@ impl fmt::Display for IndexError {
             }
             IndexError::BadCatalog(m) => write!(f, "bad catalog: {m}"),
             IndexError::LevelDisabled(g) => write!(f, "index level `{g}` is disabled"),
+            IndexError::BlockTooLarge { have, page } => {
+                write!(f, "block of {have} bytes exceeds the {page}-byte page")
+            }
         }
     }
 }
@@ -120,7 +126,52 @@ impl MaintenanceReport {
     }
 }
 
-/// One immutable published version of the period → page catalog.
+/// The region half of a cube key: 0 is the whole world (the temporal
+/// index's classic keys); `1 + cell_code` addresses one grid cell of the
+/// spatial bank's pre-aggregated blocks. The offset keeps cell (0, 0)
+/// distinct from the world.
+pub const WORLD_REGION: u32 = 0;
+
+/// A lattice coordinate: one node of the (time × space) hierarchy. The
+/// pure-temporal store only ever uses [`CubeKey::world`] keys, so every
+/// `Period`-taking API on [`TemporalIndex`] is sugar over a world key; the
+/// spatial bank stores its per-cell blocks under regional keys in the same
+/// catalog/WAL machinery and inherits its crash atomicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CubeKey {
+    pub period: Period,
+    pub region: u32,
+}
+
+impl CubeKey {
+    /// The whole-world key for `period` — the classic temporal-index key.
+    pub fn world(period: Period) -> CubeKey {
+        CubeKey { period, region: WORLD_REGION }
+    }
+
+    /// The key for `period` restricted to a spatial region (a grid cell
+    /// code offset by 1; see [`WORLD_REGION`]).
+    pub fn regional(period: Period, region: u32) -> CubeKey {
+        CubeKey { period, region }
+    }
+
+    /// True for whole-world keys.
+    pub fn is_world(&self) -> bool {
+        self.region == WORLD_REGION
+    }
+}
+
+impl fmt::Display for CubeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_world() {
+            write!(f, "{}", self.period)
+        } else {
+            write!(f, "{}@r{}", self.period, self.region)
+        }
+    }
+}
+
+/// One immutable published version of the cube-key → page catalog.
 ///
 /// Readers clone the `Arc` once ([`TemporalIndex::snapshot`]) and resolve
 /// every page through it for the whole plan + execute of a query, so they
@@ -129,7 +180,7 @@ impl MaintenanceReport {
 #[derive(Debug)]
 pub struct CatalogVersion {
     epoch: u64,
-    map: HashMap<Period, PageId>,
+    map: HashMap<CubeKey, PageId>,
 }
 
 impl CatalogVersion {
@@ -142,17 +193,27 @@ impl CatalogVersion {
         self.epoch
     }
 
-    /// The page holding `period`'s cube in this version.
+    /// The page holding `period`'s whole-world cube in this version.
     pub fn page(&self, period: Period) -> Option<PageId> {
-        self.map.get(&period).copied()
+        self.page_of(CubeKey::world(period))
     }
 
-    /// True when `period` is materialized in this version.
+    /// The page bound to an arbitrary lattice key in this version.
+    pub fn page_of(&self, key: CubeKey) -> Option<PageId> {
+        self.map.get(&key).copied()
+    }
+
+    /// True when `period`'s whole-world cube is materialized.
     pub fn contains(&self, period: Period) -> bool {
-        self.map.contains_key(&period)
+        self.contains_key(CubeKey::world(period))
     }
 
-    /// Number of materialized cubes.
+    /// True when the lattice key is materialized in this version.
+    pub fn contains_key(&self, key: CubeKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Number of materialized cubes/blocks (all regions).
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -162,14 +223,20 @@ impl CatalogVersion {
         self.map.is_empty()
     }
 
-    /// Every catalogued period (unordered).
+    /// Every catalogued whole-world period (unordered).
     pub fn periods(&self) -> Vec<Period> {
+        self.map.keys().filter(|k| k.is_world()).map(|k| k.period).collect()
+    }
+
+    /// Every catalogued lattice key, regional ones included (unordered).
+    pub fn keys(&self) -> Vec<CubeKey> {
         self.map.keys().copied().collect()
     }
 
-    /// Every (period, page) binding (unordered).
+    /// Every whole-world (period, page) binding (unordered) — the cube
+    /// cache's warm-set domain.
     pub fn entries(&self) -> Vec<(Period, PageId)> {
-        self.map.iter().map(|(p, g)| (*p, *g)).collect()
+        self.map.iter().filter(|(k, _)| k.is_world()).map(|(k, g)| (k.period, *g)).collect()
     }
 }
 
@@ -178,17 +245,18 @@ impl CatalogVersion {
 const UNIT_PUT: u8 = 0;
 const UNIT_DAY: u8 = 1;
 const UNIT_MONTH: u8 = 2;
+const UNIT_BLOCK: u8 = 3;
 
 /// An uncommitted write unit: pages already appended (copy-on-write), the
 /// catalog bindings they will install, none of it visible to readers.
-/// A `None` page is a tombstone — commit removes the period's binding.
+/// A `None` page is a tombstone — commit removes the key's binding.
 /// `mark` is the warehouse durable row count to publish with the unit.
 struct WriteUnit {
     kind: u8,
     a: i32,
     b: u32,
-    delta: Vec<(Period, Option<PageId>)>,
-    staged: HashMap<Period, Option<PageId>>,
+    delta: Vec<(CubeKey, Option<PageId>)>,
+    staged: HashMap<CubeKey, Option<PageId>>,
     mark: Option<u64>,
 }
 
@@ -259,9 +327,24 @@ impl TemporalIndex {
         cache: CacheConfig,
         model: IoCostModel,
     ) -> Result<TemporalIndex, IndexError> {
+        Self::create_sized(dir, schema, levels, cache, model, schema.cube_bytes())
+    }
+
+    /// [`TemporalIndex::create`] with an explicit page size. The temporal
+    /// store sizes pages to the dense cube; the spatial bank stores small
+    /// sparse blocks and picks a much smaller page so pre-aggregated
+    /// viewport data doesn't cost a dense page per (cell, day).
+    pub fn create_sized(
+        dir: &Path,
+        schema: CubeSchema,
+        levels: u8,
+        cache: CacheConfig,
+        model: IoCostModel,
+        page_size: usize,
+    ) -> Result<TemporalIndex, IndexError> {
         assert!((1..=4).contains(&levels), "levels must be 1..=4");
         std::fs::create_dir_all(dir).map_err(StorageError::from)?;
-        let file = PageFile::create(&dir.join("cubes.pg"), schema.cube_bytes(), model)?;
+        let file = PageFile::create(&dir.join("cubes.pg"), page_size, model)?;
         let catalog_path = dir.join("catalog.bin");
         // Write the empty checkpoint and an empty WAL up front: a process
         // killed right after create must reopen as a valid empty index. The
@@ -450,8 +533,8 @@ impl TemporalIndex {
     /// The date range covered by daily cubes, if any data is present.
     pub fn coverage(&self) -> Option<(Date, Date)> {
         let snap = self.snapshot();
-        let mut days = snap.map.keys().filter_map(|p| match p {
-            Period::Day(d) => Some(*d),
+        let mut days = snap.map.keys().filter_map(|k| match k {
+            CubeKey { period: Period::Day(d), region: WORLD_REGION } => Some(*d),
             _ => None,
         });
         let first = days.next()?;
@@ -471,10 +554,20 @@ impl TemporalIndex {
     /// Nothing becomes visible until the unit commits.
     fn stage(&self, unit: &mut WriteUnit, period: Period, cube: &DataCube) -> Result<(), IndexError> {
         self.check_level(period)?;
-        let bytes = pad_to_page(cube.to_bytes(), self.file.page_size());
-        let page = self.file.append_page(&bytes)?;
-        unit.delta.push((period, Some(page)));
-        unit.staged.insert(period, Some(page));
+        self.stage_raw(unit, CubeKey::world(period), cube.to_bytes())
+    }
+
+    /// Append pre-encoded block bytes as a staged page under an arbitrary
+    /// lattice key. Oversized blocks are rejected with
+    /// [`IndexError::BlockTooLarge`] *before* touching the file.
+    fn stage_raw(&self, unit: &mut WriteUnit, key: CubeKey, bytes: Vec<u8>) -> Result<(), IndexError> {
+        let page_size = self.file.page_size();
+        if bytes.len() > page_size {
+            return Err(IndexError::BlockTooLarge { have: bytes.len(), page: page_size });
+        }
+        let page = self.file.append_page(&pad_to_page(bytes, page_size))?;
+        unit.delta.push((key, Some(page)));
+        unit.staged.insert(key, Some(page));
         Ok(())
     }
 
@@ -482,8 +575,12 @@ impl TemporalIndex {
     /// removes its catalog binding, and roll-ups built by this unit treat
     /// it as empty (the staged tombstone shadows the committed page).
     fn stage_tombstone(&self, unit: &mut WriteUnit, period: Period) {
-        unit.delta.push((period, None));
-        unit.staged.insert(period, None);
+        self.stage_tombstone_key(unit, CubeKey::world(period));
+    }
+
+    fn stage_tombstone_key(&self, unit: &mut WriteUnit, key: CubeKey) {
+        unit.delta.push((key, None));
+        unit.staged.insert(key, None);
     }
 
     /// Publish a unit: durable pages → WAL record → catalog swap. The WAL
@@ -498,7 +595,7 @@ impl TemporalIndex {
         // record that publishes it.
         self.file.sync()?;
         let payload = encode_unit(&unit);
-        let mut stale: Vec<(Period, Option<PageId>, PageId)> = Vec::new();
+        let mut stale: Vec<(CubeKey, Option<PageId>, PageId)> = Vec::new();
         let new_epoch;
         {
             let mut log = self.wal.lock();
@@ -508,18 +605,18 @@ impl TemporalIndex {
             }
             let mut cat = self.catalog.write();
             let mut map = cat.map.clone();
-            for &(p, page) in &unit.delta {
+            for &(k, page) in &unit.delta {
                 match page {
                     Some(page) => {
-                        if let Some(old) = map.insert(p, page) {
+                        if let Some(old) = map.insert(k, page) {
                             if old != page {
-                                stale.push((p, Some(page), old));
+                                stale.push((k, Some(page), old));
                             }
                         }
                     }
                     None => {
-                        if let Some(old) = map.remove(&p) {
-                            stale.push((p, None, old));
+                        if let Some(old) = map.remove(&k) {
+                            stale.push((k, None, old));
                         }
                     }
                 }
@@ -527,16 +624,20 @@ impl TemporalIndex {
             new_epoch = cat.epoch + 1;
             *cat = Arc::new(CatalogVersion { epoch: new_epoch, map });
         }
-        for (period, new_page, old_page) in stale {
+        for (key, new_page, old_page) in stale {
             // Drop the superseded cached cube (tag-checked so a copy of the
             // new version is spared; a tombstone drops unconditionally) and
             // cancel any in-flight read of the dead page so a stalled miss
-            // can't resurrect it.
-            match new_page {
-                Some(new_page) => {
-                    self.cache.invalidate_stale(period, new_page);
+            // can't resurrect it. The cube cache holds whole-world cubes
+            // only; regional blocks are cached by their owner (the spatial
+            // bank), which keys by page tag and self-corrects on mismatch.
+            if key.is_world() {
+                match new_page {
+                    Some(new_page) => {
+                        self.cache.invalidate_stale(key.period, new_page);
+                    }
+                    None => self.cache.invalidate(key.period),
                 }
-                None => self.cache.invalidate(period),
             }
             self.flights.cancel(&old_page.0);
             self.invalidations.fetch_add(1, Ordering::Relaxed);
@@ -557,6 +658,51 @@ impl TemporalIndex {
         let mut unit = WriteUnit::new(UNIT_PUT, 0, 0);
         self.stage(&mut unit, period, cube)?;
         self.commit_unit(unit)
+    }
+
+    /// Publish a batch of pre-encoded blocks — and/or tombstones (`None`
+    /// bytes) — under arbitrary lattice keys as **one atomic unit**: one
+    /// WAL record, one epoch bump, all-or-nothing on crash. This is the
+    /// spatial bank's write path; temporal levels are still enforced per
+    /// key, and a block larger than the page size fails the whole unit
+    /// before anything commits (the bank pre-filters, so hitting it is a
+    /// caller bug, not data loss — staged pages are reclaimable orphans).
+    pub fn put_blocks(&self, blocks: Vec<(CubeKey, Option<Vec<u8>>)>) -> Result<(), IndexError> {
+        let mut unit = WriteUnit::new(UNIT_BLOCK, 0, 0);
+        for (key, bytes) in blocks {
+            self.check_level(key.period)?;
+            match bytes {
+                Some(bytes) => self.stage_raw(&mut unit, key, bytes)?,
+                None => self.stage_tombstone_key(&mut unit, key),
+            }
+        }
+        self.commit_unit(unit)
+    }
+
+    /// Raw page bytes bound to `key` in `snap`, or `None` when the key is
+    /// not materialized in that version. The page is returned whole —
+    /// decoders (e.g. `SparseBlock::from_bytes`) tolerate the zero padding
+    /// after the payload. Bypasses the cube cache; block callers run their
+    /// own page-tagged cache.
+    pub fn fetch_block_at(
+        &self,
+        snap: &CatalogVersion,
+        key: CubeKey,
+    ) -> Result<Option<(PageId, Vec<u8>)>, IndexError> {
+        let Some(page) = snap.page_of(key) else {
+            return Ok(None);
+        };
+        Ok(Some((page, self.file.read_page_vec(page)?)))
+    }
+
+    /// True when any lattice key (world or regional) is materialized.
+    pub fn has_key(&self, key: CubeKey) -> bool {
+        self.catalog.read().contains_key(key)
+    }
+
+    /// Every catalogued lattice key (unordered, regional keys included).
+    pub fn keys(&self) -> Vec<CubeKey> {
+        self.catalog.read().keys()
     }
 
     /// Fetch the cube for `period` at the current epoch. Convenience over
@@ -618,7 +764,7 @@ impl TemporalIndex {
     ) -> Result<Option<Arc<DataCube>>, IndexError> {
         // A staged binding — page *or* tombstone — shadows the committed
         // catalog; only an untouched period falls through to it.
-        let page = match unit.staged.get(&period) {
+        let page = match unit.staged.get(&CubeKey::world(period)) {
             Some(&staged) => staged,
             None => self.catalog.read().page(period),
         };
@@ -849,24 +995,22 @@ fn pad_to_page(mut bytes: Vec<u8>, page_size: usize) -> Vec<u8> {
 
 // --- WAL unit payloads -----------------------------------------------------
 // Payload: kind u8 | a i32 | b u32 | entry count u32, then per entry the
-// same 17-byte layout as the catalog sidecar:
-//   granularity u8 | a i32 | b u32 | page u64
+// same 21-byte layout as the catalog sidecar:
+//   granularity u8 | a i32 | b u32 | region u32 | page u64
 // A page of `TOMBSTONE` (u64::MAX) removes the binding instead of
 // installing one. An optional 8-byte trailer after the entries is the
 // unit's durable warehouse watermark; units without one omit it.
 
+const ENTRY_BYTES: usize = 21;
+
 fn encode_unit(unit: &WriteUnit) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + unit.delta.len() * 17 + 8);
+    let mut out = Vec::with_capacity(13 + unit.delta.len() * ENTRY_BYTES + 8);
     out.push(unit.kind);
     out.extend_from_slice(&unit.a.to_le_bytes());
     out.extend_from_slice(&unit.b.to_le_bytes());
     out.extend_from_slice(&(unit.delta.len() as u32).to_le_bytes());
-    for &(p, page) in &unit.delta {
-        let (g, a, b) = encode_period(p);
-        out.push(g);
-        out.extend_from_slice(&a.to_le_bytes());
-        out.extend_from_slice(&b.to_le_bytes());
-        out.extend_from_slice(&page.map_or(TOMBSTONE, |pg| pg.0).to_le_bytes());
+    for &(k, page) in &unit.delta {
+        encode_entry(&mut out, k, page.map_or(TOMBSTONE, |pg| pg.0));
     }
     if let Some(mark) = unit.mark {
         out.extend_from_slice(&mark.to_le_bytes());
@@ -874,37 +1018,55 @@ fn encode_unit(unit: &WriteUnit) -> Vec<u8> {
     out
 }
 
-type DecodedUnit = (Vec<(Period, Option<PageId>)>, Option<u64>);
+type DecodedUnit = (Vec<(CubeKey, Option<PageId>)>, Option<u64>);
 
 fn decode_unit(payload: &[u8]) -> Result<DecodedUnit, IndexError> {
     let bad = |m: &str| IndexError::BadCatalog(format!("wal record: {m}"));
     let n = rased_storage::bytes::read_u32_le(payload, 9).ok_or_else(|| bad("short header"))? as usize;
     let mut entries = Vec::with_capacity(n.min(4096));
     for i in 0..n {
-        let off = 13 + i * 17;
-        let g = *payload.get(off).ok_or_else(|| bad("truncated entries"))?;
-        let a = rased_storage::bytes::read_u32_le(payload, off + 1).ok_or_else(|| bad("truncated entries"))? as i32;
-        let b = rased_storage::bytes::read_u32_le(payload, off + 5).ok_or_else(|| bad("truncated entries"))?;
-        let page = rased_storage::bytes::read_u64_le(payload, off + 9).ok_or_else(|| bad("truncated entries"))?;
+        let (key, page) = decode_entry(payload, 13 + i * ENTRY_BYTES)
+            .ok_or_else(|| bad("truncated entries"))??;
         let page = if page == TOMBSTONE { None } else { Some(PageId(page)) };
-        entries.push((decode_period(g, a, b)?, page));
+        entries.push((key, page));
     }
     // The watermark trailer is present exactly when 8 more bytes follow
     // the entries (the CRC framing already vouches for the byte count).
-    let mark = rased_storage::bytes::read_u64_le(payload, 13 + n * 17);
+    let mark = rased_storage::bytes::read_u64_le(payload, 13 + n * ENTRY_BYTES);
     Ok((entries, mark))
 }
 
-// --- catalog sidecar -------------------------------------------------------
-// Format v2: magic (8) + epoch (u64) + durable mark (u64, u64::MAX = none)
-// + entry count (u64), then per entry:
-//   granularity u8 | a i32 | b u32 | page u64
-// where (a, b) encode the period: Day/Week → (start-days, 0);
-// Month → (year, month); Year → (year, 0). v2 adds the epoch (so epochs
-// stay monotonic across restarts) and the warehouse watermark; the magic
-// was bumped from RASEDCT1 — no deployed v1 catalogs exist to migrate.
+fn encode_entry(out: &mut Vec<u8>, key: CubeKey, page: u64) {
+    let (g, a, b) = encode_period(key.period);
+    out.push(g);
+    out.extend_from_slice(&a.to_le_bytes());
+    out.extend_from_slice(&b.to_le_bytes());
+    out.extend_from_slice(&key.region.to_le_bytes());
+    out.extend_from_slice(&page.to_le_bytes());
+}
 
-const CATALOG_MAGIC: &[u8; 8] = b"RASEDCT2";
+/// Decode one 21-byte entry at `off`. Outer `None` = short buffer; inner
+/// `Err` = well-framed but invalid (bad granularity tag).
+fn decode_entry(bytes: &[u8], off: usize) -> Option<Result<(CubeKey, u64), IndexError>> {
+    let g = *bytes.get(off)?;
+    let a = rased_storage::bytes::read_u32_le(bytes, off + 1)? as i32;
+    let b = rased_storage::bytes::read_u32_le(bytes, off + 5)?;
+    let region = rased_storage::bytes::read_u32_le(bytes, off + 9)?;
+    let page = rased_storage::bytes::read_u64_le(bytes, off + 13)?;
+    Some(decode_period(g, a, b).map(|p| (CubeKey { period: p, region }, page)))
+}
+
+// --- catalog sidecar -------------------------------------------------------
+// Format v3: magic (8) + epoch (u64) + durable mark (u64, u64::MAX = none)
+// + entry count (u64), then per entry:
+//   granularity u8 | a i32 | b u32 | region u32 | page u64
+// where (a, b) encode the period: Day/Week → (start-days, 0);
+// Month → (year, month); Year → (year, 0), and `region` is the spatial
+// half of the key (0 = world). v3 widens entries from 17 to 21 bytes for
+// the region; the magic was bumped from RASEDCT2 — no deployed v2
+// catalogs exist to migrate.
+
+const CATALOG_MAGIC: &[u8; 8] = b"RASEDCT3";
 const CATALOG_HEADER: usize = 32;
 
 fn encode_period(p: Period) -> (u8, i32, u32) {
@@ -928,21 +1090,17 @@ fn decode_period(g: u8, a: i32, b: u32) -> Result<Period, IndexError> {
 
 fn save_catalog(
     path: &Path,
-    catalog: &HashMap<Period, PageId>,
+    catalog: &HashMap<CubeKey, PageId>,
     epoch: u64,
     mark: Option<u64>,
 ) -> Result<(), IndexError> {
-    let mut out = Vec::with_capacity(CATALOG_HEADER + catalog.len() * 17);
+    let mut out = Vec::with_capacity(CATALOG_HEADER + catalog.len() * ENTRY_BYTES);
     out.extend_from_slice(CATALOG_MAGIC);
     out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&mark.unwrap_or(NO_MARK).to_le_bytes());
     out.extend_from_slice(&(catalog.len() as u64).to_le_bytes());
-    for (p, page) in catalog {
-        let (g, a, b) = encode_period(*p);
-        out.push(g);
-        out.extend_from_slice(&a.to_le_bytes());
-        out.extend_from_slice(&b.to_le_bytes());
-        out.extend_from_slice(&page.0.to_le_bytes());
+    for (k, page) in catalog {
+        encode_entry(&mut out, *k, page.0);
     }
     // Write-temp + rename: the checkpoint is replaced atomically, so a
     // crash mid-save can never leave a half-written catalog.bin.
@@ -958,7 +1116,7 @@ fn save_catalog(
     Ok(())
 }
 
-fn load_catalog(path: &Path) -> Result<(HashMap<Period, PageId>, u64, Option<u64>), IndexError> {
+fn load_catalog(path: &Path) -> Result<(HashMap<CubeKey, PageId>, u64, Option<u64>), IndexError> {
     let bytes = std::fs::read(path).map_err(StorageError::from)?;
     if bytes.len() < CATALOG_HEADER || !bytes.starts_with(CATALOG_MAGIC) {
         return Err(IndexError::BadCatalog("missing or corrupt header".into()));
@@ -971,17 +1129,13 @@ fn load_catalog(path: &Path) -> Result<(HashMap<Period, PageId>, u64, Option<u64
     };
     let count = rased_storage::bytes::read_u64_le(&bytes, 24).ok_or_else(truncated)? as usize;
     let body = bytes.get(CATALOG_HEADER..).ok_or_else(truncated)?;
-    if count.checked_mul(17).is_none_or(|need| body.len() < need) {
+    if count.checked_mul(ENTRY_BYTES).is_none_or(|need| body.len() < need) {
         return Err(truncated());
     }
     let mut catalog = HashMap::with_capacity(count);
     for i in 0..count {
-        let off = i * 17;
-        let g = *body.get(off).ok_or_else(truncated)?;
-        let a = rased_storage::bytes::read_u32_le(body, off + 1).ok_or_else(truncated)? as i32;
-        let b = rased_storage::bytes::read_u32_le(body, off + 5).ok_or_else(truncated)?;
-        let page = rased_storage::bytes::read_u64_le(body, off + 9).ok_or_else(truncated)?;
-        catalog.insert(decode_period(g, a, b)?, PageId(page));
+        let (key, page) = decode_entry(body, i * ENTRY_BYTES).ok_or_else(truncated)??;
+        catalog.insert(key, PageId(page));
     }
     Ok((catalog, epoch, mark))
 }

@@ -14,15 +14,18 @@
 use crate::model::{
     AnalysisQuery, GroupDim, GroupKey, NetworkSizes, QueryResult, QueryStats, ResultRow, ValueMode,
 };
+use crate::naive::RecordAggregator;
 use rased_cube::DimSelection;
+use rased_geo::{BBox, CellId, GridSpec, Point};
 use rased_index::{
-    shard_for, CatalogVersion, CubeSource, FetchOutcome, IndexError, LevelPlanner, PlannerKind,
-    QueryPlan, ShardedIndex, TemporalIndex,
+    shard_for, BlockSource, CatalogVersion, CubeSource, FetchOutcome, IndexError, LatticePlanner,
+    LevelPlanner, PlannerKind, QueryPlan, ShardedIndex, SpatialBank, TemporalIndex,
 };
 use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
 use rased_storage::sync::Mutex;
 use rased_storage::IoSnapshot;
-use rased_temporal::{DateRange, Period};
+use rased_temporal::{Date, DateRange, Period};
+use rased_warehouse::{Warehouse, WarehouseError};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,15 +34,23 @@ use std::time::Instant;
 #[derive(Debug)]
 pub enum QueryError {
     Index(IndexError),
+    Warehouse(WarehouseError),
     /// The plan referenced a cube that vanished between planning and fetch.
     PlanRace(Period),
+    /// The query carries a bbox filter but the engine was built without a
+    /// [`SpatialExec`] context.
+    NoSpatialContext,
 }
 
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::Index(e) => write!(f, "{e}"),
+            QueryError::Warehouse(e) => write!(f, "{e}"),
             QueryError::PlanRace(p) => write!(f, "cube {p} disappeared during execution"),
+            QueryError::NoSpatialContext => {
+                write!(f, "bbox query requires a spatial execution context")
+            }
         }
     }
 }
@@ -49,6 +60,36 @@ impl std::error::Error for QueryError {}
 impl From<IndexError> for QueryError {
     fn from(e: IndexError) -> Self {
         QueryError::Index(e)
+    }
+}
+
+impl From<WarehouseError> for QueryError {
+    fn from(e: WarehouseError) -> Self {
+        QueryError::Warehouse(e)
+    }
+}
+
+/// Spatial execution context for viewport (bbox) queries. The warehouse is
+/// the exact fallback — any (cell, day) the bank has not materialized is
+/// answered by a spatial-index scan. With no bank every viewport query is
+/// a pure grid scan: the flat baseline the fig15 ablation measures the
+/// block bank against.
+pub struct SpatialExec<'a> {
+    warehouse: &'a Warehouse,
+    bank: Option<&'a SpatialBank>,
+}
+
+impl<'a> SpatialExec<'a> {
+    /// Scan-only context (ablation baseline; also the fallback while a
+    /// bank is still backfilling).
+    pub fn scan_only(warehouse: &'a Warehouse) -> SpatialExec<'a> {
+        SpatialExec { warehouse, bank: None }
+    }
+
+    /// Bank-accelerated context: interior viewport cells come from
+    /// pre-aggregated blocks, everything else from warehouse scans.
+    pub fn banked(warehouse: &'a Warehouse, bank: &'a SpatialBank) -> SpatialExec<'a> {
+        SpatialExec { warehouse, bank: Some(bank) }
     }
 }
 
@@ -66,12 +107,19 @@ pub struct QueryEngine<'a> {
     planner: PlannerKind,
     sizes: Option<NetworkSizes>,
     threads: usize,
+    spatial: Option<SpatialExec<'a>>,
 }
 
 impl<'a> QueryEngine<'a> {
     /// An engine over `index` using the exact DP planner, sequential.
     pub fn new(index: &'a TemporalIndex) -> QueryEngine<'a> {
-        QueryEngine { stores: vec![index], planner: PlannerKind::ExactDp, sizes: None, threads: 1 }
+        QueryEngine {
+            stores: vec![index],
+            planner: PlannerKind::ExactDp,
+            sizes: None,
+            threads: 1,
+            spatial: None,
+        }
     }
 
     /// A scatter-gather engine over every shard of `index`. Country-
@@ -84,7 +132,14 @@ impl<'a> QueryEngine<'a> {
             planner: PlannerKind::ExactDp,
             sizes: None,
             threads: 1,
+            spatial: None,
         }
+    }
+
+    /// Attach a spatial execution context, enabling bbox-filtered queries.
+    pub fn with_spatial(mut self, spatial: SpatialExec<'a>) -> Self {
+        self.spatial = Some(spatial);
+        self
     }
 
     /// Switch planning algorithm (the greedy variant exists for ablation).
@@ -129,6 +184,12 @@ impl<'a> QueryEngine<'a> {
 
     /// Execute an analysis query.
     pub fn execute(&self, q: &AnalysisQuery) -> Result<QueryResult, QueryError> {
+        // A spatial filter changes the access path entirely: cubes
+        // aggregate whole countries and cannot cut below one, so bbox
+        // queries run against the block bank + warehouse instead.
+        if let Some(bbox) = q.bbox {
+            return self.execute_spatial(q, bbox);
+        }
         let start = Instant::now();
 
         // Scatter: route to the stores this query can touch at all, then
@@ -293,21 +354,7 @@ impl<'a> QueryEngine<'a> {
         let (cube, outcome) =
             store.fetch_at(snap, period)?.ok_or(QueryError::PlanRace(period))?;
         cube.for_each_selected(selection, |et, c, r, u, v| {
-            let mut key = GroupKey { date: date_key, ..GroupKey::default() };
-            for dim in &q.group_by {
-                match dim {
-                    GroupDim::ElementType => {
-                        key.element_type = ElementType::from_index(et);
-                    }
-                    GroupDim::Country => key.country = Some(CountryId(c as u16)),
-                    GroupDim::RoadType => key.road_type = Some(RoadTypeId(r as u16)),
-                    GroupDim::UpdateType => {
-                        key.update_type = UpdateType::from_index(u);
-                    }
-                    GroupDim::Date(_) => {} // already in date_key
-                }
-            }
-            *groups.entry(key).or_insert(0) += v;
+            *groups.entry(cell_group_key(q, date_key, et, c, r, u)).or_insert(0) += v;
         });
         Ok(outcome)
     }
@@ -403,6 +450,239 @@ impl<'a> QueryEngine<'a> {
             None => std::time::Duration::ZERO,
         }
     }
+
+    /// Execute a bbox-filtered query. With a bank, interior cover cells
+    /// are answered from pre-aggregated spatial blocks (per-cell lattice
+    /// plan) and everything else — boundary cells, unmaterialized
+    /// (cell, day)s — from warehouse scans; without one, the whole box is
+    /// one exhaustive grid scan. Both paths feed the same
+    /// [`RecordAggregator`] the oracle uses, so rows are byte-identical to
+    /// [`crate::naive_execute`] by construction.
+    fn execute_spatial(&self, q: &AnalysisQuery, bbox: BBox) -> Result<QueryResult, QueryError> {
+        let sp = self.spatial.as_ref().ok_or(QueryError::NoSpatialContext)?;
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let selection = self.selection(q);
+        let mut agg = RecordAggregator::new(q, self.sizes.as_ref());
+
+        if selection.is_empty() {
+            stats.wall = start.elapsed();
+            return Ok(QueryResult { rows: Vec::new(), stats });
+        }
+
+        let wh_before = sp.warehouse.io_snapshot();
+        match sp.bank {
+            None => {
+                // Grid-scan baseline: the aggregator applies every filter
+                // (range, dimensions, and the bbox itself).
+                let mut rows = 0u64;
+                sp.warehouse.scan_region(&bbox, |r| {
+                    rows += 1;
+                    agg.push(r);
+                })?;
+                stats.scan_rows = rows;
+            }
+            Some(bank) => {
+                self.execute_viewport(q, bbox, sp, bank, &selection, &mut agg, &mut stats)?;
+            }
+        }
+        // Warehouse pages read by scans (the whole grid-scan baseline, and
+        // the banked path's boundary/fallback cells) are physical I/O of
+        // this query, charged like cube fetches. Scans run serially on the
+        // caller thread, so the full modeled delta sits on the critical
+        // path. Same caveat as the bank-shard deltas above: counters are
+        // shared, so concurrent queries' I/O can be co-attributed.
+        let wh_delta = sp.warehouse.io_snapshot().since(&wh_before);
+        stats.io.reads += wh_delta.reads;
+        stats.io.writes += wh_delta.writes;
+        stats.io.bytes_read += wh_delta.bytes_read;
+        stats.io.bytes_written += wh_delta.bytes_written;
+        stats.io.modeled = stats.io.modeled.saturating_add(wh_delta.modeled);
+        stats.io_critical = stats.io_critical.saturating_add(wh_delta.modeled);
+
+        let mut result = agg.finish();
+        stats.wall = start.elapsed();
+        result.stats = stats;
+        Ok(result)
+    }
+
+    /// The bank-accelerated viewport path. Touches only the bank shards
+    /// owning the cover's interior cells — a publish in any other region
+    /// neither delays this query nor shows up in its pinned epochs.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_viewport(
+        &self,
+        q: &AnalysisQuery,
+        bbox: BBox,
+        sp: &SpatialExec<'a>,
+        bank: &SpatialBank,
+        selection: &DimSelection,
+        agg: &mut RecordAggregator<'_>,
+        stats: &mut QueryStats,
+    ) -> Result<(), QueryError> {
+        let grid = bank.grid();
+        let cover = grid.cover(&bbox);
+
+        // Pin one snapshot per band shard the interior cells route to.
+        let mut snaps: HashMap<usize, Arc<CatalogVersion>> = HashMap::new();
+        let mut io_before: HashMap<usize, IoSnapshot> = HashMap::new();
+        for &cell in &cover.interior {
+            let s = bank.shard_of(cell);
+            if !snaps.contains_key(&s) {
+                if let (Some(snap), Some(store)) = (bank.snapshot(s), bank.stores().get(s)) {
+                    io_before.insert(s, store.file().stats().snapshot());
+                    snaps.insert(s, snap);
+                }
+            }
+        }
+        stats.epoch = snaps.values().map(|snap| snap.epoch()).sum();
+
+        // Date-group sub-windows (same structure as the temporal path):
+        // every planned block lies inside exactly one group period, so a
+        // month block can only serve a month-or-coarser group.
+        let mut windows: Vec<(Option<Period>, DateRange)> = Vec::new();
+        match q.date_granularity() {
+            None => windows.push((None, q.range)),
+            Some(g) => {
+                let mut p = Period::containing(g, q.range.start());
+                while p.start() <= q.range.end() {
+                    let Some(sub) = p.range().intersect(q.range) else { break };
+                    windows.push((Some(p), sub));
+                    p = p.succ();
+                }
+            }
+        }
+
+        let probe = |cell: CellId, p: Period| {
+            snaps
+                .get(&bank.shard_of(cell))
+                .is_some_and(|snap| bank.has_block(snap, cell, p))
+        };
+        let lattice = LatticePlanner::new(&probe);
+        // One marker-registry snapshot for the whole plan: a (cell, day)
+        // without a block on a *marked* day provably holds no rows, so it
+        // needs neither a fetch nor a scan.
+        let marker = bank.marker_snapshot();
+
+        for (date_key, sub) in &windows {
+            let plan = lattice.plan_viewport(&cover.interior, *sub);
+            // Scan fallbacks batch into maximal per-cell day runs (the
+            // plan emits a cell's days in order).
+            let mut scan_runs: Vec<(CellId, Date, Date)> = Vec::new();
+            for b in &plan.blocks {
+                match b.source {
+                    BlockSource::Block => {
+                        let s = bank.shard_of(b.cell);
+                        let Some(snap) = snaps.get(&s) else { continue };
+                        let (block, outcome) = bank
+                            .fetch_block_traced(s, snap, b.cell, b.period)?
+                            .ok_or(QueryError::PlanRace(b.period))?;
+                        match outcome {
+                            FetchOutcome::Cache => stats.blocks_from_cache += 1,
+                            FetchOutcome::Disk => stats.blocks_from_disk += 1,
+                        }
+                        block.for_each_selected(selection, |et, c, r, u, v| {
+                            agg.push_count(cell_group_key(q, *date_key, et, c, r, u), v);
+                        });
+                    }
+                    BlockSource::Scan => {
+                        let Period::Day(day) = b.period else { continue };
+                        if bank.day_published(&marker, day) {
+                            stats.empty_days += 1;
+                            continue;
+                        }
+                        stats.scan_days += 1;
+                        match scan_runs.last_mut() {
+                            Some((cell, _, end)) if *cell == b.cell && end.succ() == day => {
+                                *end = day;
+                            }
+                            _ => scan_runs.push((b.cell, day, day)),
+                        }
+                    }
+                }
+            }
+            for (cell, from, to) in scan_runs {
+                scan_cell(sp, grid, cell, DateRange::new(from, to), agg, stats)?;
+            }
+        }
+
+        // Boundary cells are always scanned: their blocks aggregate the
+        // whole cell, but the box only covers part of it. The aggregator's
+        // bbox filter does the cutting.
+        for &cell in &cover.boundary {
+            scan_cell(sp, grid, cell, q.range, agg, stats)?;
+        }
+
+        for (s, before) in &io_before {
+            if let Some(store) = bank.stores().get(*s) {
+                let delta = store.file().stats().snapshot().since(before);
+                stats.io.reads += delta.reads;
+                stats.io.writes += delta.writes;
+                stats.io.bytes_read += delta.bytes_read;
+                stats.io.bytes_written += delta.bytes_written;
+                stats.io.modeled = stats.io.modeled.saturating_add(delta.modeled);
+            }
+        }
+        if let Some(store) = bank.stores().first() {
+            let file = store.file();
+            stats.io_critical =
+                file.cost_model().cost(file.page_size() as u64) * stats.blocks_from_disk as u32;
+        }
+        Ok(())
+    }
+}
+
+/// Scan one cell's rows for `days` and push them through the aggregator.
+/// The grid's cell assignment is re-checked per row so seams between
+/// adjacent scanned cells never double-count, whatever the warehouse
+/// index's own boundary semantics.
+fn scan_cell(
+    sp: &SpatialExec<'_>,
+    grid: GridSpec,
+    cell: CellId,
+    days: DateRange,
+    agg: &mut RecordAggregator<'_>,
+    stats: &mut QueryStats,
+) -> Result<(), QueryError> {
+    let Some(cell_box) = grid.cell_bbox(cell) else { return Ok(()) };
+    let mut rows = 0u64;
+    sp.warehouse.scan_region(&cell_box, |r| {
+        if !days.contains(r.date) || grid.cell_of(Point::new(r.lat7, r.lon7)) != Some(cell) {
+            return;
+        }
+        rows += 1;
+        agg.push(r);
+    })?;
+    stats.scan_rows += rows;
+    Ok(())
+}
+
+/// The group key of one cube/block cell: the cell's coordinates projected
+/// onto the query's grouped dimensions (the cube path and the block path
+/// must build identical keys, so this lives once).
+fn cell_group_key(
+    q: &AnalysisQuery,
+    date_key: Option<Period>,
+    et: usize,
+    c: usize,
+    r: usize,
+    u: usize,
+) -> GroupKey {
+    let mut key = GroupKey { date: date_key, ..GroupKey::default() };
+    for dim in &q.group_by {
+        match dim {
+            GroupDim::ElementType => {
+                key.element_type = ElementType::from_index(et);
+            }
+            GroupDim::Country => key.country = Some(CountryId(c as u16)),
+            GroupDim::RoadType => key.road_type = Some(RoadTypeId(r as u16)),
+            GroupDim::UpdateType => {
+                key.update_type = UpdateType::from_index(u);
+            }
+            GroupDim::Date(_) => {} // already in date_key
+        }
+    }
+    key
 }
 
 /// Percentage semantics shared by engine and oracle: per-country network
@@ -691,6 +971,267 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ---- spatial (viewport) path -------------------------------------
+
+    /// A 4×4 grid over a small extent; with 4 bank shards, shard == column.
+    fn sgrid() -> GridSpec {
+        GridSpec::new(BBox::new(0, 0, 4000, 4000), 4, 4)
+    }
+
+    fn cell(row: u16, col: u16) -> CellId {
+        CellId { row, col }
+    }
+
+    /// Like [`dataset`] but with coordinates spread across the grid extent.
+    fn spatial_dataset() -> Vec<UpdateRecord> {
+        let mut state = 0x0ddb_a11c_afef_00d5u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut out = Vec::new();
+        for day in 0..90 {
+            let date = d("2021-01-01").add_days(day);
+            for _ in 0..(5 + (next() % 20)) {
+                out.push(UpdateRecord {
+                    element_type: ElementType::ALL[(next() % 3) as usize],
+                    update_type: UpdateType::ALL[(next() % 5) as usize],
+                    country: CountryId((next() % 4) as u16),
+                    road_type: RoadTypeId((next() % 3) as u16),
+                    date,
+                    lat7: (next() % 4001) as i32,
+                    lon7: (next() % 4001) as i32,
+                    changeset: ChangesetId(next()),
+                });
+            }
+        }
+        out
+    }
+
+    /// Temporal index + warehouse + 4-shard bank, all fed the same records
+    /// day by day (full months Jan–Mar, so month blocks materialize).
+    fn build_spatial(
+        tag: &str,
+        records: &[UpdateRecord],
+    ) -> (TempDir, TemporalIndex, Warehouse, SpatialBank) {
+        let dir = TempDir::new(&format!("query-sp-{tag}"));
+        let schema = CubeSchema::tiny();
+        let idx = TemporalIndex::create(
+            &dir.path().join("index"),
+            schema,
+            4,
+            CacheConfig::disabled(),
+            IoCostModel::free(),
+        )
+        .unwrap();
+        let wh = Warehouse::create(&dir.path().join("wh"), IoCostModel::free(), 64).unwrap();
+        let bank =
+            SpatialBank::create(&dir.path().join("bank"), 4, sgrid(), schema, IoCostModel::free(), 64)
+                .unwrap();
+        let mut by_day: std::collections::BTreeMap<Date, Vec<UpdateRecord>> = Default::default();
+        for r in records {
+            by_day.entry(r.date).or_default().push(*r);
+        }
+        for (day, recs) in &by_day {
+            let cube = DataCube::from_records(schema, recs.iter()).unwrap();
+            idx.ingest_day(*day, &cube).unwrap();
+            for r in recs {
+                wh.insert(r).unwrap();
+            }
+            bank.publish_day(*day, recs).unwrap();
+        }
+        wh.flush().unwrap();
+        (dir, idx, wh, bank)
+    }
+
+    /// Banked path, grid-scan ablation, and the record-at-a-time oracle
+    /// must all agree row for row.
+    fn assert_spatial_matches_naive(tag: &str, q: AnalysisQuery) {
+        let records = spatial_dataset();
+        let (_dir, idx, wh, bank) = build_spatial(tag, &records);
+        let want = naive_execute(&records, &q, None);
+        let banked = QueryEngine::new(&idx)
+            .with_spatial(SpatialExec::banked(&wh, &bank))
+            .execute(&q)
+            .unwrap();
+        assert_eq!(banked.rows, want.rows, "banked path diverges for {q:?}");
+        let scanned = QueryEngine::new(&idx)
+            .with_spatial(SpatialExec::scan_only(&wh))
+            .execute(&q)
+            .unwrap();
+        assert_eq!(scanned.rows, want.rows, "scan-only path diverges for {q:?}");
+    }
+
+    #[test]
+    fn viewport_aligned_box_matches_naive() {
+        // Exactly cells (1,1)..(2,2): all interior, no boundary.
+        let b = sgrid().cell_bbox(cell(1, 1)).unwrap().union(&sgrid().cell_bbox(cell(2, 2)).unwrap());
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31"))).within(b);
+        assert_spatial_matches_naive("sp1", q);
+    }
+
+    #[test]
+    fn viewport_ragged_box_matches_naive() {
+        // Cuts through cells on every side: interior core + boundary ring.
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-10"), d("2021-03-20")))
+            .within(BBox::new(300, 700, 3300, 3700))
+            .group(GroupDim::Country)
+            .group(GroupDim::Date(Granularity::Day));
+        assert_spatial_matches_naive("sp2", q);
+    }
+
+    #[test]
+    fn viewport_sliver_inside_one_cell_matches_naive() {
+        // Strictly inside cell (0,0): boundary-only cover, pure scan.
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-02-28")))
+            .within(BBox::new(100, 100, 400, 900))
+            .updates(UpdateType::NEW_OR_UPDATE.to_vec())
+            .group(GroupDim::UpdateType);
+        assert_spatial_matches_naive("sp3", q);
+    }
+
+    #[test]
+    fn viewport_with_filters_and_month_grouping_matches_naive() {
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-15"), d("2021-03-31")))
+            .within(BBox::new(0, 1000, 4000, 2999))
+            .countries(vec![CountryId(0), CountryId(2)])
+            .group(GroupDim::Date(Granularity::Month))
+            .group(GroupDim::ElementType);
+        assert_spatial_matches_naive("sp4", q);
+    }
+
+    #[test]
+    fn bbox_without_spatial_context_errors() {
+        let records = spatial_dataset();
+        let (_dir, idx) = build_index("sp-noctx", &records);
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .within(BBox::new(0, 0, 4000, 4000));
+        assert!(matches!(
+            QueryEngine::new(&idx).execute(&q),
+            Err(QueryError::NoSpatialContext)
+        ));
+    }
+
+    #[test]
+    fn banked_viewport_uses_blocks_and_confines_reads_to_owning_bands() {
+        let records = spatial_dataset();
+        let (_dir, idx, wh, bank) = build_spatial("sp-conf", &records);
+        // Whole column 1, aligned: interior cells all route to band 1.
+        let b = sgrid().cell_bbox(cell(0, 1)).unwrap().union(&sgrid().cell_bbox(cell(3, 1)).unwrap());
+        let before: Vec<u64> =
+            bank.stores().iter().map(|s| s.file().stats().snapshot().reads).collect();
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31"))).within(b);
+        let got = QueryEngine::new(&idx)
+            .with_spatial(SpatialExec::banked(&wh, &bank))
+            .execute(&q)
+            .unwrap();
+        assert!(
+            got.stats.blocks_from_disk + got.stats.blocks_from_cache > 0,
+            "aligned viewport must be served from blocks, got {:?}",
+            got.stats
+        );
+        // Full months in range: month roll-ups beat 90 day blocks.
+        assert!(
+            got.stats.blocks_from_disk + got.stats.blocks_from_cache < 90,
+            "expected month roll-ups, got {:?}",
+            got.stats
+        );
+        let after: Vec<u64> =
+            bank.stores().iter().map(|s| s.file().stats().snapshot().reads).collect();
+        for (i, (b0, b1)) in before.iter().zip(after.iter()).enumerate() {
+            if i == 1 {
+                assert!(b1 > b0, "owning band must be read");
+            } else {
+                assert_eq!(b1, b0, "band {i} read outside the viewport's column");
+            }
+        }
+    }
+
+    #[test]
+    fn marked_empty_cell_days_need_no_scan() {
+        // Every day reached the bank, so a (cell, day) without a block is
+        // provably empty: an aligned viewport must be answered from blocks
+        // alone, with the empty holes skipped rather than scanned.
+        let records = spatial_dataset();
+        let (_dir, idx, wh, bank) = build_spatial("sp-marked", &records);
+        let b = sgrid().cell_bbox(cell(1, 1)).unwrap().union(&sgrid().cell_bbox(cell(2, 2)).unwrap());
+        // Ragged end: March 1–20 is below month granularity, so the plan
+        // descends to day blocks there — where the holes live.
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-20"))).within(b);
+        let got = QueryEngine::new(&idx)
+            .with_spatial(SpatialExec::banked(&wh, &bank))
+            .execute(&q)
+            .unwrap();
+        assert_eq!(got.stats.scan_days, 0, "marked days must not scan: {:?}", got.stats);
+        assert_eq!(got.stats.scan_rows, 0);
+        assert!(got.stats.empty_days > 0, "the sparse dataset has empty cell-days");
+        assert_eq!(got.rows, naive_execute(&records, &q, None).rows);
+    }
+
+    #[test]
+    fn unpublished_days_fall_back_to_warehouse_scans() {
+        // The bank never saw February: its days are unmarked, so the
+        // planner must scan them from the warehouse — and the merged rows
+        // must still match the oracle exactly.
+        let records = spatial_dataset();
+        let dir = TempDir::new("query-sp-gap");
+        let schema = CubeSchema::tiny();
+        let idx = TemporalIndex::create(
+            &dir.path().join("index"),
+            schema,
+            4,
+            CacheConfig::disabled(),
+            IoCostModel::free(),
+        )
+        .unwrap();
+        let wh = Warehouse::create(&dir.path().join("wh"), IoCostModel::free(), 64).unwrap();
+        let bank =
+            SpatialBank::create(&dir.path().join("bank"), 4, sgrid(), schema, IoCostModel::free(), 64)
+                .unwrap();
+        let mut by_day: std::collections::BTreeMap<Date, Vec<UpdateRecord>> = Default::default();
+        for r in &records {
+            by_day.entry(r.date).or_default().push(*r);
+        }
+        for (day, recs) in &by_day {
+            let cube = DataCube::from_records(schema, recs.iter()).unwrap();
+            idx.ingest_day(*day, &cube).unwrap();
+            for r in recs {
+                wh.insert(r).unwrap();
+            }
+            if day.month() != 2 {
+                bank.publish_day(*day, recs).unwrap();
+            }
+        }
+        wh.flush().unwrap();
+
+        let b = sgrid().cell_bbox(cell(1, 1)).unwrap().union(&sgrid().cell_bbox(cell(2, 2)).unwrap());
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31"))).within(b);
+        let got = QueryEngine::new(&idx)
+            .with_spatial(SpatialExec::banked(&wh, &bank))
+            .execute(&q)
+            .unwrap();
+        assert!(got.stats.scan_days > 0, "unmarked days must scan: {:?}", got.stats);
+        assert!(got.stats.scan_rows > 0);
+        assert_eq!(got.rows, naive_execute(&records, &q, None).rows);
+    }
+
+    #[test]
+    fn scan_only_ablation_reports_scan_rows_and_no_blocks() {
+        let records = spatial_dataset();
+        let (_dir, idx, wh, _bank) = build_spatial("sp-abl", &records);
+        let q = AnalysisQuery::over(DateRange::new(d("2021-01-01"), d("2021-03-31")))
+            .within(BBox::new(500, 500, 3500, 3500));
+        let got = QueryEngine::new(&idx)
+            .with_spatial(SpatialExec::scan_only(&wh))
+            .execute(&q)
+            .unwrap();
+        assert!(got.stats.scan_rows > 0);
+        assert_eq!(got.stats.blocks_from_disk, 0);
+        assert_eq!(got.stats.blocks_from_cache, 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ mod engine;
 mod model;
 mod naive;
 
-pub use engine::{QueryEngine, QueryError};
+pub use engine::{QueryEngine, QueryError, SpatialExec};
 pub use model::{
     AnalysisQuery, GroupDim, GroupKey, NetworkSizes, QueryResult, QueryStats, ResultRow, ValueMode,
 };

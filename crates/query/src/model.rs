@@ -1,5 +1,6 @@
 //! Query and result types.
 
+use rased_geo::BBox;
 use rased_osm_model::{CountryId, ElementType, RoadTypeId, UpdateType};
 use rased_storage::IoSnapshot;
 use rased_temporal::{DateRange, Granularity, Period};
@@ -57,6 +58,12 @@ pub struct AnalysisQuery {
     pub countries: Option<Vec<CountryId>>,
     pub road_types: Option<Vec<RoadTypeId>>,
     pub update_types: Option<Vec<UpdateType>>,
+    /// Spatial filter: keep only updates whose (lat, lon) falls inside
+    /// this box (border-inclusive). `None` = no spatial constraint. This
+    /// is the dashboard's viewport drill-down; the engine answers it from
+    /// the spatial block bank where materialized, warehouse scans where
+    /// not.
+    pub bbox: Option<BBox>,
     pub group_by: Vec<GroupDim>,
     pub value: ValueMode,
 }
@@ -70,6 +77,7 @@ impl AnalysisQuery {
             countries: None,
             road_types: None,
             update_types: None,
+            bbox: None,
             group_by: Vec::new(),
             value: ValueMode::Count,
         }
@@ -96,6 +104,12 @@ impl AnalysisQuery {
     /// Restrict to the given update types.
     pub fn updates(mut self, u: impl Into<Vec<UpdateType>>) -> Self {
         self.update_types = Some(u.into());
+        self
+    }
+
+    /// Restrict to updates inside `b` (viewport drill-down).
+    pub fn within(mut self, b: BBox) -> Self {
+        self.bbox = Some(b);
         self
     }
 
@@ -154,6 +168,16 @@ pub struct QueryStats {
     pub cubes_from_disk: usize,
     /// Days covered for free because no cube exists (no data).
     pub empty_days: usize,
+    /// Spatial blocks served from the bank's block cache (viewport path).
+    pub blocks_from_cache: usize,
+    /// Spatial blocks read from disk (viewport path).
+    pub blocks_from_disk: usize,
+    /// (cell, day) pairs with no materialized block, answered by a
+    /// warehouse scan instead (viewport path).
+    pub scan_days: usize,
+    /// Warehouse rows visited by viewport scan fallbacks and boundary
+    /// cells (0 when the whole answer came from blocks).
+    pub scan_rows: u64,
     /// Physical I/O performed (reads/bytes and modeled latency).
     pub io: IoSnapshot,
     /// Wall-clock execution time (planning + fetch + aggregate).

@@ -5,6 +5,7 @@ use crate::engine::percentage_value;
 use crate::model::{
     AnalysisQuery, GroupDim, GroupKey, NetworkSizes, QueryResult, QueryStats, ResultRow, ValueMode,
 };
+use rased_geo::Point;
 use rased_osm_model::UpdateRecord;
 use rased_temporal::Period;
 use std::collections::HashMap;
@@ -53,6 +54,11 @@ impl<'a> RecordAggregator<'a> {
                 return;
             }
         }
+        if let Some(b) = &q.bbox {
+            if !b.contains(Point::new(r.lat7, r.lon7)) {
+                return;
+            }
+        }
         let mut key = GroupKey::default();
         for dim in &q.group_by {
             match dim {
@@ -64,6 +70,17 @@ impl<'a> RecordAggregator<'a> {
             }
         }
         *self.groups.entry(key).or_insert(0) += 1;
+    }
+
+    /// Merge a pre-aggregated count for an already-built group key. The
+    /// engine's block path lands here: its cells passed the dimension
+    /// filters via [`rased_cube::DimSelection`], and its spatial/temporal
+    /// filters are implied by which blocks were planned — no per-record
+    /// re-filtering is possible or needed.
+    pub fn push_count(&mut self, key: GroupKey, n: u64) {
+        if n > 0 {
+            *self.groups.entry(key).or_insert(0) += n;
+        }
     }
 
     /// Produce the final rows (sorted by key; stats left default for the

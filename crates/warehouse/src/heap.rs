@@ -194,6 +194,53 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Overwrite existing rows in place. Batched: one read-modify-write
+    /// per touched disk page; tail rows are patched in memory (the next
+    /// [`HeapFile::flush`] persists them). Row ids at or beyond the heap
+    /// are ignored. Returns the number of rows rewritten.
+    ///
+    /// Callers must not move a row spatially or across changesets — the
+    /// grid and hash indexes reference rows by id and are not updated
+    /// here. The monthly-refinement path only upgrades update types.
+    pub fn rewrite(&mut self, changes: &[(RowId, UpdateRecord)]) -> Result<usize, StorageError> {
+        let mut by_page: std::collections::BTreeMap<PageId, Vec<(usize, UpdateRecord)>> =
+            std::collections::BTreeMap::new();
+        let mut done = 0usize;
+        for (rid, rec) in changes {
+            if rid.0 >= self.row_count {
+                continue;
+            }
+            if rid.0 >= self.tail_first_row() {
+                let slot = (rid.0 - self.tail_first_row()) as usize;
+                let start = slot * UPDATE_RECORD_BYTES;
+                if let Some(dst) = self.tail.get_mut(start..start + UPDATE_RECORD_BYTES) {
+                    dst.copy_from_slice(&rec.encode());
+                    done += 1;
+                }
+                continue;
+            }
+            by_page.entry(rid.page()).or_default().push((rid.slot(), *rec));
+        }
+        let touched_disk = !by_page.is_empty();
+        for (page, slots) in by_page {
+            let mut data = self.file.read_page_vec(page)?;
+            for (slot, rec) in slots {
+                let start = slot * UPDATE_RECORD_BYTES;
+                if let Some(dst) = data.get_mut(start..start + UPDATE_RECORD_BYTES) {
+                    dst.copy_from_slice(&rec.encode());
+                    done += 1;
+                }
+            }
+            self.file.write_page(page, &data)?;
+        }
+        if touched_disk {
+            // Page ids keep their meaning but contents changed; drop any
+            // cached copies rather than tracking them individually.
+            self.pool.clear();
+        }
+        Ok(done)
+    }
+
     /// Read one row.
     pub fn get(&self, rid: RowId) -> Result<Option<UpdateRecord>, StorageError> {
         if rid.0 >= self.row_count {

@@ -4,7 +4,7 @@ use crate::heap::{HeapFile, RowId};
 use rased_geo::{BBox, GridIndex, Point};
 use rased_osm_model::{ChangesetId, UpdateRecord};
 use rased_storage::sync::{Mutex, RwLock};
-use rased_storage::{DiskHashIndex, IoCostModel, StorageError};
+use rased_storage::{DiskHashIndex, IoCostModel, IoSnapshot, StorageError};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -155,6 +155,13 @@ impl Warehouse {
         self.heap.lock().row_count()
     }
 
+    /// Physical I/O counters of the backing heap file — reads that missed
+    /// the buffer pool, with their modeled latency. Lets callers charge
+    /// warehouse scans the same way index cube fetches are charged.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.heap.lock().file().stats().snapshot()
+    }
+
     /// Visit every row in append order (the row-scan access path; also how
     /// the system recounts network sizes on reopen). Holds the heap lock for
     /// the whole scan — appends wait, readers of the indexes do not.
@@ -205,6 +212,50 @@ impl Warehouse {
         Ok(n)
     }
 
+    /// Rewrite stored rows' update types from refined records (monthly
+    /// refinement, §V): each refined record upgrades one stored row with
+    /// the same identity — everything but the update type. Rows the
+    /// refinement does not mention keep their daily-crawl types, refined
+    /// records matching no row are dropped, and re-running with the same
+    /// input is a no-op (the multiset of types per identity is unchanged).
+    /// Identity never moves a row spatially or across changesets, so the
+    /// grid and hash indexes stay valid untouched. Returns the number of
+    /// rows rewritten.
+    pub fn refine_types(&self, refined: &[UpdateRecord]) -> Result<usize, WarehouseError> {
+        use rased_osm_model::UpdateType;
+        type Ident = (
+            rased_temporal::Date,
+            ChangesetId,
+            rased_osm_model::ElementType,
+            rased_osm_model::CountryId,
+            rased_osm_model::RoadTypeId,
+            i32,
+            i32,
+        );
+        fn ident(r: &UpdateRecord) -> Ident {
+            (r.date, r.changeset, r.element_type, r.country, r.road_type, r.lat7, r.lon7)
+        }
+        let mut pool: std::collections::HashMap<Ident, Vec<UpdateType>> =
+            std::collections::HashMap::new();
+        for r in refined {
+            pool.entry(ident(r)).or_default().push(r.update_type);
+        }
+        let mut heap = self.heap.lock();
+        let mut changes: Vec<(RowId, UpdateRecord)> = Vec::new();
+        heap.scan(|rid, r| {
+            if let Some(types) = pool.get_mut(&ident(r)) {
+                if let Some(t) = types.pop() {
+                    if t != r.update_type {
+                        let mut nr = *r;
+                        nr.update_type = t;
+                        changes.push((rid, nr));
+                    }
+                }
+            }
+        })?;
+        Ok(heap.rewrite(&changes)?)
+    }
+
     /// Persist buffered rows and the changeset index directory.
     pub fn flush(&self) -> Result<(), WarehouseError> {
         self.heap.lock().flush()?;
@@ -241,6 +292,35 @@ impl Warehouse {
             }
         }
         Ok(out)
+    }
+
+    /// Visit *every* row inside a region (spatial-index walk, no limit) —
+    /// unlike the samplers, this is exhaustive: the viewport analysis
+    /// path's scan fallback, exact for cells the spatial bank has not
+    /// materialized. Same lock order as
+    /// [`Warehouse::sample_region_filtered`]: `spatial` before `heap`.
+    pub fn scan_region(
+        &self,
+        bbox: &BBox,
+        mut visit: impl FnMut(&UpdateRecord),
+    ) -> Result<(), WarehouseError> {
+        let mut err: Option<StorageError> = None;
+        let spatial = self.spatial.read();
+        let heap = self.heap.lock();
+        spatial.query(bbox, &mut |_, rid| {
+            if err.is_some() {
+                return;
+            }
+            match heap.get(*rid) {
+                Ok(Some(rec)) => visit(&rec),
+                Ok(None) => {}
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
     }
 
     /// Up to `limit` updates inside a region that also satisfy `pred` —
@@ -323,6 +403,55 @@ mod tests {
     }
 
     #[test]
+    fn refine_types_upgrades_matching_rows_in_place() {
+        let w = filled("refine", 700); // spans disk pages + in-memory tail
+        // Refine every third row to Geometry; identity fields unchanged.
+        let refined: Vec<UpdateRecord> = (0..700u64)
+            .filter(|i| i % 3 == 0)
+            .map(|i| {
+                let lat = (i as i32 % 1_000) * 100_000;
+                let lon = (i as i32 % 500) * 200_000;
+                UpdateRecord { update_type: UpdateType::Geometry, ..rec(i, lat, lon) }
+            })
+            .collect();
+        let n = w.refine_types(&refined).unwrap();
+        assert_eq!(n, refined.len());
+        let mut geometry = 0usize;
+        let mut create = 0usize;
+        w.scan(|_, r| match r.update_type {
+            UpdateType::Geometry => geometry += 1,
+            UpdateType::Create => create += 1,
+            _ => unreachable!("no other type was written"),
+        })
+        .unwrap();
+        assert_eq!((geometry, create), (refined.len(), 700 - refined.len()));
+        // Indexes still resolve the rewritten rows, with the new type.
+        let got = w.by_changeset(ChangesetId(1)).unwrap(); // updates 0,1,2
+        assert_eq!(got.iter().filter(|r| r.update_type == UpdateType::Geometry).count(), 1);
+        // Idempotent: a second run changes nothing.
+        assert_eq!(w.refine_types(&refined).unwrap(), 0);
+        // Refined records with no matching row are dropped.
+        let stranger = UpdateRecord {
+            changeset: ChangesetId(9_999_999),
+            ..rec(0, 1, 1)
+        };
+        assert_eq!(w.refine_types(&[stranger]).unwrap(), 0);
+        // And everything survives flush + reopen.
+        w.flush().unwrap();
+        let path = w.path.clone();
+        drop(w);
+        let w2 = Warehouse::open(&path, IoCostModel::free(), 16).unwrap();
+        let mut geometry2 = 0usize;
+        w2.scan(|_, r| {
+            if r.update_type == UpdateType::Geometry {
+                geometry2 += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(geometry2, geometry);
+    }
+
+    #[test]
     fn region_sampling_respects_limit_and_bbox() {
         let w = filled("region", 2000);
         let bbox = BBox::from_deg(0.0, 0.0, 5.0, 5.0);
@@ -334,6 +463,28 @@ mod tests {
         // A region with nothing in it.
         let empty = w.sample_region(&BBox::from_deg(-80.0, -170.0, -75.0, -160.0), 100).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn scan_region_is_exhaustive() {
+        let w = filled("scanregion", 2000);
+        let bbox = BBox::from_deg(0.0, 0.0, 5.0, 5.0);
+        let mut via_scan = 0u64;
+        w.scan_region(&bbox, |r| {
+            assert!(bbox.contains(Point::new(r.lat7, r.lon7)));
+            via_scan += 1;
+        })
+        .unwrap();
+        // Oracle: full heap scan with the same containment predicate.
+        let mut want = 0u64;
+        w.scan(|_, r| {
+            if bbox.contains(Point::new(r.lat7, r.lon7)) {
+                want += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(via_scan, want);
+        assert!(via_scan > 100, "must exceed any sampler limit to prove exhaustiveness");
     }
 
     #[test]
